@@ -1,0 +1,220 @@
+// Command srdf is the CLI for the self-organizing RDF store: it loads an
+// N-Triples (or Turtle) file, discovers the emergent relational schema,
+// and answers SPARQL queries with either plan family.
+//
+// Usage:
+//
+//	srdf schema  [-minsupport N] [-summary kw1,kw2] data.nt
+//	srdf query   [-mode default|rdfscan] [-zonemaps] [-explain] -q 'SELECT ...' data.nt
+//	srdf stats   data.nt
+//	srdf dump    [-table name] [-limit N] data.nt
+//
+// The store is in-memory; each invocation loads, organizes, and answers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"srdf"
+	"srdf/internal/plan"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "schema":
+		err = cmdSchema(args)
+	case "query":
+		err = cmdQuery(args)
+	case "stats":
+		err = cmdStats(args)
+	case "dump":
+		err = cmdDump(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srdf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: srdf <schema|query|stats|dump> [flags] data.nt
+  schema   discover and print the emergent SQL schema
+  query    run a SPARQL query (-q '...' or -f query.rq)
+  stats    print store statistics after organization
+  dump     print a discovered table as CSV`)
+}
+
+func loadStore(path string, minSupport int) (*srdf.Store, error) {
+	opts := srdf.Defaults()
+	if minSupport > 0 {
+		opts.MinSupport = minSupport
+	}
+	st := srdf.New(opts)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".ttl") {
+		if _, err := st.LoadTurtle(f); err != nil {
+			return nil, err
+		}
+	} else {
+		n, errs, err := st.LoadNTriples(f, true)
+		if err != nil {
+			return nil, err
+		}
+		if len(errs) > 0 {
+			fmt.Fprintf(os.Stderr, "srdf: skipped %d malformed lines\n", len(errs))
+		}
+		_ = n
+	}
+	return st, nil
+}
+
+func organize(st *srdf.Store) error {
+	rep, err := st.Organize()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, rep)
+	return nil
+}
+
+func cmdSchema(args []string) error {
+	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	minSupport := fs.Int("minsupport", 0, "minimum CS support")
+	summary := fs.String("summary", "", "comma-separated keywords for schema summarization")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("schema: need one data file")
+	}
+	st, err := loadStore(fs.Arg(0), *minSupport)
+	if err != nil {
+		return err
+	}
+	if err := organize(st); err != nil {
+		return err
+	}
+	if *summary != "" {
+		fmt.Print(st.SchemaSummary(strings.Split(*summary, ","), 0))
+		return nil
+	}
+	fmt.Print(st.SQLSchema())
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	mode := fs.String("mode", "rdfscan", "plan family: default or rdfscan")
+	zones := fs.Bool("zonemaps", true, "use zone maps")
+	explain := fs.Bool("explain", false, "print the plan instead of executing")
+	qtext := fs.String("q", "", "SPARQL query text")
+	qfile := fs.String("f", "", "file containing the SPARQL query")
+	minSupport := fs.Int("minsupport", 0, "minimum CS support")
+	noOrganize := fs.Bool("no-organize", false, "query the raw triple store")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query: need one data file")
+	}
+	if *qtext == "" && *qfile == "" {
+		return fmt.Errorf("query: need -q or -f")
+	}
+	if *qfile != "" {
+		b, err := os.ReadFile(*qfile)
+		if err != nil {
+			return err
+		}
+		*qtext = string(b)
+	}
+	st, err := loadStore(fs.Arg(0), *minSupport)
+	if err != nil {
+		return err
+	}
+	if !*noOrganize {
+		if err := organize(st); err != nil {
+			return err
+		}
+	}
+	var m srdf.Mode = plan.ModeRDFScan
+	if *mode == "default" {
+		m = plan.ModeDefault
+	}
+	qo := srdf.QueryOptions{Mode: m, ZoneMaps: *zones}
+	if *explain {
+		exp, err := st.Explain(*qtext, qo)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp)
+		return nil
+	}
+	res, err := st.QueryWith(*qtext, qo)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	ps := st.PoolStats()
+	fmt.Fprintf(os.Stderr, "%d rows; %d page misses, simulated I/O %v\n", res.Len(), ps.Misses, ps.SimIO)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	minSupport := fs.Int("minsupport", 0, "minimum CS support")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: need one data file")
+	}
+	st, err := loadStore(fs.Arg(0), *minSupport)
+	if err != nil {
+		return err
+	}
+	if err := organize(st); err != nil {
+		return err
+	}
+	s := st.Stats()
+	fmt.Printf("triples    %d\nresources  %d\nliterals   %d\ntables     %d\nirregular  %d\ncoverage   %.1f%%\n",
+		s.Triples, s.Resources, s.Literals, s.Tables, s.Irregular, 100*s.Coverage)
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	table := fs.String("table", "", "table name (default: all)")
+	limit := fs.Int("limit", 20, "max rows per table")
+	minSupport := fs.Int("minsupport", 0, "minimum CS support")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dump: need one data file")
+	}
+	st, err := loadStore(fs.Arg(0), *minSupport)
+	if err != nil {
+		return err
+	}
+	if err := organize(st); err != nil {
+		return err
+	}
+	cat := st.Internal().Catalog()
+	d := st.Internal().Dict()
+	for _, t := range cat.SortedTables() {
+		if *table != "" && t.Name != *table {
+			continue
+		}
+		fmt.Printf("-- %s (%d rows)\n%s\n", t.Name, t.Count, cat.DumpCSV(t, d, *limit))
+	}
+	return nil
+}

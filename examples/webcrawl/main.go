@@ -1,0 +1,96 @@
+// Webcrawl: schema discovery on dirty data — "even in web-crawled data
+// which is considered the dirtiest data encountered in practice" the
+// great majority of triples conform to regular patterns. This example
+// synthesizes a messy crawl (spelling-variant properties, missing
+// values, mixed types, noise) and shows how generalization and
+// fine-tuning shrink the raw CS count while keeping coverage high,
+// comparing against the original ungeneralized CS algorithm.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"srdf"
+)
+
+// synthCrawl fabricates a crawl of ~n pages over a few microformats,
+// with per-page missing properties, occasional junk predicates, and a
+// long tail of one-off subjects.
+func synthCrawl(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("@prefix v: <http://vocab.example.org/> .\n")
+	b.WriteString("@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n")
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // person profiles
+			fmt.Fprintf(&b, "v:person%d v:name \"P%d\"", i, i)
+			if rng.Intn(10) > 1 {
+				fmt.Fprintf(&b, " ; v:mbox \"p%d@mail\"", i)
+			}
+			if rng.Intn(10) > 4 {
+				fmt.Fprintf(&b, " ; v:homepage \"http://p%d.example\"", i)
+			}
+			if rng.Intn(20) == 0 { // junk property (spelling error)
+				fmt.Fprintf(&b, " ; v:naem \"typo\"")
+			}
+			b.WriteString(" .\n")
+		case 4, 5, 6: // events; date sometimes a string, sometimes typed
+			fmt.Fprintf(&b, "v:event%d v:label \"E%d\"", i, i)
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&b, " ; v:date \"20%02d-%02d-%02d\"^^xsd:date", rng.Intn(20), 1+rng.Intn(12), 1+rng.Intn(28))
+			} else {
+				fmt.Fprintf(&b, " ; v:date \"sometime in 20%02d\"", rng.Intn(20))
+			}
+			fmt.Fprintf(&b, " ; v:venue v:place%d .\n", rng.Intn(8))
+		case 7, 8: // products
+			fmt.Fprintf(&b, "v:item%d v:title \"I%d\" ; v:price %d.%02d", i, i, 1+rng.Intn(99), rng.Intn(100))
+			if rng.Intn(3) > 0 {
+				fmt.Fprintf(&b, " ; v:currency \"EUR\"")
+			}
+			b.WriteString(" .\n")
+		default: // noise: one-off subjects with random predicates
+			fmt.Fprintf(&b, "v:junk%d v:p%d \"x\" .\n", i, rng.Intn(40))
+		}
+	}
+	for p := 0; p < 8; p++ {
+		fmt.Fprintf(&b, "v:place%d v:label \"place %d\" ; v:city \"C%d\" .\n", p, p, p%4)
+	}
+	return b.String()
+}
+
+func main() {
+	data := synthCrawl(800, 7)
+
+	fmt.Println("== with generalization + fine-tuning (the paper's pipeline) ==")
+	store := srdf.New(srdf.Defaults())
+	store.MustLoadTurtle(data)
+	rep, err := store.Organize()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep)
+	fmt.Println()
+	fmt.Print(store.SQLSchema())
+
+	fmt.Println("== events with typed dates vs string dates split into CS variants ==")
+	fmt.Print(store.SchemaSummary([]string{"date"}, 0))
+
+	fmt.Println("\n== star query over the dirty person profiles ==")
+	res, err := store.Query(`
+PREFIX v: <http://vocab.example.org/>
+SELECT (COUNT(*) AS ?profiles) WHERE {
+  ?p v:name ?n .
+  ?p v:mbox ?m .
+}`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res.String())
+
+	st := store.Stats()
+	fmt.Printf("\ncoverage %.1f%% — %d of %d triples answered by tables, %d irregular\n",
+		100*st.Coverage, st.Triples-st.Irregular, st.Triples, st.Irregular)
+}

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"srdf/internal/cs"
+	"srdf/internal/dict"
+	"srdf/internal/nt"
+	"srdf/internal/triples"
+)
+
+func load(t *testing.T, src string) (*triples.Table, *dict.Dictionary) {
+	t.Helper()
+	ts, err := nt.ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("turtle: %v", err)
+	}
+	d := dict.New()
+	tb := triples.NewTable(len(ts))
+	for _, tr := range ts {
+		tb.Append(d.Intern(tr.S), d.Intern(tr.P), d.Intern(tr.O))
+	}
+	return tb, d
+}
+
+// ordersSrc: two entity classes interleaved in parse order, with dates,
+// mimicking the RDF-H layout the paper clusters.
+func ordersSrc(n int) string {
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		day := 1 + rng.Intn(28)
+		fmt.Fprintf(&b, "e:ord%d e:odate \"1996-%02d-%02d\"^^xsd:date ; e:total %d .\n",
+			i, 1+rng.Intn(12), day, rng.Intn(1000))
+		fmt.Fprintf(&b, "e:item%d e:part \"p%d\" ; e:qty %d ; e:ord e:ord%d .\n",
+			i, rng.Intn(50), rng.Intn(10), i)
+	}
+	return b.String()
+}
+
+func discoverAndCluster(t *testing.T, src string, opts Options) (*triples.Table, *dict.Dictionary, *cs.Schema, *Info) {
+	t.Helper()
+	tb, d := load(t, src)
+	copyTB := tb.Clone()
+	schema := cs.Discover(tb, d, csOpts())
+	inf, err := Reorganize(tb, d, schema, opts)
+	if err != nil {
+		t.Fatalf("Reorganize: %v", err)
+	}
+	_ = copyTB
+	return tb, d, schema, inf
+}
+
+func csOpts() cs.Options {
+	o := cs.DefaultOptions()
+	o.MinSupport = 3
+	return o
+}
+
+func TestRangesAreContiguousAndDisjoint(t *testing.T) {
+	_, _, schema, inf := discoverAndCluster(t, ordersSrc(20), DefaultOptions())
+	if len(inf.Ranges) == 0 {
+		t.Fatal("no ranges")
+	}
+	prevEnd := uint64(1)
+	for _, r := range inf.Ranges {
+		if r.Base != prevEnd {
+			t.Errorf("range %d starts at %d, want %d (contiguous)", r.CSID, r.Base, prevEnd)
+		}
+		prevEnd = r.Base + uint64(r.Count)
+		c := schema.CSs[r.CSID]
+		if r.Count != c.Support {
+			t.Errorf("range count %d != CS support %d", r.Count, c.Support)
+		}
+		// subjects of the CS are exactly the payloads of the range
+		for _, s := range c.Subjects {
+			p := s.Payload()
+			if p < r.Base || p >= r.Base+uint64(r.Count) {
+				t.Errorf("subject %v outside its range [%d,%d)", s, r.Base, r.Base+uint64(r.Count))
+			}
+		}
+	}
+}
+
+func TestGraphPreserved(t *testing.T) {
+	// The reorganized store must contain exactly the same logical graph:
+	// decode every triple to terms before and after and compare sets.
+	src := ordersSrc(15)
+	tb, d := load(t, src)
+	want := map[string]int{}
+	for i := 0; i < tb.Len(); i++ {
+		tr := tb.At(i)
+		s, _ := d.Term(tr.S)
+		p, _ := d.Term(tr.P)
+		o, _ := d.Term(tr.O)
+		want[s.String()+"|"+p.String()+"|"+o.String()]++
+	}
+	schema := cs.Discover(tb, d, csOpts())
+	if _, err := Reorganize(tb, d, schema, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for i := 0; i < tb.Len(); i++ {
+		tr := tb.At(i)
+		s, ok1 := d.Term(tr.S)
+		p, ok2 := d.Term(tr.P)
+		o, ok3 := d.Term(tr.O)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("triple %d has undecodable OIDs after remap", i)
+		}
+		got[s.String()+"|"+p.String()+"|"+o.String()]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct triples %d -> %d", len(want), len(got))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("triple %s count %d -> %d", k, n, got[k])
+		}
+	}
+}
+
+func TestLiteralOIDsAreValueOrdered(t *testing.T) {
+	_, d, _, _ := discoverAndCluster(t, ordersSrc(25), DefaultOptions())
+	vals := d.LiteralValues()
+	for i := 1; i < len(vals); i++ {
+		if dict.Compare(vals[i-1], vals[i]) > 0 {
+			t.Fatalf("literal payloads not value-ordered at %d: %v > %v", i, vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestSubOrderingByDate(t *testing.T) {
+	tb, d, schema, inf := discoverAndCluster(t, ordersSrc(30), DefaultOptions())
+	// find the orders CS (has the odate prop)
+	var ordersCS *cs.CS
+	for _, c := range schema.Retained() {
+		for i := range c.Props {
+			if c.Props[i].Name == "odate" {
+				ordersCS = c
+			}
+		}
+	}
+	if ordersCS == nil {
+		t.Fatal("orders CS not found")
+	}
+	r, ok := inf.RangeOf(ordersCS.ID)
+	if !ok {
+		t.Fatal("orders range missing")
+	}
+	if r.SortPred == dict.Nil {
+		t.Fatal("auto sort key not chosen for date column")
+	}
+	// walk subjects in OID order; their odate values must be ascending
+	spo := triples.Build(tb, triples.SPO)
+	var prev dict.Value
+	first := true
+	for p := r.Base; p < r.Base+uint64(r.Count); p++ {
+		s := dict.ResourceOID(p)
+		lo, hi := spo.Range2(s, r.SortPred)
+		if hi == lo {
+			continue
+		}
+		v := d.Value(spo.C[lo])
+		if !first && dict.Compare(prev, v) > 0 {
+			t.Fatalf("subjects not sub-ordered by date: %v after %v", v, prev)
+		}
+		prev, first = v, false
+	}
+}
+
+func TestExplicitSortKeyOverride(t *testing.T) {
+	src := ordersSrc(20)
+	tb, d := load(t, src)
+	schema := cs.Discover(tb, d, csOpts())
+	var ordersName string
+	for _, c := range schema.Retained() {
+		for i := range c.Props {
+			if c.Props[i].Name == "total" {
+				ordersName = c.Name
+			}
+		}
+	}
+	inf, err := Reorganize(tb, d, schema, Options{
+		SortKeys:    map[string]string{ordersName: "http://e/total"},
+		AutoSortKey: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := schema.ByName(ordersName)
+	r, _ := inf.RangeOf(c.ID)
+	tm, _ := d.Term(r.SortPred)
+	if tm.Value != "http://e/total" {
+		t.Errorf("sort pred = %v, want explicit total", tm.Value)
+	}
+}
+
+func TestRowOf(t *testing.T) {
+	_, _, schema, inf := discoverAndCluster(t, ordersSrc(10), DefaultOptions())
+	c := schema.Retained()[0]
+	r, _ := inf.RangeOf(c.ID)
+	for i, s := range c.Subjects {
+		row, ok := inf.RowOf(c.ID, s)
+		if !ok || row != i {
+			t.Errorf("RowOf(%v) = %d,%v want %d", s, row, ok, i)
+		}
+	}
+	if _, ok := inf.RowOf(c.ID, dict.ResourceOID(r.Base+uint64(r.Count)+5)); ok {
+		t.Error("RowOf out-of-range subject succeeded")
+	}
+	if _, ok := inf.RowOf(9999, dict.ResourceOID(1)); ok {
+		t.Error("RowOf unknown CS succeeded")
+	}
+}
+
+func TestPSOAlignment(t *testing.T) {
+	// After clustering, for a non-null single-valued property of a CS,
+	// the PSO rows of that (P, CS-range) stretch are exactly the CS's
+	// subjects in order — the "aligned stretches" of §II-C.
+	tb, _, schema, inf := discoverAndCluster(t, ordersSrc(40), DefaultOptions())
+	pso := triples.Build(tb, triples.PSO)
+	for _, c := range schema.Retained() {
+		r, _ := inf.RangeOf(c.ID)
+		for i := range c.Props {
+			ps := &c.Props[i]
+			if ps.Nullable || ps.SplitOff || ps.MultiSubjects > 0 {
+				continue
+			}
+			lo, hi := pso.Range1(ps.Pred)
+			// rows of this CS inside the property run
+			var got []dict.OID
+			for k := lo; k < hi; k++ {
+				p := pso.B[k].Payload()
+				if p >= r.Base && p < r.Base+uint64(r.Count) {
+					got = append(got, pso.B[k])
+				}
+			}
+			if len(got) != c.Support {
+				t.Fatalf("CS %s prop %s: %d aligned rows, want %d", c.Name, ps.Name, len(got), c.Support)
+			}
+			for k := 1; k < len(got); k++ {
+				if got[k] != got[k-1]+1 {
+					t.Fatalf("CS %s prop %s: subject stretch not dense at %d", c.Name, ps.Name, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRemapsAreBijections(t *testing.T) {
+	_, _, _, inf := discoverAndCluster(t, ordersSrc(12), DefaultOptions())
+	check := func(m []uint64, name string) {
+		seen := make([]bool, len(m))
+		for _, nw := range m {
+			if nw == 0 || nw > uint64(len(m)) || seen[nw-1] {
+				t.Fatalf("%s remap not a bijection", name)
+			}
+			seen[nw-1] = true
+		}
+	}
+	check(inf.ResMap, "resource")
+	check(inf.LitMap, "literal")
+}
+
+func TestSchemaReferencesUpdated(t *testing.T) {
+	tb, d, schema, _ := discoverAndCluster(t, ordersSrc(15), DefaultOptions())
+	// SubjectCS keys must be valid current subjects
+	spo := triples.Build(tb, triples.SPO)
+	for s, id := range schema.SubjectCS {
+		lo, hi := spo.Range1(s)
+		if hi == lo {
+			t.Fatalf("SubjectCS key %v (cs %d) no longer a subject", s, id)
+		}
+	}
+	// Prop preds must decode to IRIs
+	for _, c := range schema.Retained() {
+		for i := range c.Props {
+			tm, ok := d.Term(c.Props[i].Pred)
+			if !ok || tm.Kind != dict.KindIRI {
+				t.Fatalf("prop pred %v does not decode to IRI", c.Props[i].Pred)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"srdf/internal/dict"
+)
+
+func TestPoolMissThenHit(t *testing.T) {
+	bp := NewPool(0)
+	id := PageID{Obj: 1, Page: 0}
+	bp.Access(id)
+	bp.Access(id)
+	s := bp.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss 1 hit", s)
+	}
+	if s.SimIO != DefaultFetchCost {
+		t.Errorf("SimIO = %v, want %v", s.SimIO, DefaultFetchCost)
+	}
+}
+
+func TestPoolLRUEviction(t *testing.T) {
+	bp := NewPool(2)
+	a, b, c := PageID{1, 0}, PageID{1, 1}, PageID{1, 2}
+	bp.Access(a)
+	bp.Access(b)
+	bp.Access(a) // a is now MRU
+	bp.Access(c) // evicts b
+	bp.Access(b) // miss again
+	s := bp.Stats()
+	if s.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (a,b,c,b)", s.Misses)
+	}
+	if s.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", s.Evictions)
+	}
+	if s.Resident != 2 {
+		t.Errorf("resident = %d, want 2", s.Resident)
+	}
+}
+
+func TestPoolResetCold(t *testing.T) {
+	bp := NewPool(0)
+	bp.Access(PageID{1, 0})
+	bp.ResetCold()
+	bp.Access(PageID{1, 0})
+	if s := bp.Stats(); s.Misses != 2 {
+		t.Errorf("misses after cold reset = %d, want 2", s.Misses)
+	}
+	bp.ResetStats()
+	if s := bp.Stats(); s.Misses != 0 || s.SimIO != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+}
+
+func TestAccessRangePages(t *testing.T) {
+	bp := NewPool(0)
+	obj := bp.NewObject()
+	bp.AccessRange(obj, 0, ValuesPerPage*3+1) // pages 0,1,2,3
+	if s := bp.Stats(); s.Misses != 4 {
+		t.Errorf("misses = %d, want 4", s.Misses)
+	}
+	bp.AccessRange(obj, 5, 10) // within page 0, already resident
+	if s := bp.Stats(); s.Misses != 4 {
+		t.Errorf("misses grew to %d on warm access", s.Misses)
+	}
+	bp.AccessRange(obj, 10, 10) // empty range
+	if s := bp.Stats(); s.Hits+s.Misses != 5 {
+		t.Errorf("empty range should not touch pages")
+	}
+}
+
+func TestSetFetchCost(t *testing.T) {
+	bp := NewPool(0)
+	bp.SetFetchCost(time.Millisecond)
+	bp.Access(PageID{9, 9})
+	if s := bp.Stats(); s.SimIO != time.Millisecond {
+		t.Errorf("SimIO = %v", s.SimIO)
+	}
+}
+
+func TestColumnNullAccounting(t *testing.T) {
+	c := NewColumn("x", 4, nil)
+	if c.NullCount() != 4 {
+		t.Fatalf("fresh column nulls = %d", c.NullCount())
+	}
+	c.Set(0, dict.LiteralOID(5))
+	c.Set(1, dict.LiteralOID(6))
+	if c.NullCount() != 2 {
+		t.Errorf("nulls = %d, want 2", c.NullCount())
+	}
+	c.Set(0, dict.Nil)
+	if c.NullCount() != 3 || !c.IsNull(0) {
+		t.Errorf("nulls = %d after re-null", c.NullCount())
+	}
+	c.Set(1, dict.LiteralOID(7)) // overwrite non-null with non-null
+	if c.NullCount() != 3 {
+		t.Errorf("nulls changed on non-null overwrite: %d", c.NullCount())
+	}
+}
+
+func TestColumnTouchAccountsPages(t *testing.T) {
+	bp := NewPool(0)
+	c := NewColumn("x", ValuesPerPage*2, bp)
+	c.Touch(0, c.Len())
+	if s := bp.Stats(); s.Misses != 2 {
+		t.Errorf("misses = %d, want 2", s.Misses)
+	}
+	_ = c.Get(0)
+	if s := bp.Stats(); s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("Get should hit: %+v", bp.Stats())
+	}
+}
+
+func TestDistinctObjectsDoNotCollide(t *testing.T) {
+	bp := NewPool(0)
+	c1 := NewColumn("a", 10, bp)
+	c2 := NewColumn("b", 10, bp)
+	c1.Touch(0, 10)
+	c2.Touch(0, 10)
+	if s := bp.Stats(); s.Misses != 2 {
+		t.Errorf("two columns sharing pages: %+v", s)
+	}
+}
+
+func lit(p uint64) dict.OID { return dict.LiteralOID(p) }
+
+func TestZoneMapBasics(t *testing.T) {
+	vals := make([]dict.OID, BlockRows*2+10)
+	for i := range vals {
+		vals[i] = lit(uint64(i + 1))
+	}
+	zm := BuildZoneMap(vals)
+	if zm.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", zm.NumBlocks())
+	}
+	z0 := zm.Zones[0]
+	if z0.Min != lit(1) || z0.Max != lit(BlockRows) {
+		t.Errorf("block0 bounds: %v..%v", z0.Min, z0.Max)
+	}
+	lo, hi := zm.BlockRange(2)
+	if lo != BlockRows*2 || hi != len(vals) {
+		t.Errorf("BlockRange(2) = %d,%d", lo, hi)
+	}
+	sel := zm.SelectBlocks(lit(5), lit(10))
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Errorf("SelectBlocks = %v, want [0]", sel)
+	}
+	if got := zm.SelectBlocks(lit(uint64(len(vals)+100)), lit(uint64(len(vals)+200))); got != nil {
+		t.Errorf("out-of-range selection = %v, want nil", got)
+	}
+}
+
+func TestZoneMapNulls(t *testing.T) {
+	vals := make([]dict.OID, BlockRows*2)
+	for i := 0; i < BlockRows; i++ {
+		vals[i] = dict.Nil // block 0 all null
+	}
+	vals[BlockRows] = lit(7)
+	for i := BlockRows + 1; i < len(vals); i++ {
+		vals[i] = dict.Nil
+	}
+	zm := BuildZoneMap(vals)
+	if !zm.Zones[0].AllNull {
+		t.Error("block 0 should be AllNull")
+	}
+	if zm.Zones[1].AllNull || !zm.Zones[1].HasNull {
+		t.Error("block 1 flags wrong")
+	}
+	if zm.MayMatch(0, lit(0), lit(^uint64(0)>>1)) {
+		t.Error("AllNull block may never match")
+	}
+	min, max, ok := zm.Bounds()
+	if !ok || min != lit(7) || max != lit(7) {
+		t.Errorf("Bounds = %v %v %v", min, max, ok)
+	}
+}
+
+func TestZoneMapEmpty(t *testing.T) {
+	zm := BuildZoneMap(nil)
+	if zm.NumBlocks() != 0 {
+		t.Errorf("empty zone map has %d blocks", zm.NumBlocks())
+	}
+	if _, _, ok := zm.Bounds(); ok {
+		t.Error("empty Bounds ok=true")
+	}
+	if zm.Selectivity(lit(1), lit(2)) != 0 {
+		t.Error("empty selectivity != 0")
+	}
+}
+
+func TestZoneMapContainmentQuick(t *testing.T) {
+	// Property: a value present in the column is always inside its
+	// block's [Min,Max], so SelectBlocks never prunes a matching block.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3*BlockRows)
+		vals := make([]dict.OID, n)
+		for i := range vals {
+			if rng.Intn(10) == 0 {
+				vals[i] = dict.Nil
+			} else {
+				vals[i] = lit(uint64(1 + rng.Intn(10000)))
+			}
+		}
+		zm := BuildZoneMap(vals)
+		for trial := 0; trial < 20; trial++ {
+			lo := lit(uint64(1 + rng.Intn(10000)))
+			hi := lo + dict.OID(rng.Intn(2000))
+			selected := map[int]bool{}
+			for _, b := range zm.SelectBlocks(lo, hi) {
+				selected[b] = true
+			}
+			for i, v := range vals {
+				if v == dict.Nil || v < lo || v > hi {
+					continue
+				}
+				if !selected[i/BlockRows] {
+					return false // pruned a block containing a match
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZoneMapSelectivity(t *testing.T) {
+	vals := make([]dict.OID, BlockRows*4)
+	for i := range vals {
+		vals[i] = lit(uint64(i + 1)) // strictly increasing: perfect clustering
+	}
+	zm := BuildZoneMap(vals)
+	// a range covering one block's worth of values should select ~1 block
+	s := zm.Selectivity(lit(1), lit(BlockRows/2))
+	if s != 0.25 {
+		t.Errorf("selectivity = %v, want 0.25", s)
+	}
+}
+
+func TestTrackedSlice(t *testing.T) {
+	bp := NewPool(0)
+	vals := make([]dict.OID, ValuesPerPage+1)
+	ts := Track(vals, bp)
+	ts.Touch(0, len(vals))
+	if s := bp.Stats(); s.Misses != 2 {
+		t.Errorf("tracked slice misses = %d, want 2", s.Misses)
+	}
+	// nil pool must be safe
+	Track(vals, nil).Touch(0, len(vals))
+}
+
+func TestColumnZonesCacheInvalidation(t *testing.T) {
+	c := NewColumn("x", BlockRows, nil)
+	c.Set(0, lit(10))
+	z1 := c.Zones()
+	if min, _, ok := z1.Bounds(); !ok || min != lit(10) {
+		t.Fatalf("bounds before update wrong")
+	}
+	c.Set(1, lit(5))
+	z2 := c.Zones()
+	if min, _, ok := z2.Bounds(); !ok || min != lit(5) {
+		t.Errorf("zone map not rebuilt after Set: min=%v ok=%v", min, ok)
+	}
+}

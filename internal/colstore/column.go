@@ -1,0 +1,102 @@
+package colstore
+
+import (
+	"srdf/internal/dict"
+)
+
+// Column is a fixed-length vector of OIDs with NULLs, the physical
+// representation of one property of one characteristic set after subject
+// clustering: row i holds the property value of the CS's i-th subject
+// (paper §II-C — "for a whole stretch of subjects we get aligned
+// stretches of Objects"). dict.Nil encodes SQL NULL.
+type Column struct {
+	Name string
+	Vals []dict.OID
+
+	nullCount int
+	zm        *ZoneMap
+
+	pool *BufferPool
+	obj  uint32
+}
+
+// NewColumn allocates an n-row column of NULLs registered with pool
+// (pool may be nil for untracked columns).
+func NewColumn(name string, n int, pool *BufferPool) *Column {
+	c := &Column{Name: name, Vals: make([]dict.OID, n), nullCount: n, pool: pool}
+	if pool != nil {
+		c.obj = pool.NewObject()
+	}
+	return c
+}
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return len(c.Vals) }
+
+// Set assigns row i.
+func (c *Column) Set(i int, v dict.OID) {
+	old := c.Vals[i]
+	if old == dict.Nil && v != dict.Nil {
+		c.nullCount--
+	} else if old != dict.Nil && v == dict.Nil {
+		c.nullCount++
+	}
+	c.Vals[i] = v
+	c.zm = nil
+}
+
+// Get returns row i, accounting the page touch.
+func (c *Column) Get(i int) dict.OID {
+	c.Touch(i, i+1)
+	return c.Vals[i]
+}
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.Vals[i] == dict.Nil }
+
+// NullCount returns the number of NULL rows.
+func (c *Column) NullCount() int { return c.nullCount }
+
+// Touch accounts a read of rows [lo,hi) against the buffer pool without
+// copying data. Operators call it once per scanned block.
+func (c *Column) Touch(lo, hi int) {
+	if c.pool != nil {
+		c.pool.AccessRange(c.obj, lo, hi)
+	}
+}
+
+// Zones returns the column's zone map, building it on first use.
+func (c *Column) Zones() *ZoneMap {
+	if c.zm == nil {
+		c.zm = BuildZoneMap(c.Vals)
+	}
+	return c.zm
+}
+
+// Pool returns the buffer pool the column accounts against (may be nil).
+func (c *Column) Pool() *BufferPool { return c.pool }
+
+// TrackedSlice registers an existing OID slice (such as one component of
+// a sorted projection) with a pool, so index scans over it can account
+// page touches too. It does not copy the data.
+type TrackedSlice struct {
+	Vals []dict.OID
+	pool *BufferPool
+	obj  uint32
+}
+
+// Track registers vals against pool.
+func Track(vals []dict.OID, pool *BufferPool) *TrackedSlice {
+	ts := &TrackedSlice{Vals: vals, pool: pool}
+	if pool != nil {
+		ts.obj = pool.NewObject()
+	}
+	return ts
+}
+
+// Touch accounts a read of rows [lo,hi).
+func (ts *TrackedSlice) Touch(lo, hi int) {
+	if ts.pool != nil {
+		ts.pool.AccessRange(ts.obj, lo, hi)
+	}
+}

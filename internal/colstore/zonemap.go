@@ -1,0 +1,130 @@
+package colstore
+
+import "srdf/internal/dict"
+
+// BlockRows is the zone-map granularity, aligned to buffer pool pages.
+const BlockRows = ValuesPerPage
+
+// Zone summarizes one block of a column: min/max of its non-NULL OIDs.
+// Because literal OIDs are assigned in value order during reorganization,
+// OID min/max bounds are value bounds, and FK columns' min/max bound the
+// referenced subject-OID range — which is what lets a date selection on
+// ORDERS prune LINEITEM blocks and vice versa (paper §II-D, the
+// "Netezza-style Zone-Maps").
+type Zone struct {
+	Min, Max dict.OID
+	HasNull  bool
+	AllNull  bool
+}
+
+// ZoneMap is the per-block summary of a column.
+type ZoneMap struct {
+	Zones []Zone
+	Rows  int
+}
+
+// BuildZoneMap scans vals and produces its zone map. dict.Nil entries are
+// NULLs and excluded from min/max.
+func BuildZoneMap(vals []dict.OID) *ZoneMap {
+	n := len(vals)
+	nz := (n + BlockRows - 1) / BlockRows
+	zm := &ZoneMap{Zones: make([]Zone, nz), Rows: n}
+	for b := 0; b < nz; b++ {
+		lo := b * BlockRows
+		hi := lo + BlockRows
+		if hi > n {
+			hi = n
+		}
+		z := Zone{AllNull: true}
+		for i := lo; i < hi; i++ {
+			v := vals[i]
+			if v == dict.Nil {
+				z.HasNull = true
+				continue
+			}
+			if z.AllNull {
+				z.Min, z.Max = v, v
+				z.AllNull = false
+				continue
+			}
+			if v < z.Min {
+				z.Min = v
+			}
+			if v > z.Max {
+				z.Max = v
+			}
+		}
+		zm.Zones[b] = z
+	}
+	return zm
+}
+
+// NumBlocks returns the number of zones.
+func (zm *ZoneMap) NumBlocks() int { return len(zm.Zones) }
+
+// BlockRange returns the row range [lo,hi) of block b.
+func (zm *ZoneMap) BlockRange(b int) (int, int) {
+	lo := b * BlockRows
+	hi := lo + BlockRows
+	if hi > zm.Rows {
+		hi = zm.Rows
+	}
+	return lo, hi
+}
+
+// MayMatch reports whether block b can contain a value in [lo,hi].
+func (zm *ZoneMap) MayMatch(b int, lo, hi dict.OID) bool {
+	z := zm.Zones[b]
+	if z.AllNull {
+		return false
+	}
+	return z.Max >= lo && z.Min <= hi
+}
+
+// SelectBlocks returns the indexes of blocks that may contain a value in
+// [lo,hi]. The complement is I/O the executor never performs.
+func (zm *ZoneMap) SelectBlocks(lo, hi dict.OID) []int {
+	var out []int
+	for b := range zm.Zones {
+		if zm.MayMatch(b, lo, hi) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Bounds returns the global min/max over all non-NULL values, with ok
+// false when the column is entirely NULL.
+func (zm *ZoneMap) Bounds() (min, max dict.OID, ok bool) {
+	for _, z := range zm.Zones {
+		if z.AllNull {
+			continue
+		}
+		if !ok {
+			min, max, ok = z.Min, z.Max, true
+			continue
+		}
+		if z.Min < min {
+			min = z.Min
+		}
+		if z.Max > max {
+			max = z.Max
+		}
+	}
+	return min, max, ok
+}
+
+// Selectivity estimates the fraction of blocks surviving a [lo,hi]
+// restriction; the planner's zone-map-aware cost model uses it.
+func (zm *ZoneMap) Selectivity(lo, hi dict.OID) float64 {
+	if len(zm.Zones) == 0 {
+		return 0
+	}
+	match := 0
+	for b := range zm.Zones {
+		if zm.MayMatch(b, lo, hi) {
+			match++
+		}
+	}
+	return float64(match) / float64(len(zm.Zones))
+}

@@ -1,0 +1,398 @@
+// Package core is the self-organizing RDF store: it ties ingestion,
+// characteristic-set discovery, subject clustering, the relational
+// catalog, and the two query-plan families into one engine — the system
+// Figure 1 of the paper sketches inside the MonetDB kernel.
+//
+// Lifecycle: load triples (bulk or trickle), call Organize to let the
+// store discover and materialize its emergent schema, then query in
+// either plan mode. Trickle inserts after Organize land in the irregular
+// delta and are answered exactly; the next Organize folds them in.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"srdf/internal/cluster"
+	"srdf/internal/colstore"
+	"srdf/internal/cs"
+	"srdf/internal/dict"
+	"srdf/internal/exec"
+	"srdf/internal/nt"
+	"srdf/internal/plan"
+	"srdf/internal/relational"
+	"srdf/internal/sparql"
+	"srdf/internal/triples"
+)
+
+// Options configures a Store.
+type Options struct {
+	// CS tunes schema discovery.
+	CS cs.Options
+	// Cluster tunes subject clustering.
+	Cluster cluster.Options
+	// PoolPages caps the simulated buffer pool (<=0: unlimited).
+	PoolPages int
+	// Dedup removes duplicate triples on Organize (RDF graphs are sets).
+	Dedup bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{
+		CS:      cs.DefaultOptions(),
+		Cluster: cluster.DefaultOptions(),
+		Dedup:   true,
+	}
+}
+
+// QueryOptions selects the plan family per query, mirroring Table I's
+// configuration axes.
+type QueryOptions struct {
+	Mode     plan.Mode
+	ZoneMaps bool
+}
+
+// Store is the self-organizing RDF store.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+
+	dict  *dict.Dictionary
+	table *triples.Table
+	idx   *triples.IndexSet
+	pool  *colstore.BufferPool
+
+	schema    *cs.Schema
+	clusterIn *cluster.Info
+	cat       *relational.Catalog
+	organized bool
+	// literalsOrdered goes false when trickle inserts mint new literals
+	// after Organize.
+	literalsOrdered bool
+
+	idxDirty bool
+	irrDirty bool
+	ctx      *exec.Ctx
+
+	// workload counts, per predicate IRI, how often queries put a range
+	// or equality filter on that predicate's object — the signal the
+	// next Organize uses to choose subject-clustering sort keys
+	// (research question iii / the §II-D acknowledgment that sort-key
+	// choice needs workload analysis).
+	workload map[string]int
+}
+
+// NewStore creates an empty store.
+func NewStore(opts Options) *Store {
+	return &Store{
+		opts:     opts,
+		dict:     dict.New(),
+		table:    triples.NewTable(0),
+		pool:     colstore.NewPool(opts.PoolPages),
+		workload: make(map[string]int),
+	}
+}
+
+// Dict exposes the dictionary (read-mostly; shared with results).
+func (s *Store) Dict() *dict.Dictionary { return s.dict }
+
+// Pool exposes the simulated buffer pool for cold/hot control.
+func (s *Store) Pool() *colstore.BufferPool { return s.pool }
+
+// Schema returns the discovered schema (nil before Organize).
+func (s *Store) Schema() *cs.Schema { return s.schema }
+
+// Catalog returns the materialized catalog (nil before Organize).
+func (s *Store) Catalog() *relational.Catalog { return s.cat }
+
+// NumTriples returns the store size including trickle inserts.
+func (s *Store) NumTriples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Len()
+}
+
+// Add appends one triple (trickle load). Before Organize it is ordinary
+// bulk data; after, it lands in the irregular delta and remains exactly
+// queryable until the next Organize re-clusters it.
+func (s *Store) Add(t nt.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(t)
+}
+
+func (s *Store) addLocked(t nt.Triple) {
+	nl := s.dict.NumLiterals()
+	so := s.dict.Intern(t.S)
+	po := s.dict.Intern(t.P)
+	oo := s.dict.Intern(t.O)
+	s.table.Append(so, po, oo)
+	s.idxDirty = true
+	if s.organized {
+		s.cat.Irregular.Append(so, po, oo)
+		s.irrDirty = true
+		if s.dict.NumLiterals() != nl {
+			s.literalsOrdered = false
+		}
+	}
+}
+
+// LoadNTriples bulk-loads N-Triples. When lenient, malformed lines are
+// skipped and reported in the returned error slice.
+func (s *Store) LoadNTriples(r io.Reader, lenient bool) (int, []error, error) {
+	var rd *nt.Reader
+	if lenient {
+		rd = nt.NewLenientReader(r)
+	} else {
+		rd = nt.NewReader(r)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return n, rd.Errs(), nil
+		}
+		if err != nil {
+			return n, rd.Errs(), err
+		}
+		s.addLocked(t)
+		n++
+	}
+}
+
+// LoadTurtle bulk-loads the Turtle subset.
+func (s *Store) LoadTurtle(r io.Reader) (int, error) {
+	ts, err := nt.ParseTurtle(r)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range ts {
+		s.addLocked(t)
+	}
+	return len(ts), nil
+}
+
+// OrganizeReport summarizes what Organize did.
+type OrganizeReport struct {
+	Triples           int
+	DuplicatesDropped int
+	RawCSs            int
+	CSs               int
+	Tables            int
+	LinkTables        int
+	FKs               int
+	Coverage          float64
+	IrregularTriples  int
+}
+
+func (r OrganizeReport) String() string {
+	return fmt.Sprintf("organized %d triples: %d raw CS -> %d tables (+%d link), %d FKs, coverage %.1f%%, %d irregular",
+		r.Triples, r.RawCSs, r.Tables, r.LinkTables, r.FKs, 100*r.Coverage, r.IrregularTriples)
+}
+
+// Organize runs the self-organization pipeline: discover characteristic
+// sets, cluster subjects (renumbering the whole OID space), materialize
+// the relational catalog with zone maps, and rebuild the six
+// projections. It can be called again after trickle inserts to fold the
+// delta into the schema.
+func (s *Store) Organize() (OrganizeReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep OrganizeReport
+	if s.opts.Dedup {
+		rep.DuplicatesDropped = s.table.Dedup()
+	}
+	rep.Triples = s.table.Len()
+
+	s.schema = cs.Discover(s.table, s.dict, s.opts.CS)
+	clOpts := s.opts.Cluster
+	clOpts.SortKeys = s.workloadSortKeysLocked(clOpts.SortKeys)
+	inf, err := cluster.Reorganize(s.table, s.dict, s.schema, clOpts)
+	if err != nil {
+		return rep, fmt.Errorf("core: organize: %w", err)
+	}
+	s.clusterIn = inf
+	s.pool = colstore.NewPool(s.opts.PoolPages)
+	s.cat = relational.BuildCatalog(s.table, s.dict, s.schema, inf, s.pool)
+	s.idx = triples.BuildAll(s.table)
+	s.organized = true
+	s.literalsOrdered = !s.opts.Cluster.KeepLiteralOrder
+	s.idxDirty = false
+	s.irrDirty = false
+	s.rebuildCtxLocked()
+
+	rep.RawCSs = s.schema.RawCSCount
+	rep.CSs = len(s.schema.CSs)
+	st := s.cat.Stats()
+	rep.Tables = st.Tables
+	rep.LinkTables = st.LinkTables
+	rep.FKs = len(s.schema.FKs)
+	rep.Coverage = s.schema.Coverage
+	rep.IrregularTriples = st.IrregularTriples
+	return rep, nil
+}
+
+// workloadSortKeysLocked derives per-table sort keys from the observed
+// workload: for each retained CS, the most-filtered predicate among its
+// properties wins. Explicit user keys take precedence; tables without a
+// workload signal fall back to AutoSortKey.
+func (s *Store) workloadSortKeysLocked(explicit map[string]string) map[string]string {
+	if len(s.workload) == 0 {
+		return explicit
+	}
+	out := make(map[string]string, len(explicit))
+	for k, v := range explicit {
+		out[k] = v
+	}
+	for _, c := range s.schema.CSs {
+		if !c.Retained {
+			continue
+		}
+		if _, ok := out[c.Name]; ok {
+			continue
+		}
+		best, bestN := "", 0
+		for i := range c.Props {
+			tm, ok := s.dict.Term(c.Props[i].Pred)
+			if !ok {
+				continue
+			}
+			if n := s.workload[tm.Value]; n > bestN {
+				best, bestN = tm.Value, n
+			}
+		}
+		if best != "" {
+			out[c.Name] = best
+		}
+	}
+	return out
+}
+
+// recordWorkloadLocked folds one parsed query into the workload stats.
+func (s *Store) recordWorkloadLocked(q *sparql.Query) {
+	for _, iri := range plan.WorkloadRangePreds(q) {
+		s.workload[iri]++
+	}
+}
+
+func (s *Store) rebuildCtxLocked() {
+	s.ctx = &exec.Ctx{
+		Dict: s.dict,
+		Idx:  s.idx,
+		Cat:  s.cat,
+		Pool: s.pool,
+	}
+	s.ctx.TrackProjections(s.idx)
+	if s.cat != nil {
+		s.ctx.TrackProjections(s.cat.IrregularIdx)
+	}
+}
+
+// refreshLocked rebuilds dirty indexes before a query.
+func (s *Store) refreshLocked() {
+	if s.idx == nil || s.idxDirty {
+		s.idx = triples.BuildAll(s.table)
+		s.idxDirty = false
+		s.rebuildCtxLocked()
+	}
+	if s.irrDirty && s.cat != nil {
+		s.cat.IrregularIdx = triples.BuildAll(s.cat.Irregular)
+		s.irrDirty = false
+		s.rebuildCtxLocked()
+	}
+}
+
+func (s *Store) view() *plan.StoreView {
+	return &plan.StoreView{
+		Dict:            s.dict,
+		Idx:             s.idx,
+		Schema:          s.schema,
+		Cat:             s.cat,
+		Organized:       s.organized,
+		LiteralsOrdered: s.literalsOrdered,
+	}
+}
+
+// Query parses, plans and executes a SPARQL query.
+func (s *Store) Query(src string, qopts QueryOptions) (*exec.Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recordWorkloadLocked(q)
+	s.refreshLocked()
+	p, err := plan.Build(q, s.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(s.ctx)
+}
+
+// Explain returns the plan tree for a query without executing it.
+func (s *Store) Explain(src string, qopts QueryOptions) (string, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	p, err := plan.Build(q, s.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// SQLSchema renders the emergent relational schema as DDL — the SQL view
+// of the regular part of the data.
+func (s *Store) SQLSchema() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cat == nil {
+		return "-- store not organized yet; call Organize()\n"
+	}
+	return s.cat.DDL(s.dict)
+}
+
+// Stats summarizes the store.
+type Stats struct {
+	Triples   int
+	Resources int
+	Literals  int
+	Organized bool
+	Tables    int
+	Irregular int
+	Coverage  float64
+	Pool      colstore.PoolStats
+}
+
+// Stats returns store-level counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Triples:   s.table.Len(),
+		Resources: s.dict.NumResources(),
+		Literals:  s.dict.NumLiterals(),
+		Organized: s.organized,
+		Pool:      s.pool.Stats(),
+	}
+	if s.cat != nil {
+		cst := s.cat.Stats()
+		st.Tables = cst.Tables
+		st.Irregular = cst.IrregularTriples
+	}
+	if s.schema != nil {
+		st.Coverage = s.schema.Coverage
+	}
+	return st
+}

@@ -1,0 +1,519 @@
+package cs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"srdf/internal/dict"
+	"srdf/internal/nt"
+	"srdf/internal/triples"
+)
+
+// loadTurtle parses Turtle source into a dictionary-encoded triple table.
+func loadTurtle(t *testing.T, src string) (*triples.Table, *dict.Dictionary) {
+	t.Helper()
+	ts, err := nt.ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("turtle: %v", err)
+	}
+	d := dict.New()
+	tb := triples.NewTable(len(ts))
+	for _, tr := range ts {
+		tb.Append(d.Intern(tr.S), d.Intern(tr.P), d.Intern(tr.O))
+	}
+	return tb, d
+}
+
+// dblpSrc is the paper's Figure 2 example graph: a DBLP-like dataset
+// with inproceedings, conferences, a foreign key between them, and
+// irregular triples (webpage noise, a stray property).
+const dblpSrc = `
+@prefix ex: <http://dblp.example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:inproc1 a ex:inproceeding ; ex:creator ex:author3 , ex:author4 ; ex:title "AAA" ; ex:partOf ex:conf1 .
+ex:inproc2 a ex:inproceeding ; ex:creator ex:author2 ; ex:title "BBB" ; ex:partOf ex:conf1 .
+ex:inproc3 a ex:inproceeding ; ex:creator ex:author3 ; ex:title "CCC" ; ex:partOf ex:conf2 .
+
+ex:conf1 a ex:Conference ; ex:title "conference1" ; ex:issued "2010"^^xsd:integer .
+ex:conf2 a ex:Proceedings ; ex:title "conference2" ; ex:issued "2011"^^xsd:integer .
+
+# irregularity: a webpage with a different structure
+ex:webpage1 ex:url "index.php" .
+ex:conf2 ex:seeAlso ex:webpage1 .
+`
+
+func discover(t *testing.T, src string, mod func(*Options)) (*Schema, *triples.Table, *dict.Dictionary) {
+	t.Helper()
+	tb, d := loadTurtle(t, src)
+	opts := DefaultOptions()
+	opts.MinSupport = 2
+	if mod != nil {
+		mod(&opts)
+	}
+	return Discover(tb, d, opts), tb, d
+}
+
+func TestDBLPFigure2(t *testing.T) {
+	// MinSupport 3: the conference CS (direct support 2) is retained via
+	// the incoming-link rescue (3 partOf references), while the webpage
+	// CS (support 1 + 1 incoming ref) stays irregular.
+	s, _, d := discover(t, dblpSrc, func(o *Options) { o.MinSupport = 3 })
+	ret := s.Retained()
+	if len(ret) != 2 {
+		t.Fatalf("retained %d CS, want 2 (inproceedings, conferences): %v", len(ret), s)
+	}
+	inproc := s.ByName("inproceeding")
+	if inproc == nil {
+		t.Fatalf("no table named from rdf:type 'inproceeding'; have %v, %v", ret[0].Name, ret[1].Name)
+	}
+	if inproc.Support != 3 {
+		t.Errorf("inproceeding support = %d, want 3", inproc.Support)
+	}
+	// conference CS: the two conference subjects have identical property
+	// sets {type,title,issued} so they form one CS even though their
+	// rdf:type objects differ.
+	var conf *CS
+	for _, c := range ret {
+		if c != inproc {
+			conf = c
+		}
+	}
+	if conf.Support != 2 {
+		t.Errorf("conference support = %d, want 2", conf.Support)
+	}
+	// FK inproc.partOf -> conf
+	fks := s.FKsFrom(inproc.ID)
+	found := false
+	for _, fk := range fks {
+		if fk.To == conf.ID {
+			found = true
+			tm, _ := d.Term(fk.Pred)
+			if dict.LocalName(tm.Value) != "partOf" {
+				t.Errorf("FK pred = %v, want partOf", tm.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing FK inproceeding.partOf -> conference")
+	}
+	// webpage1 is irregular
+	wp, _ := d.Lookup(dict.IRI("http://dblp.example.org/webpage1"))
+	if _, ok := s.SubjectCS[wp]; ok {
+		t.Error("webpage1 must be irregular (support 1)")
+	}
+	if s.IrregularTriples == 0 {
+		t.Error("expected some irregular triples")
+	}
+	if s.Coverage < 0.8 {
+		t.Errorf("coverage = %v, want > 0.8", s.Coverage)
+	}
+}
+
+func TestGeneralizationMergesSubset(t *testing.T) {
+	// 20 subjects with {a,b,c}, 4 with {a,b}: one CS, c nullable.
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "e:s%d e:a 1 ; e:b 2 ; e:c 3 .\n", i)
+	}
+	for i := 20; i < 24; i++ {
+		fmt.Fprintf(&b, "e:s%d e:a 1 ; e:b 2 .\n", i)
+	}
+	s, _, _ := discover(t, b.String(), nil)
+	if s.RawCSCount != 2 {
+		t.Fatalf("raw CS count = %d, want 2", s.RawCSCount)
+	}
+	ret := s.Retained()
+	if len(ret) != 1 {
+		t.Fatalf("retained = %d, want 1 after generalization", len(ret))
+	}
+	c := ret[0]
+	if c.Support != 24 {
+		t.Errorf("support = %d, want 24", c.Support)
+	}
+	var nullable int
+	for i := range c.Props {
+		if c.Props[i].Nullable {
+			nullable++
+			if c.Props[i].NonNull != 20 {
+				t.Errorf("nullable prop NonNull = %d, want 20", c.Props[i].NonNull)
+			}
+		}
+	}
+	if nullable != 1 {
+		t.Errorf("nullable props = %d, want 1 (the c column)", nullable)
+	}
+}
+
+func TestGeneralizationDropsNoiseProps(t *testing.T) {
+	// 40 subjects {a,b}; 2 subjects {a,b,z}: z is below the minority
+	// fraction and must be dropped, its triples staying irregular.
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "e:s%d e:a 1 ; e:b 2 .\n", i)
+	}
+	fmt.Fprintf(&b, "e:x1 e:a 1 ; e:b 2 ; e:z 9 .\n")
+	fmt.Fprintf(&b, "e:x2 e:a 1 ; e:b 2 ; e:z 9 .\n")
+	s, _, _ := discover(t, b.String(), nil)
+	ret := s.Retained()
+	if len(ret) != 1 {
+		t.Fatalf("retained = %d, want 1", len(ret))
+	}
+	if got := len(ret[0].Props); got != 2 {
+		t.Errorf("props = %d, want 2 (z dropped)", got)
+	}
+	if s.IrregularTriples != 2 {
+		t.Errorf("irregular triples = %d, want 2 (the z values)", s.IrregularTriples)
+	}
+	if ret[0].Support != 42 {
+		t.Errorf("support = %d, want 42 (subjects still members)", ret[0].Support)
+	}
+}
+
+func TestTypedPropertySplit(t *testing.T) {
+	// One property set {v}, but half the subjects have integer values
+	// and half have strings: two CS variants expected.
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "e:num%d e:v %d ; e:w 1 .\n", i, i)
+	}
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "e:str%d e:v \"text%d\" ; e:w 1 .\n", i, i)
+	}
+	s, _, _ := discover(t, b.String(), nil)
+	if s.RawCSCount != 1 {
+		t.Fatalf("raw CS = %d, want 1", s.RawCSCount)
+	}
+	ret := s.Retained()
+	if len(ret) != 2 {
+		t.Fatalf("retained = %d, want 2 type variants", len(ret))
+	}
+	kinds := map[dict.ValueKind]bool{}
+	for _, c := range ret {
+		if c.Support != 10 {
+			t.Errorf("variant support = %d, want 10", c.Support)
+		}
+		for i := range c.Props {
+			if c.Props[i].Name == "v" {
+				kinds[c.Props[i].Kind] = true
+			}
+		}
+	}
+	if !kinds[dict.VInt] || !kinds[dict.VString] {
+		t.Errorf("variant kinds = %v, want int and string", kinds)
+	}
+}
+
+func TestTypeSplitDisabled(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "e:num%d e:v %d .\n", i, i)
+	}
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "e:str%d e:v \"t%d\" .\n", i, i)
+	}
+	s, _, _ := discover(t, b.String(), func(o *Options) { o.TypeSplit = false })
+	if len(s.Retained()) != 1 {
+		t.Errorf("retained = %d, want 1 with TypeSplit off", len(s.Retained()))
+	}
+}
+
+func TestMultiValuedSplitOff(t *testing.T) {
+	// Each subject has 4 authors: avg multiplicity 4 > 2 -> split off.
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, "e:p%d e:title \"t%d\" ; e:author e:a1 , e:a2 , e:a3 , e:a4 .\n", i, i)
+	}
+	s, _, _ := discover(t, b.String(), nil)
+	ret := s.Retained()
+	if len(ret) != 1 {
+		t.Fatalf("retained = %d, want 1", len(ret))
+	}
+	var author *PropStat
+	for i := range ret[0].Props {
+		if ret[0].Props[i].Name == "author" {
+			author = &ret[0].Props[i]
+		}
+	}
+	if author == nil {
+		t.Fatal("author property missing")
+	}
+	if !author.SplitOff {
+		t.Errorf("author avg multiplicity %.1f should be split off", author.AvgMultiplicity())
+	}
+	if s.Coverage < 0.99 {
+		t.Errorf("coverage = %v; split-off values should all be covered", s.Coverage)
+	}
+}
+
+func TestRescueReferencedSmallCS(t *testing.T) {
+	// One country subject referenced by 30 persons: country has support
+	// 1 < MinSupport but must be rescued by incoming links.
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	b.WriteString("e:nl e:name \"NL\" ; e:capital \"Amsterdam\" .\n")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b, "e:person%d e:livesIn e:nl ; e:age %d .\n", i, 20+i)
+	}
+	s, _, _ := discover(t, b.String(), func(o *Options) { o.MinSupport = 3 })
+	ret := s.Retained()
+	if len(ret) != 2 {
+		t.Fatalf("retained = %d, want 2 (persons + rescued country)", len(ret))
+	}
+	var country *CS
+	for _, c := range ret {
+		if c.Support == 1 {
+			country = c
+		}
+	}
+	if country == nil {
+		t.Fatal("country CS not rescued")
+	}
+	if country.InRefs != 30 {
+		t.Errorf("InRefs = %d, want 30", country.InRefs)
+	}
+	// and without rescue it is dropped
+	s2, _, _ := discover(t, b.String(), func(o *Options) { o.MinSupport = 3; o.RescueReferenced = false })
+	if len(s2.Retained()) != 1 {
+		t.Errorf("without rescue retained = %d, want 1", len(s2.Retained()))
+	}
+}
+
+func TestOneToOneBlankMerge(t *testing.T) {
+	// Every person has a blank address node 1-1: address CS is absorbed.
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "e:p%d e:name \"n%d\" ; e:addr _:a%d .\n", i, i, i)
+		fmt.Fprintf(&b, "_:a%d e:street \"s%d\" ; e:city \"c%d\" .\n", i, i, i)
+	}
+	s, _, _ := discover(t, b.String(), nil)
+	var persons, addrs *CS
+	for _, c := range s.CSs {
+		if !c.Retained {
+			continue
+		}
+		if c.Prop1Name("name") {
+			persons = c
+		}
+		if c.Prop1Name("street") {
+			addrs = c
+		}
+	}
+	if persons == nil || addrs == nil {
+		t.Fatalf("missing CS: persons=%v addrs=%v", persons, addrs)
+	}
+	if addrs.AbsorbedInto != persons.ID {
+		t.Errorf("address CS not absorbed into persons (AbsorbedInto=%d, want %d)", addrs.AbsorbedInto, persons.ID)
+	}
+	oneToOne := false
+	for _, fk := range s.FKs {
+		if fk.From == persons.ID && fk.To == addrs.ID && fk.OneToOne {
+			oneToOne = true
+		}
+	}
+	if !oneToOne {
+		t.Error("FK persons->address should be marked OneToOne")
+	}
+	// absorbed CS's are not listed as tables
+	for _, c := range s.Retained() {
+		if c == addrs {
+			t.Error("absorbed CS must not appear in Retained()")
+		}
+	}
+}
+
+// Prop1Name is a test helper: does the CS have a property named n?
+func (c *CS) Prop1Name(n string) bool {
+	for i := range c.Props {
+		if c.Props[i].Name == n {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFKRequiresDominantTarget(t *testing.T) {
+	// Property "rel" points half to CS A subjects, half to CS B: no FK.
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, "e:a%d e:x 1 .\n", i)
+		fmt.Fprintf(&b, "e:b%d e:y 2 .\n", i)
+	}
+	for i := 0; i < 6; i++ {
+		tgt := "a"
+		if i%2 == 0 {
+			tgt = "b"
+		}
+		fmt.Fprintf(&b, "e:c%d e:rel e:%s%d ; e:z 3 .\n", i, tgt, i)
+	}
+	s, _, _ := discover(t, b.String(), nil)
+	for _, fk := range s.FKs {
+		if fk.Name == "rel" {
+			t.Errorf("rel must not be an FK (50/50 targets): %+v", fk)
+		}
+	}
+}
+
+func TestNamingFromTypeAndDedup(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("@prefix e: <http://e/> .\n")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "e:x%d a e:Widget ; e:size %d .\n", i, i)
+	}
+	for i := 0; i < 4; i++ {
+		// same type but disjoint prop set -> second CS, name deduped
+		fmt.Fprintf(&b, "e:y%d a e:Widget ; e:color \"c%d\" ; e:weight %d .\n", i, i, i)
+	}
+	s, _, _ := discover(t, b.String(), func(o *Options) { o.SimilarityMerge = 0.99 })
+	ret := s.Retained()
+	if len(ret) != 2 {
+		t.Fatalf("retained = %d, want 2", len(ret))
+	}
+	names := map[string]bool{}
+	for _, c := range ret {
+		if names[c.Name] {
+			t.Errorf("duplicate table name %q", c.Name)
+		}
+		names[c.Name] = true
+		if !strings.HasPrefix(c.Name, "widget") {
+			t.Errorf("name %q should derive from rdf:type Widget", c.Name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, _, _ := discover(t, dblpSrc, func(o *Options) { o.MinSupport = 3 })
+	// keyword "creator" selects the inproceedings CS; FK closure pulls
+	// in the conference CS.
+	sum := s.Summarize(SummaryOptions{Keywords: []string{"creator"}, FollowFKs: true})
+	if len(sum.CSs) != 2 {
+		t.Fatalf("summary CSs = %d, want 2 via FK closure", len(sum.CSs))
+	}
+	if len(sum.FKs) == 0 {
+		t.Error("summary should keep the connecting FK")
+	}
+	// without closure only the matching CS remains
+	sum2 := s.Summarize(SummaryOptions{Keywords: []string{"creator"}})
+	if len(sum2.CSs) != 1 {
+		t.Errorf("summary CSs = %d, want 1 without closure", len(sum2.CSs))
+	}
+	// support threshold
+	sum3 := s.Summarize(SummaryOptions{MinSupport: 3})
+	if len(sum3.CSs) != 1 {
+		t.Errorf("summary CSs = %d, want 1 (support>=3)", len(sum3.CSs))
+	}
+}
+
+func TestMatchSubjectAndCovering(t *testing.T) {
+	s, _, d := discover(t, dblpSrc, func(o *Options) { o.MinSupport = 3 })
+	title, _ := d.Lookup(dict.IRI("http://dblp.example.org/title"))
+	partOf, _ := d.Lookup(dict.IRI("http://dblp.example.org/partOf"))
+	issued, _ := d.Lookup(dict.IRI("http://dblp.example.org/issued"))
+
+	// {title} is in both CS's
+	if got := len(s.Covering([]dict.OID{title})); got != 2 {
+		t.Errorf("Covering(title) = %d CS, want 2", got)
+	}
+	// {title, partOf} only in inproceedings
+	cov := s.Covering([]dict.OID{title, partOf})
+	if len(cov) != 1 || cov[0].Name != "inproceeding" {
+		t.Errorf("Covering(title,partOf) = %v", cov)
+	}
+	// MatchSubject picks the tighter CS
+	m := s.MatchSubject([]dict.OID{title, issued})
+	if m == nil || m.Name == "inproceeding" {
+		t.Errorf("MatchSubject(title,issued) = %v, want conference CS", m)
+	}
+	if s.MatchSubject([]dict.OID{dict.ResourceOID(99999)}) != nil {
+		t.Error("MatchSubject of unknown pred must be nil")
+	}
+}
+
+func TestDisjointMembership(t *testing.T) {
+	// Property: every subject belongs to at most one CS; CS subject
+	// lists are disjoint and sorted.
+	s, tb, _ := discover(t, dblpSrc, nil)
+	seen := map[dict.OID]int{}
+	for _, c := range s.CSs {
+		for i, subj := range c.Subjects {
+			if i > 0 && c.Subjects[i-1] >= subj {
+				t.Fatalf("CS %d subjects not sorted/unique", c.ID)
+			}
+			if prev, dup := seen[subj]; dup {
+				t.Fatalf("subject %v in CS %d and %d", subj, prev, c.ID)
+			}
+			seen[subj] = c.ID
+		}
+	}
+	// every triple subject is somewhere (as CS member or irregular)
+	for i := 0; i < tb.Len(); i++ {
+		if _, ok := seen[tb.S[i]]; !ok {
+			t.Fatalf("subject %v missing from all CSs", tb.S[i])
+		}
+	}
+}
+
+func TestRandomizedInvariants(t *testing.T) {
+	// Generate random structured data and check global invariants:
+	// coverage in [0,1], retained supports >= tally threshold,
+	// irregular + covered == total.
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		b.WriteString("@prefix e: <http://e/> .\n")
+		nClasses := 2 + rng.Intn(4)
+		for s := 0; s < 150; s++ {
+			cls := rng.Intn(nClasses)
+			fmt.Fprintf(&b, "e:s%d e:k%d_a %d ", s, cls, rng.Intn(100))
+			if rng.Intn(10) > 0 { // occasionally missing prop
+				fmt.Fprintf(&b, "; e:k%d_b \"v%d\" ", cls, rng.Intn(50))
+			}
+			if rng.Intn(20) == 0 { // rare noise prop
+				fmt.Fprintf(&b, "; e:noise%d %d ", rng.Intn(30), rng.Intn(5))
+			}
+			b.WriteString(".\n")
+		}
+		s, tb, _ := discover(t, b.String(), func(o *Options) { o.MinSupport = 5 })
+		if s.Coverage < 0 || s.Coverage > 1 {
+			t.Fatalf("seed %d: coverage %v out of range", seed, s.Coverage)
+		}
+		covered := 0
+		for _, c := range s.CSs {
+			if !c.Retained {
+				continue
+			}
+			for i := range c.Props {
+				if c.Props[i].SplitOff {
+					covered += c.Props[i].ValueCount
+				} else {
+					covered += c.Props[i].NonNull
+				}
+			}
+			if c.Support+c.InRefs < 5 {
+				t.Fatalf("seed %d: retained CS below tally threshold", seed)
+			}
+		}
+		if covered+s.IrregularTriples != tb.Len() {
+			t.Fatalf("seed %d: covered %d + irregular %d != total %d",
+				seed, covered, s.IrregularTriples, tb.Len())
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	tb := triples.NewTable(0)
+	d := dict.New()
+	s := Discover(tb, d, DefaultOptions())
+	if len(s.CSs) != 0 || s.Coverage != 0 {
+		t.Errorf("empty input: %v", s)
+	}
+}

@@ -1,0 +1,118 @@
+package cs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"srdf/internal/dict"
+)
+
+// name assigns human-readable table and column names (research question
+// ii: schema "with shapes and names that can be easily understood").
+// Table names come from the dominant rdf:type object when one exists,
+// otherwise from the most characteristic property names; column names
+// are predicate local names. All names are lower-cased SQL identifiers,
+// deduplicated with numeric suffixes.
+func (b *builder) name(s *Schema) {
+	used := make(map[string]bool)
+	for _, c := range s.CSs {
+		if !c.Retained {
+			continue
+		}
+		base := b.tableBaseName(c)
+		name := base
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s%d", base, i)
+		}
+		used[name] = true
+		c.Name = name
+
+		colUsed := map[string]bool{"id": true}
+		for i := range c.Props {
+			ps := &c.Props[i]
+			col := sqlIdent(b.predLocal(ps.Pred))
+			cand := col
+			for j := 2; colUsed[cand]; j++ {
+				cand = fmt.Sprintf("%s%d", col, j)
+			}
+			colUsed[cand] = true
+			ps.Name = cand
+		}
+	}
+	for i := range s.FKs {
+		fk := &s.FKs[i]
+		if s.CSs[fk.From].Retained {
+			if ps := s.CSs[fk.From].Prop(fk.Pred); ps != nil {
+				fk.Name = ps.Name
+			}
+		}
+		if fk.Name == "" {
+			fk.Name = sqlIdent(b.predLocal(fk.Pred))
+		}
+	}
+}
+
+func (b *builder) predLocal(p dict.OID) string {
+	t, ok := b.d.Term(p)
+	if !ok {
+		return fmt.Sprintf("p%d", p.Payload())
+	}
+	return dict.LocalName(t.Value)
+}
+
+func (b *builder) tableBaseName(c *CS) string {
+	if c.TypeObj != dict.Nil {
+		if t, ok := b.d.Term(c.TypeObj); ok {
+			return sqlIdent(dict.LocalName(t.Value))
+		}
+	}
+	// Most characteristic properties: highest non-null count, skipping
+	// rdf:type itself; join the top two.
+	type cand struct {
+		name string
+		n    int
+	}
+	var cands []cand
+	for i := range c.Props {
+		ps := &c.Props[i]
+		if ps.Pred == b.typePred {
+			continue
+		}
+		cands = append(cands, cand{sqlIdent(b.predLocal(ps.Pred)), ps.NonNull})
+	}
+	if len(cands) == 0 {
+		return fmt.Sprintf("cs%d", c.ID)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) == 1 {
+		return cands[0].name
+	}
+	return cands[0].name + "_" + cands[1].name
+}
+
+// sqlIdent lowercases and sanitizes a string into a SQL identifier.
+func sqlIdent(s string) string {
+	var bld strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_':
+			bld.WriteRune(r)
+		case r == '-' || r == ' ' || r == '.':
+			bld.WriteByte('_')
+		}
+	}
+	out := bld.String()
+	if out == "" {
+		return "x"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "c" + out
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+package cs
+
+import (
+	"sort"
+
+	"srdf/internal/dict"
+)
+
+// typeSplit implements "Typed Properties": within one generalized CS,
+// subjects whose property values have different type combinations are
+// split into per-type-vector variants, provided each variant keeps
+// enough support. The paper: "we will create a separate CS variant for
+// each different combination of types; the advantage being in faster
+// processing of each CS variant, as the types of the columns are known
+// and homogeneous."
+func (b *builder) typeSplit(clusters []*cluster) []*cluster {
+	// Subject -> cluster index for the SPO passes.
+	subj2c := make(map[dict.OID]int)
+	eligible := make([]bool, len(clusters))
+	for i, c := range clusters {
+		if c.support() >= 2*b.opts.MinSupport && len(c.props) > 0 {
+			eligible[i] = true
+			for _, s := range c.subjects {
+				subj2c[s] = i
+			}
+		}
+	}
+
+	// Pass 1: find discriminating properties. A property discriminates
+	// its cluster when at least two value classes each have MinSupport
+	// subjects. Absence (a NULL in a generalized 0..1 attribute) never
+	// discriminates — otherwise type splitting would undo
+	// generalization.
+	type propKey struct {
+		cluster int
+		pred    dict.OID
+	}
+	classCounts := make(map[propKey]map[dict.ValueKind]int)
+	b.forEachSubject(func(s dict.OID, sp *subjectProps) {
+		ci, ok := subj2c[s]
+		if !ok || !eligible[ci] {
+			return
+		}
+		owner := clusters[ci]
+		for i, p := range sp.preds {
+			if _, kept := owner.props[p]; !kept {
+				continue
+			}
+			k := propKey{ci, p}
+			m := classCounts[k]
+			if m == nil {
+				m = make(map[dict.ValueKind]int)
+				classCounts[k] = m
+			}
+			m[sp.classes[i]]++
+		}
+	})
+	discriminating := make(map[propKey]bool)
+	for k, m := range classCounts {
+		strong := 0
+		for _, n := range m {
+			if n >= b.opts.MinSupport {
+				strong++
+			}
+		}
+		if strong >= 2 {
+			discriminating[k] = true
+		}
+	}
+
+	// Pass 2: bucket subjects by their class vector over discriminating
+	// properties only.
+	type bucketKey struct {
+		cluster int
+		sig     uint64
+	}
+	buckets := make(map[bucketKey]*cluster)
+	order := make([]bucketKey, 0)
+	b.forEachSubject(func(s dict.OID, sp *subjectProps) {
+		ci, ok := subj2c[s]
+		if !ok || !eligible[ci] {
+			return
+		}
+		sig := uint64(1469598103934665603) // FNV offset
+		for i, p := range sp.preds {
+			if !discriminating[propKey{ci, p}] {
+				continue
+			}
+			sig ^= uint64(p)
+			sig *= 1099511628211
+			sig ^= uint64(sp.classes[i])
+			sig *= 1099511628211
+		}
+		k := bucketKey{ci, sig}
+		bc, ok := buckets[k]
+		if !ok {
+			bc = newCluster()
+			buckets[k] = bc
+			order = append(order, k)
+		}
+		bc.subjects = append(bc.subjects, s)
+		b.accumulate(bc, s, sp)
+	})
+
+	// Group buckets per cluster and decide.
+	perCluster := make(map[int][]bucketKey)
+	for _, k := range order {
+		perCluster[k.cluster] = append(perCluster[k.cluster], k)
+	}
+	var out []*cluster
+	for i, c := range clusters {
+		ks := perCluster[i]
+		if !eligible[i] || len(ks) < 2 || len(ks) > b.opts.MaxTypeVariants {
+			out = append(out, c)
+			continue
+		}
+		ok := true
+		for _, k := range ks {
+			if buckets[k].support() < b.opts.MinSupport {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			out = append(out, c)
+			continue
+		}
+		for _, k := range ks {
+			v := buckets[k]
+			v.mergedFrom = c.mergedFrom
+			// Variants inherit only the parent's retained property set;
+			// properties the generalization step dropped as noise must
+			// not resurface in a variant.
+			for p := range v.props {
+				if _, kept := c.props[p]; !kept {
+					delete(v.props, p)
+				}
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// finalize turns clusters into the public Schema: retention with the
+// incoming-link rescue tally, FK discovery, fine-tuning, naming, and
+// coverage accounting.
+func (b *builder) finalize(s *Schema, clusters []*cluster) {
+	// Deterministic order: support desc, fingerprint asc.
+	sort.SliceStable(clusters, func(i, j int) bool {
+		if clusters[i].support() != clusters[j].support() {
+			return clusters[i].support() > clusters[j].support()
+		}
+		return fingerprint(clusters[i].sortedPreds()) < fingerprint(clusters[j].sortedPreds())
+	})
+	// Materialize CS structs.
+	all2c := make(map[dict.OID]int, len(clusters)) // subject -> candidate CS
+	for i, c := range clusters {
+		sort.Slice(c.subjects, func(x, y int) bool { return c.subjects[x] < c.subjects[y] })
+		cc := &CS{ID: i, Support: c.support(), Subjects: c.subjects, AbsorbedInto: -1, MergedFrom: c.mergedFrom}
+		for _, p := range c.sortedPreds() {
+			cc.Props = append(cc.Props, *c.props[p])
+		}
+		cc.TypeObj = dominantType(c)
+		s.CSs = append(s.CSs, cc)
+		for _, subj := range c.subjects {
+			all2c[subj] = i
+		}
+	}
+
+	// Incoming-link rescue tally: count resource objects that are
+	// subjects of some CS.
+	if b.opts.RescueReferenced {
+		for i := 0; i < b.tb.Len(); i++ {
+			o := b.tb.O[i]
+			if !o.IsResource() {
+				continue
+			}
+			if ci, ok := all2c[o]; ok {
+				s.CSs[ci].InRefs++
+			}
+		}
+	}
+
+	// Retention.
+	s.SubjectCS = make(map[dict.OID]int)
+	for _, c := range s.CSs {
+		if len(c.Props) == 0 {
+			continue
+		}
+		if c.Support+c.InRefs >= b.opts.MinSupport {
+			c.Retained = true
+			for _, subj := range c.Subjects {
+				s.SubjectCS[subj] = c.ID
+			}
+		}
+	}
+
+	b.discoverFKs(s)
+	b.fineTune(s)
+	b.name(s)
+	b.coverage(s)
+}
+
+func dominantType(c *cluster) dict.OID {
+	var best dict.OID
+	bestN := 0
+	total := 0
+	for o, n := range c.typeHist {
+		total += n
+		if n > bestN || (n == bestN && o < best) {
+			best, bestN = o, n
+		}
+	}
+	if total == 0 || float64(bestN) < 0.8*float64(total) {
+		return dict.Nil
+	}
+	return best
+}
+
+// discoverFKs finds foreign keys between retained CS's: a property is a
+// FK when at least RefFrac of its resource objects are subjects of one
+// single target CS.
+func (b *builder) discoverFKs(s *Schema) {
+	type key struct {
+		from int
+		pred dict.OID
+	}
+	counts := make(map[key]map[int]int)
+	dupTargets := make(map[key]bool)
+	seen := make(map[key]map[dict.OID]bool)
+
+	for i := 0; i < b.tb.Len(); i++ {
+		subj, pred, obj := b.tb.S[i], b.tb.P[i], b.tb.O[i]
+		if !obj.IsResource() {
+			continue
+		}
+		fromID, ok := s.SubjectCS[subj]
+		if !ok {
+			continue
+		}
+		if s.CSs[fromID].Prop(pred) == nil {
+			continue
+		}
+		toID, ok := s.SubjectCS[obj]
+		if !ok {
+			continue
+		}
+		k := key{fromID, pred}
+		m := counts[k]
+		if m == nil {
+			m = make(map[int]int)
+			counts[k] = m
+			seen[k] = make(map[dict.OID]bool)
+		}
+		m[toID]++
+		if seen[k][obj] {
+			dupTargets[k] = true
+		} else {
+			seen[k][obj] = true
+		}
+	}
+
+	for k, m := range counts {
+		from := s.CSs[k.from]
+		ps := from.Prop(k.pred)
+		refObjs := ps.TypeHist[RefKind]
+		bestTo, bestN := -1, 0
+		for to, n := range m {
+			if n > bestN || (n == bestN && to < bestTo) {
+				bestTo, bestN = to, n
+			}
+		}
+		if bestTo < 0 || float64(bestN) < b.opts.RefFrac*float64(refObjs) {
+			continue
+		}
+		ps.FKTarget = bestTo
+		to := s.CSs[bestTo]
+		fk := FK{From: k.from, To: bestTo, Pred: k.pred, Count: bestN}
+		if !dupTargets[k] && ps.NonNull == from.Support && bestN == from.Support && to.Support == from.Support {
+			fk.OneToOne = true
+		}
+		s.FKs = append(s.FKs, fk)
+	}
+	sort.Slice(s.FKs, func(i, j int) bool {
+		if s.FKs[i].From != s.FKs[j].From {
+			return s.FKs[i].From < s.FKs[j].From
+		}
+		return s.FKs[i].Pred < s.FKs[j].Pred
+	})
+}
+
+// fineTune applies the paper's schema fine-tuning: multi-valued
+// attributes split off into link tables; 1-1 linked CS's over blank
+// nodes are unified into their referrer.
+func (b *builder) fineTune(s *Schema) {
+	for _, c := range s.CSs {
+		if !c.Retained {
+			continue
+		}
+		for i := range c.Props {
+			ps := &c.Props[i]
+			ps.Nullable = ps.NonNull < c.Support
+			ps.Kind = dominantKind(ps)
+			if ps.AvgMultiplicity() > b.opts.MultiValuedAvg {
+				ps.SplitOff = true
+			}
+		}
+	}
+	if !b.opts.Merge11 {
+		return
+	}
+	for i := range s.FKs {
+		fk := &s.FKs[i]
+		if !fk.OneToOne {
+			continue
+		}
+		to := s.CSs[fk.To]
+		if to.AbsorbedInto >= 0 || fk.From == fk.To {
+			continue
+		}
+		// Only absorb when every other reference into `to` is absent and
+		// its subjects are blank nodes (structural helpers, not
+		// identities worth a table of their own).
+		if to.InRefs != fk.Count || !b.allBlank(to) {
+			continue
+		}
+		to.AbsorbedInto = fk.From
+	}
+}
+
+func (b *builder) allBlank(c *CS) bool {
+	for _, subj := range c.Subjects {
+		t, ok := b.d.Term(subj)
+		if !ok || t.Kind != dict.KindBlank {
+			return false
+		}
+	}
+	return true
+}
+
+func dominantKind(ps *PropStat) dict.ValueKind {
+	var best dict.ValueKind
+	bestN := -1
+	for k, n := range ps.TypeHist {
+		if n > bestN || (n == bestN && k < best) {
+			best, bestN = k, n
+		}
+	}
+	if bestN <= 0 {
+		return dict.VString
+	}
+	return best
+}
+
+// coverage computes how many triples the emergent tables answer: each
+// non-split-off property stores one value per non-null subject; split-off
+// link tables store every value.
+func (b *builder) coverage(s *Schema) {
+	covered := 0
+	for _, c := range s.CSs {
+		if !c.Retained {
+			continue
+		}
+		for i := range c.Props {
+			ps := &c.Props[i]
+			if ps.SplitOff {
+				covered += ps.ValueCount
+			} else {
+				covered += ps.NonNull
+			}
+		}
+	}
+	s.IrregularTriples = s.TotalTriples - covered
+	if s.TotalTriples > 0 {
+		s.Coverage = float64(covered) / float64(s.TotalTriples)
+	}
+}
+
+// MatchSubject returns the retained CS that covers every predicate in
+// preds with the fewest extra properties, or nil. Used to route
+// trickle-loaded subjects and to match query stars to tables.
+func (s *Schema) MatchSubject(preds []dict.OID) *CS {
+	var best *CS
+	for _, c := range s.CSs {
+		if !c.Retained || c.AbsorbedInto >= 0 || !c.HasProps(preds) {
+			continue
+		}
+		if best == nil || len(c.Props) < len(best.Props) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Covering returns every retained CS that contains all preds, in ID
+// order. A star query over preds must scan each of them.
+func (s *Schema) Covering(preds []dict.OID) []*CS {
+	var out []*CS
+	for _, c := range s.CSs {
+		if c.Retained && c.AbsorbedInto < 0 && c.HasProps(preds) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package cs implements characteristic-set (CS) discovery: the emergent
+// relational schema of an RDF graph. A characteristic set is the set of
+// properties that co-occur on a subject (Neumann & Moerkotte, ICDE 2011);
+// the paper extends basic CS extraction with generalization (nullable
+// attributes), typed properties, foreign-key relationship discovery, and
+// schema fine-tuning (multi-valued split-off, 1-1 unification,
+// incoming-link support rescue), plus human-readable naming and
+// summarization (paper §II-A).
+package cs
+
+import (
+	"fmt"
+	"sort"
+
+	"srdf/internal/dict"
+)
+
+// Options tunes the discovery pipeline. The zero value is not useful;
+// start from DefaultOptions.
+type Options struct {
+	// MinSupport is the minimum number of subjects (after the
+	// incoming-link tally) for a CS to be retained as a table.
+	MinSupport int
+	// MinPropFrac is the "significant minority fraction": a property may
+	// be added to a CS as a NULLABLE (0..1) attribute only if at least
+	// this fraction of the merged subjects has an occurrence.
+	MinPropFrac float64
+	// SimilarityMerge is the Jaccard similarity of two property sets
+	// above which they are unified even when neither subsumes the other.
+	SimilarityMerge float64
+	// TypeSplit enables per-object-type CS variants ("Typed Properties").
+	TypeSplit bool
+	// MaxTypeVariants caps the number of variants a CS may split into.
+	MaxTypeVariants int
+	// RefFrac is the fraction of a property's resource objects that must
+	// fall in a single target CS for a foreign key to be declared.
+	RefFrac float64
+	// MultiValuedAvg: when a property averages more than this many values
+	// per subject it is split off into a separate link table; at or below
+	// it, the first value is kept in the column and overflow values stay
+	// in the irregular triple store.
+	MultiValuedAvg float64
+	// Merge11 unifies 1-1 linked CS's whose target subjects are blank
+	// nodes (the paper notes this "is often the case for blank nodes").
+	Merge11 bool
+	// RescueReferenced adds incoming foreign-key links to a CS's support
+	// tally, so small dimension-like CS's referenced by large ones are
+	// retained ("rather than looking at direct support, we add incoming
+	// links to the CS to the tally").
+	RescueReferenced bool
+}
+
+// DefaultOptions are sensible defaults for both clean and dirty data.
+func DefaultOptions() Options {
+	return Options{
+		MinSupport:       3,
+		MinPropFrac:      0.05,
+		SimilarityMerge:  0.85,
+		TypeSplit:        true,
+		MaxTypeVariants:  4,
+		RefFrac:          0.8,
+		MultiValuedAvg:   2.0,
+		Merge11:          true,
+		RescueReferenced: true,
+	}
+}
+
+// RefKind marks a property whose objects are resources.
+const RefKind dict.ValueKind = 200
+
+// PropStat describes one property of a CS.
+type PropStat struct {
+	Pred dict.OID
+	// Name is the SQL column name chosen during naming.
+	Name string
+	// NonNull is the number of member subjects with at least one value.
+	NonNull int
+	// ValueCount is the total number of triples with this predicate over
+	// member subjects.
+	ValueCount int
+	// MultiSubjects is the number of subjects with two or more values.
+	MultiSubjects int
+	// TypeHist counts literal objects per ValueKind; RefKind counts
+	// resource objects.
+	TypeHist map[dict.ValueKind]int
+	// Kind is the dominant value kind of the column (RefKind for
+	// reference columns).
+	Kind dict.ValueKind
+	// Nullable is true when NonNull < the CS support.
+	Nullable bool
+	// SplitOff is true when the property is multi-valued beyond
+	// MultiValuedAvg and is carved out into a link table.
+	SplitOff bool
+	// FKTarget is the CS index the property references, or -1.
+	FKTarget int
+}
+
+// AvgMultiplicity returns values per non-null subject.
+func (p *PropStat) AvgMultiplicity() float64 {
+	if p.NonNull == 0 {
+		return 0
+	}
+	return float64(p.ValueCount) / float64(p.NonNull)
+}
+
+// CS is one discovered characteristic set.
+type CS struct {
+	// ID indexes the CS inside its Schema.
+	ID int
+	// Name is the emergent SQL table name.
+	Name string
+	// Props are the CS's properties sorted by predicate OID.
+	Props []PropStat
+	// Subjects are the member subject OIDs (load-order OIDs).
+	Subjects []dict.OID
+	// Support is len(Subjects).
+	Support int
+	// InRefs is the number of incoming FK references counted during the
+	// rescue tally.
+	InRefs int
+	// Retained marks CS's that survive thresholds and become tables.
+	Retained bool
+	// AbsorbedInto is the CS index this 1-1 CS was unified into, or -1.
+	AbsorbedInto int
+	// TypeObj is the dominant rdf:type object if ≥80% of members share
+	// one, else Nil; used for naming.
+	TypeObj dict.OID
+	// MergedFrom counts how many raw CS's were generalized into this one.
+	MergedFrom int
+}
+
+// Prop returns the PropStat for pred, or nil.
+func (c *CS) Prop(pred dict.OID) *PropStat {
+	i := sort.Search(len(c.Props), func(i int) bool { return c.Props[i].Pred >= pred })
+	if i < len(c.Props) && c.Props[i].Pred == pred {
+		return &c.Props[i]
+	}
+	return nil
+}
+
+// HasProps reports whether the CS contains every predicate in preds.
+func (c *CS) HasProps(preds []dict.OID) bool {
+	for _, p := range preds {
+		if c.Prop(p) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FK is a discovered foreign-key relationship between two CS's.
+type FK struct {
+	From, To int // CS ids
+	Pred     dict.OID
+	Name     string
+	// Count is the number of conforming references.
+	Count int
+	// OneToOne marks a 1-1 relationship (every source refers to a
+	// distinct target and the populations coincide).
+	OneToOne bool
+}
+
+// Schema is the discovery result.
+type Schema struct {
+	CSs []*CS
+	FKs []FK
+	// SubjectCS maps each subject OID to its retained CS id (absent =
+	// irregular subject).
+	SubjectCS map[dict.OID]int
+	// Coverage is the fraction of all triples answered by retained CS
+	// columns (split-off link tables included).
+	Coverage float64
+	// TotalTriples is the size of the input.
+	TotalTriples int
+	// IrregularTriples counts triples left in the basic triple store.
+	IrregularTriples int
+	// RawCSCount is the number of CS's before generalization — the
+	// number the original algorithm of [1] would produce.
+	RawCSCount int
+	Opts       Options
+}
+
+// Retained returns the retained CS's in ID order.
+func (s *Schema) Retained() []*CS {
+	var out []*CS
+	for _, c := range s.CSs {
+		if c.Retained && c.AbsorbedInto < 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ByName finds a retained CS by its emergent table name.
+func (s *Schema) ByName(name string) *CS {
+	for _, c := range s.CSs {
+		if c.Retained && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// CSOf returns the retained CS of a subject, or nil.
+func (s *Schema) CSOf(subj dict.OID) *CS {
+	id, ok := s.SubjectCS[subj]
+	if !ok {
+		return nil
+	}
+	return s.CSs[id]
+}
+
+// FKsFrom returns the FKs whose source is CS id.
+func (s *Schema) FKsFrom(id int) []FK {
+	var out []FK
+	for _, fk := range s.FKs {
+		if fk.From == id {
+			out = append(out, fk)
+		}
+	}
+	return out
+}
+
+func (s *Schema) String() string {
+	ret := s.Retained()
+	return fmt.Sprintf("schema: %d raw CS -> %d CS (%d retained), %d FKs, coverage %.1f%%",
+		s.RawCSCount, len(s.CSs), len(ret), len(s.FKs), 100*s.Coverage)
+}

@@ -1,0 +1,111 @@
+package cs
+
+import (
+	"sort"
+	"strings"
+)
+
+// SummaryOptions controls schema summarization for query sessions
+// (paper §II-A, "RDF schema summarization"): the full emergent schema may
+// be large, so the user can shrink it by raising the support threshold
+// and/or giving keywords; CS's reachable from the selection over foreign
+// keys are kept so joins stay explainable.
+type SummaryOptions struct {
+	// MinSupport keeps only CS's at or above this support (0 = no bound).
+	MinSupport int
+	// Keywords select CS's whose table or column names contain any of
+	// them (case-insensitive). Empty = all.
+	Keywords []string
+	// FollowFKs additionally includes every CS reachable from a selected
+	// one over foreign keys (both directions one hop per step, transitive).
+	FollowFKs bool
+}
+
+// Summary is a reduced view of a schema: the selected CS ids, in ID
+// order, plus the FKs among them. It models the paper's "artificial
+// schema holding references only to these tables and their
+// relationships" for the SQL toolchain.
+type Summary struct {
+	CSs []*CS
+	FKs []FK
+}
+
+// Summarize reduces the schema per opts.
+func (s *Schema) Summarize(opts SummaryOptions) Summary {
+	selected := make(map[int]bool)
+	for _, c := range s.CSs {
+		if !c.Retained || c.AbsorbedInto >= 0 {
+			continue
+		}
+		if opts.MinSupport > 0 && c.Support < opts.MinSupport {
+			continue
+		}
+		if len(opts.Keywords) > 0 && !matchesKeywords(c, opts.Keywords) {
+			continue
+		}
+		selected[c.ID] = true
+	}
+	if opts.FollowFKs {
+		// Transitive closure over FK edges (undirected reachability).
+		changed := true
+		for changed {
+			changed = false
+			for _, fk := range s.FKs {
+				from, to := s.CSs[fk.From], s.CSs[fk.To]
+				if !from.Retained || !to.Retained || from.AbsorbedInto >= 0 || to.AbsorbedInto >= 0 {
+					continue
+				}
+				if selected[fk.From] && !selected[fk.To] {
+					selected[fk.To] = true
+					changed = true
+				}
+				if selected[fk.To] && !selected[fk.From] {
+					selected[fk.From] = true
+					changed = true
+				}
+			}
+		}
+	}
+	var out Summary
+	ids := make([]int, 0, len(selected))
+	for id := range selected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out.CSs = append(out.CSs, s.CSs[id])
+	}
+	for _, fk := range s.FKs {
+		if selected[fk.From] && selected[fk.To] {
+			out.FKs = append(out.FKs, fk)
+		}
+	}
+	return out
+}
+
+// NameOf returns the table name of a CS id inside the summary ("?" if
+// the id was not selected).
+func (s Summary) NameOf(id int) string {
+	for _, c := range s.CSs {
+		if c.ID == id {
+			return c.Name
+		}
+	}
+	return "?"
+}
+
+func matchesKeywords(c *CS, kws []string) bool {
+	name := strings.ToLower(c.Name)
+	for _, kw := range kws {
+		k := strings.ToLower(kw)
+		if strings.Contains(name, k) {
+			return true
+		}
+		for i := range c.Props {
+			if strings.Contains(strings.ToLower(c.Props[i].Name), k) {
+				return true
+			}
+		}
+	}
+	return false
+}

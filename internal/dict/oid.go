@@ -1,0 +1,52 @@
+// Package dict implements dictionary encoding of RDF terms.
+//
+// Every RDF term (IRI, blank node, or literal) is interned into a single
+// 64-bit OID space, mirroring the MonetDB design the paper builds on.
+// Bit 63 of an OID distinguishes literals from resources, so the two
+// populations can be renumbered independently during reorganization:
+// after subject clustering, resource OIDs are assigned CS-major /
+// sort-key-minor, and literal OIDs are assigned in (type, value) order so
+// that comparing two literal OIDs of a homogeneous column implements a
+// value comparison (paper §II-B, "Subject clustering").
+package dict
+
+import "fmt"
+
+// OID is a dictionary-encoded object identifier for an RDF term.
+// OID 0 is reserved as the invalid/NULL sentinel and never denotes a term.
+type OID uint64
+
+// literalBit marks an OID as referring to a literal term.
+const literalBit OID = 1 << 63
+
+// Nil is the invalid/NULL OID sentinel.
+const Nil OID = 0
+
+// IsLiteral reports whether o identifies a literal term.
+func (o OID) IsLiteral() bool { return o&literalBit != 0 }
+
+// IsResource reports whether o identifies an IRI or blank node.
+func (o OID) IsResource() bool { return o != Nil && o&literalBit == 0 }
+
+// Valid reports whether o identifies any term at all.
+func (o OID) Valid() bool { return o != Nil }
+
+// Payload returns the index of o within its population (resources or
+// literals). Payloads start at 1; payload 0 is never assigned.
+func (o OID) Payload() uint64 { return uint64(o &^ literalBit) }
+
+// ResourceOID builds a resource OID from a payload index.
+func ResourceOID(payload uint64) OID { return OID(payload) }
+
+// LiteralOID builds a literal OID from a payload index.
+func LiteralOID(payload uint64) OID { return OID(payload) | literalBit }
+
+func (o OID) String() string {
+	if o == Nil {
+		return "nil"
+	}
+	if o.IsLiteral() {
+		return fmt.Sprintf("L%d", o.Payload())
+	}
+	return fmt.Sprintf("R%d", o.Payload())
+}

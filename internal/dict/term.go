@@ -1,0 +1,164 @@
+package dict
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind classifies an RDF term.
+type TermKind uint8
+
+const (
+	// KindIRI is an IRI reference such as <http://example.org/x>.
+	KindIRI TermKind = iota
+	// KindBlank is a blank node such as _:b0.
+	KindBlank
+	// KindLiteral is a literal, optionally typed or language-tagged.
+	KindLiteral
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case KindIRI:
+		return "iri"
+	case KindBlank:
+		return "blank"
+	case KindLiteral:
+		return "literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Well-known vocabulary IRIs.
+const (
+	RDFType   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	XSDString = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInt    = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDLong   = "http://www.w3.org/2001/XMLSchema#long"
+	XSDDec    = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble = "http://www.w3.org/2001/XMLSchema#double"
+	XSDFloat  = "http://www.w3.org/2001/XMLSchema#float"
+	XSDBool   = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDDate   = "http://www.w3.org/2001/XMLSchema#date"
+	XSDDateTm = "http://www.w3.org/2001/XMLSchema#dateTime"
+)
+
+// Term is a decoded RDF term.
+//
+// For KindIRI, Value holds the IRI. For KindBlank, Value holds the label
+// without the "_:" prefix. For KindLiteral, Value holds the lexical form,
+// Datatype the datatype IRI ("" means xsd:string), and Lang the language
+// tag ("" if none).
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// IRI returns an IRI term.
+func IRI(v string) Term { return Term{Kind: KindIRI, Value: v} }
+
+// Blank returns a blank-node term with the given label.
+func Blank(label string) Term { return Term{Kind: KindBlank, Value: label} }
+
+// StringLit returns a plain string literal.
+func StringLit(v string) Term { return Term{Kind: KindLiteral, Value: v} }
+
+// TypedLit returns a literal with an explicit datatype IRI.
+func TypedLit(v, datatype string) Term {
+	return Term{Kind: KindLiteral, Value: v, Datatype: datatype}
+}
+
+// IntLit returns an xsd:integer literal.
+func IntLit(v int64) Term {
+	return Term{Kind: KindLiteral, Value: fmt.Sprintf("%d", v), Datatype: XSDInt}
+}
+
+// FloatLit returns an xsd:double literal.
+func FloatLit(v float64) Term {
+	return Term{Kind: KindLiteral, Value: trimFloat(v), Datatype: XSDDouble}
+}
+
+// DateLit returns an xsd:date literal from an ISO yyyy-mm-dd string.
+func DateLit(iso string) Term {
+	return Term{Kind: KindLiteral, Value: iso, Datatype: XSDDate}
+}
+
+// LangLit returns a language-tagged string literal.
+func LangLit(v, lang string) Term {
+	return Term{Kind: KindLiteral, Value: v, Lang: lang}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
+
+// IsResource reports whether the term is an IRI or blank node.
+func (t Term) IsResource() bool { return t.Kind != KindLiteral }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindIRI:
+		return "<" + t.Value + ">"
+	case KindBlank:
+		return "_:" + t.Value
+	default:
+		var b strings.Builder
+		b.WriteByte('"')
+		b.WriteString(escapeLiteral(t.Value))
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" && t.Datatype != XSDString {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	}
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// LocalName extracts the human-readable suffix of an IRI: the part after
+// the last '#', '/', or ':'. Used for emergent schema naming (§II-A,
+// research question ii — "shapes and names that can be easily understood").
+func LocalName(iri string) string {
+	if i := strings.LastIndexAny(iri, "#/"); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	if i := strings.LastIndex(iri, ":"); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}

@@ -1,0 +1,246 @@
+package dict
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ValueKind is the atomic type of a literal after lexical analysis.
+// The paper's "Typed Properties" step (§II-A) types literal objects by
+// their atomic type; ValueKind is that type lattice. The declared order
+// of the constants is the cross-type collation order used when literal
+// OIDs are reassigned in value order.
+type ValueKind uint8
+
+const (
+	// VInvalid marks an absent value.
+	VInvalid ValueKind = iota
+	// VBool is a boolean.
+	VBool
+	// VInt is a 64-bit signed integer.
+	VInt
+	// VFloat is a 64-bit float (xsd:double, xsd:float, xsd:decimal).
+	VFloat
+	// VDate is a calendar date, stored as days since 1970-01-01.
+	VDate
+	// VDateTime is a timestamp, stored as Unix seconds.
+	VDateTime
+	// VString is any other literal (plain or unrecognized datatype).
+	VString
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case VBool:
+		return "bool"
+	case VInt:
+		return "int"
+	case VFloat:
+		return "float"
+	case VDate:
+		return "date"
+	case VDateTime:
+		return "datetime"
+	case VString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// SQLType returns the SQL column type the emergent relational schema
+// advertises for this value kind.
+func (k ValueKind) SQLType() string {
+	switch k {
+	case VBool:
+		return "BOOLEAN"
+	case VInt:
+		return "BIGINT"
+	case VFloat:
+		return "DOUBLE"
+	case VDate:
+		return "DATE"
+	case VDateTime:
+		return "TIMESTAMP"
+	default:
+		return "VARCHAR"
+	}
+}
+
+// Value is the typed interpretation of a literal.
+type Value struct {
+	Kind  ValueKind
+	Int   int64   // VBool (0/1), VInt, VDate (epoch days), VDateTime (unix sec)
+	Float float64 // VFloat
+	Str   string  // VString; also the lexical form fallback
+}
+
+// Numeric reports whether the value participates in arithmetic.
+func (v Value) Numeric() bool { return v.Kind == VInt || v.Kind == VFloat }
+
+// AsFloat converts a numeric value to float64.
+func (v Value) AsFloat() float64 {
+	if v.Kind == VInt {
+		return float64(v.Int)
+	}
+	return v.Float
+}
+
+// Compare orders two values. Different kinds order by kind; numeric kinds
+// (int/float) compare by numeric value. Returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	ka, kb := collapseNumeric(a.Kind), collapseNumeric(b.Kind)
+	if ka != kb {
+		if ka < kb {
+			return -1
+		}
+		return 1
+	}
+	switch ka {
+	case VFloat: // both numeric
+		fa, fb := a.AsFloat(), b.AsFloat()
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		return cmpInt(int64(a.Kind), int64(b.Kind))
+	case VBool, VDate, VDateTime:
+		return cmpInt(a.Int, b.Int)
+	default:
+		return strings.Compare(a.Str, b.Str)
+	}
+}
+
+func collapseNumeric(k ValueKind) ValueKind {
+	if k == VInt {
+		return VFloat
+	}
+	return k
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// dateEpoch is the zero point for VDate day counts.
+var dateEpoch = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// ParseDate parses an ISO date (yyyy-mm-dd) into epoch days.
+func ParseDate(s string) (int64, bool) {
+	t, err := time.ParseInLocation("2006-01-02", s, time.UTC)
+	if err != nil {
+		return 0, false
+	}
+	return int64(t.Sub(dateEpoch) / (24 * time.Hour)), true
+}
+
+// FormatDate renders epoch days as an ISO date.
+func FormatDate(days int64) string {
+	return dateEpoch.Add(time.Duration(days) * 24 * time.Hour).Format("2006-01-02")
+}
+
+// ParseLiteral derives the typed Value of a literal term. Unrecognized or
+// malformed lexical forms fall back to VString over the lexical form, so
+// parsing never fails — dirty data stays queryable as text (§II-A:
+// irregularities "may be caused by ... data dirtiness").
+func ParseLiteral(lex, datatype, lang string) Value {
+	if lang != "" {
+		return Value{Kind: VString, Str: lex}
+	}
+	switch datatype {
+	case XSDInt, XSDLong, "http://www.w3.org/2001/XMLSchema#int",
+		"http://www.w3.org/2001/XMLSchema#short",
+		"http://www.w3.org/2001/XMLSchema#byte",
+		"http://www.w3.org/2001/XMLSchema#nonNegativeInteger",
+		"http://www.w3.org/2001/XMLSchema#positiveInteger":
+		if n, err := strconv.ParseInt(lex, 10, 64); err == nil {
+			return Value{Kind: VInt, Int: n}
+		}
+	case XSDDec, XSDDouble, XSDFloat:
+		if f, err := strconv.ParseFloat(lex, 64); err == nil {
+			return Value{Kind: VFloat, Float: f}
+		}
+	case XSDBool:
+		switch lex {
+		case "true", "1":
+			return Value{Kind: VBool, Int: 1}
+		case "false", "0":
+			return Value{Kind: VBool, Int: 0}
+		}
+	case XSDDate:
+		if d, ok := ParseDate(lex); ok {
+			return Value{Kind: VDate, Int: d}
+		}
+	case XSDDateTm:
+		if t, err := time.Parse(time.RFC3339, lex); err == nil {
+			return Value{Kind: VDateTime, Int: t.Unix()}
+		}
+		if t, err := time.ParseInLocation("2006-01-02T15:04:05", lex, time.UTC); err == nil {
+			return Value{Kind: VDateTime, Int: t.Unix()}
+		}
+	case "", XSDString:
+		// Untyped: sniff numbers and dates so schema discovery can type
+		// columns of plain literals (common in web-crawled data).
+		if n, err := strconv.ParseInt(lex, 10, 64); err == nil {
+			return Value{Kind: VInt, Int: n}
+		}
+		if looksFloat(lex) {
+			if f, err := strconv.ParseFloat(lex, 64); err == nil {
+				return Value{Kind: VFloat, Float: f}
+			}
+		}
+		if len(lex) == 10 && lex[4] == '-' && lex[7] == '-' {
+			if d, ok := ParseDate(lex); ok {
+				return Value{Kind: VDate, Int: d}
+			}
+		}
+	}
+	return Value{Kind: VString, Str: lex}
+}
+
+func looksFloat(s string) bool {
+	dot := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.' && !dot:
+			dot = true
+		case (c == '-' || c == '+') && i == 0:
+		case (c == 'e' || c == 'E') && i > 0 && i < len(s)-1:
+		default:
+			return false
+		}
+	}
+	return dot && len(s) > 1
+}
+
+// Lexical renders a typed value back to a lexical form.
+func (v Value) Lexical() string {
+	switch v.Kind {
+	case VBool:
+		if v.Int != 0 {
+			return "true"
+		}
+		return "false"
+	case VInt:
+		return strconv.FormatInt(v.Int, 10)
+	case VFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case VDate:
+		return FormatDate(v.Int)
+	case VDateTime:
+		return time.Unix(v.Int, 0).UTC().Format("2006-01-02T15:04:05Z")
+	default:
+		return v.Str
+	}
+}

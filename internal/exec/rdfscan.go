@@ -1,0 +1,294 @@
+package exec
+
+import (
+	"srdf/internal/colstore"
+	"srdf/internal/dict"
+	"srdf/internal/relational"
+	"srdf/internal/triples"
+)
+
+// RDFScan is the paper's new scan operator (§II-C): it "delivers a tuple
+// stream for multiple properties in one go" by walking the aligned
+// columns of one CS table. All star self-joins disappear — row i of
+// every column belongs to the same subject. Zone maps prune blocks when
+// useZones is set; rowLo/rowHi (rowHi -1 = open) restrict the scan to a
+// row window, which the planner derives from range predicates on the
+// table's sort key.
+func RDFScan(ctx *Ctx, t *relational.Table, star Star, useZones bool, rowLo, rowHi int) *Rel {
+	if rowHi < 0 || rowHi > t.Count {
+		rowHi = t.Count
+	}
+	if rowLo < 0 {
+		rowLo = 0
+	}
+	cols := make([]*relational.Col, len(star.Props))
+	for i := range star.Props {
+		cols[i] = t.Col(star.Props[i].Pred)
+		if cols[i] == nil {
+			return NewRel(star.Vars()...) // planner error; empty result
+		}
+	}
+	rel := NewRel(star.Vars()...)
+	if rowHi <= rowLo {
+		return rel
+	}
+
+	firstBlock := rowLo / colstore.BlockRows
+	lastBlock := (rowHi - 1) / colstore.BlockRows
+	row := make([]dict.OID, 0, len(rel.Vars))
+	for b := firstBlock; b <= lastBlock; b++ {
+		blo := b * colstore.BlockRows
+		bhi := blo + colstore.BlockRows
+		if blo < rowLo {
+			blo = rowLo
+		}
+		if bhi > rowHi {
+			bhi = rowHi
+		}
+		if useZones && !blockMayMatch(cols, star.Props, b) {
+			continue // pruned: pages never touched
+		}
+		for i := range cols {
+			cols[i].Data.Touch(blo, bhi)
+		}
+		for r := blo; r < bhi; r++ {
+			ok := true
+			for i := range cols {
+				v := cols[i].Data.Vals[r]
+				if v == dict.Nil || !star.Props[i].matches(v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			row = row[:0]
+			row = append(row, t.SubjectOID(r))
+			for i := range cols {
+				if star.Props[i].ObjVar != "" {
+					row = append(row, cols[i].Data.Vals[r])
+				}
+			}
+			rel.AppendRow(row...)
+		}
+	}
+	return rel
+}
+
+func blockMayMatch(cols []*relational.Col, props []StarProp, b int) bool {
+	for i := range cols {
+		p := &props[i]
+		zm := cols[i].Data.Zones()
+		if b >= zm.NumBlocks() {
+			continue
+		}
+		switch {
+		case p.ObjConst != dict.Nil:
+			if !zm.MayMatch(b, p.ObjConst, p.ObjConst) {
+				return false
+			}
+		case p.HasRange:
+			if !zm.MayMatch(b, p.Lo, p.Hi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RDFJoin is the RDFscan variant that "does the same, but receiving a
+// stream of candidate subjects" (§II-C; cf. the Pivot Index Scan of
+// Brodt et al.). For every input row it fetches the star's columns
+// positionally from the CS table; candidates outside the table fall back
+// to SPO point lookups over the full index, so subjects living in other
+// CSs or in the irregular store are still answered exactly.
+func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, fullIdx *triples.IndexSet) *Rel {
+	ki := in.ColIdx(keyVar)
+	outVars := append([]string{}, in.Vars...)
+	for i := range star.Props {
+		if star.Props[i].ObjVar != "" {
+			outVars = append(outVars, star.Props[i].ObjVar)
+		}
+	}
+	out := NewRel(outVars...)
+	if ki < 0 {
+		return out
+	}
+	cols := make([]*relational.Col, len(star.Props))
+	for i := range star.Props {
+		cols[i] = t.Col(star.Props[i].Pred)
+	}
+	var irrSPO *triples.Projection
+	if ctx.Cat != nil && ctx.Cat.Irregular.Len() > 0 {
+		irrSPO = ctx.Cat.IrregularIdx.Get(triples.SPO)
+	}
+
+	buf := make([]dict.OID, 0, len(outVars))
+	for i := 0; i < in.Len(); i++ {
+		s := in.Cols[ki][i]
+		row := t.RowOf(s)
+		if row < 0 || anyNilCol(cols) {
+			// Fallback: point star lookup over the full index.
+			sub := LookupStarSubject(ctx, fullIdx, s, star)
+			for r := 0; r < sub.Len(); r++ {
+				buf = in.Row(i, buf)
+				for c := 1; c < len(sub.Cols); c++ { // col 0 is the subject
+					buf = append(buf, sub.Cols[c][r])
+				}
+				out.AppendRow(buf...)
+			}
+			continue
+		}
+		if irrSPO != nil {
+			// The table holds first values only; overflow values of
+			// multi-valued properties live in the irregular store, so
+			// exact semantics require the full-index path for this
+			// subject when it has residual triples.
+			if lo, hi := irrSPO.Range1(s); hi > lo {
+				sub := LookupStarSubject(ctx, fullIdx, s, star)
+				for r := 0; r < sub.Len(); r++ {
+					buf = in.Row(i, buf)
+					for c := 1; c < len(sub.Cols); c++ {
+						buf = append(buf, sub.Cols[c][r])
+					}
+					out.AppendRow(buf...)
+				}
+				continue
+			}
+		}
+		ok := true
+		for ci := range cols {
+			v := cols[ci].Data.Vals[row]
+			cols[ci].Data.Touch(row, row+1)
+			if v == dict.Nil || !star.Props[ci].matches(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		buf = in.Row(i, buf)
+		for ci := range cols {
+			if star.Props[ci].ObjVar != "" {
+				buf = append(buf, cols[ci].Data.Vals[row])
+			}
+		}
+		out.AppendRow(buf...)
+	}
+	return out
+}
+
+func anyNilCol(cols []*relational.Col) bool {
+	for _, c := range cols {
+		if c == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ResidualStar answers the part of a star pattern the covering tables
+// cannot: subjects with matching triples in the irregular store (noise
+// properties, overflow values, subjects of dropped CSs). Rows entirely
+// answerable by a covering table are suppressed to avoid duplicating
+// RDFScan output.
+func ResidualStar(ctx *Ctx, star Star, covering []*relational.Table) *Rel {
+	rel := NewRel(star.Vars()...)
+	cat := ctx.Cat
+	if cat == nil || cat.Irregular.Len() == 0 {
+		return rel
+	}
+	irrPSO := cat.IrregularIdx.Get(triples.PSO)
+	irrSPO := cat.IrregularIdx.Get(triples.SPO)
+
+	// Candidate subjects: any subject with an irregular triple for one of
+	// the star's predicates.
+	cand := map[dict.OID]bool{}
+	for i := range star.Props {
+		lo, hi := irrPSO.Range1(star.Props[i].Pred)
+		ctx.touchProj(irrPSO, lo, hi, 2)
+		for k := lo; k < hi; k++ {
+			cand[irrPSO.B[k]] = true
+		}
+	}
+	if len(cand) == 0 {
+		return rel
+	}
+	inCovering := func(s dict.OID) bool {
+		for _, t := range covering {
+			if t.RowOf(s) >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	type sourced struct {
+		v     dict.OID
+		fromT bool // value came from a table column
+	}
+	for s := range cand {
+		covered := inCovering(s)
+		// collect values per prop from the irregular store and, when the
+		// subject sits in some table, from its columns.
+		vals := make([][]sourced, 0, len(star.Props))
+		ok := true
+		for i := range star.Props {
+			p := &star.Props[i]
+			var vs []sourced
+			lo, hi := irrSPO.Range2(s, p.Pred)
+			ctx.touchProj(irrSPO, lo, hi, 4)
+			for k := lo; k < hi; k++ {
+				if p.matches(irrSPO.C[k]) {
+					vs = append(vs, sourced{irrSPO.C[k], false})
+				}
+			}
+			if tab := cat.TableOf(s); tab != nil {
+				if col := tab.Col(p.Pred); col != nil {
+					if row := tab.RowOf(s); row >= 0 {
+						v := col.Data.Vals[row]
+						col.Data.Touch(row, row+1)
+						if v != dict.Nil && p.matches(v) {
+							vs = append(vs, sourced{v, true})
+						}
+					}
+				}
+			}
+			if len(vs) == 0 {
+				ok = false
+				break
+			}
+			vals = append(vals, vs)
+		}
+		if !ok {
+			continue
+		}
+		// cross product; skip the all-table combination when a covering
+		// table already emits it via RDFScan.
+		row := make([]dict.OID, 0, len(rel.Vars))
+		row = append(row, s)
+		var rec func(pi int, allTable bool)
+		rec = func(pi int, allTable bool) {
+			if pi == len(star.Props) {
+				if allTable && covered {
+					return
+				}
+				rel.AppendRow(row...)
+				return
+			}
+			p := &star.Props[pi]
+			for _, sv := range vals[pi] {
+				if p.ObjVar != "" {
+					row = append(row, sv.v)
+				}
+				rec(pi+1, allTable && sv.fromT)
+				if p.ObjVar != "" {
+					row = row[:len(row)-1]
+				}
+			}
+		}
+		rec(0, true)
+	}
+	return rel
+}

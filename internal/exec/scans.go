@@ -1,0 +1,268 @@
+package exec
+
+import (
+	"sort"
+
+	"srdf/internal/dict"
+	"srdf/internal/triples"
+)
+
+// StarProp is one property of a star pattern, with pushed-down object
+// constraints.
+type StarProp struct {
+	Pred dict.OID
+	// ObjVar names the object variable, or "" when the object is bound.
+	ObjVar string
+	// ObjConst is the bound object (Nil when the object is a variable).
+	ObjConst dict.OID
+	// Lo/Hi is an inclusive OID range pushed down from FILTERs. Valid
+	// only when HasRange; requires value-ordered literal OIDs.
+	Lo, Hi   dict.OID
+	HasRange bool
+}
+
+// matches checks a concrete object value against the prop's constraints.
+func (p *StarProp) matches(o dict.OID) bool {
+	if p.ObjConst != dict.Nil && o != p.ObjConst {
+		return false
+	}
+	if p.HasRange && (o < p.Lo || o > p.Hi) {
+		return false
+	}
+	return true
+}
+
+// Star is a star pattern: several properties of one subject variable.
+type Star struct {
+	SubjVar string
+	Props   []StarProp
+}
+
+// Vars lists the star's output variables: subject first, then object
+// variables in property order.
+func (s *Star) Vars() []string {
+	out := []string{s.SubjVar}
+	for i := range s.Props {
+		if s.Props[i].ObjVar != "" {
+			out = append(out, s.Props[i].ObjVar)
+		}
+	}
+	return out
+}
+
+// DefaultStar evaluates a star with the Default plan family: a seed
+// index scan on the most selective pattern, then one self-join per
+// remaining property (index lookups into PSO, or a merge join when the
+// candidate set is large). This reproduces the access pattern the paper
+// critiques: without clustering, the lookups hit the PSO index "all over
+// the place".
+func DefaultStar(ctx *Ctx, star Star, idx *triples.IndexSet) *Rel {
+	if len(star.Props) == 0 {
+		return NewRel(star.SubjVar)
+	}
+	pso := idx.Get(triples.PSO)
+	pos := idx.Get(triples.POS)
+
+	// Pick the seed: bound-object pattern first, then range pattern,
+	// then smallest property run.
+	seed := -1
+	bestCost := -1
+	for i := range star.Props {
+		p := &star.Props[i]
+		var cost int
+		switch {
+		case p.ObjConst != dict.Nil:
+			lo, hi := pos.Range2(p.Pred, p.ObjConst)
+			cost = hi - lo
+		case p.HasRange:
+			lo, hi := pos.Range2Between(p.Pred, p.Lo, p.Hi)
+			cost = hi - lo
+		default:
+			lo, hi := pso.Range1(p.Pred)
+			cost = hi - lo
+		}
+		if seed < 0 || cost < bestCost {
+			seed, bestCost = i, cost
+		}
+	}
+
+	rel := seedScan(ctx, &star.Props[seed], star.SubjVar, pso, pos)
+	for i := range star.Props {
+		if i == seed {
+			continue
+		}
+		rel = extendStar(ctx, rel, star.SubjVar, &star.Props[i], pso)
+		if rel.Len() == 0 {
+			break
+		}
+	}
+	return rel
+}
+
+// seedScan produces the initial (subject[, object]) relation of a star,
+// sorted by subject.
+func seedScan(ctx *Ctx, p *StarProp, subjVar string, pso, pos *triples.Projection) *Rel {
+	switch {
+	case p.ObjConst != dict.Nil:
+		lo, hi := pos.Range2(p.Pred, p.ObjConst)
+		ctx.touchProj(pos, lo, hi, 4) // C = subjects
+		rel := NewRel(subjVar)
+		rel.Cols[0] = append(rel.Cols[0], pos.C[lo:hi]...) // sorted by S
+		return rel
+	case p.HasRange:
+		lo, hi := pos.Range2Between(p.Pred, p.Lo, p.Hi)
+		ctx.touchProj(pos, lo, hi, 2|4)
+		type so struct{ s, o dict.OID }
+		rows := make([]so, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			rows = append(rows, so{pos.C[i], pos.B[i]})
+		}
+		sort.Slice(rows, func(x, y int) bool {
+			if rows[x].s != rows[y].s {
+				return rows[x].s < rows[y].s
+			}
+			return rows[x].o < rows[y].o
+		})
+		if p.ObjVar != "" {
+			rel := NewRel(subjVar, p.ObjVar)
+			for _, r := range rows {
+				rel.AppendRow(r.s, r.o)
+			}
+			return rel
+		}
+		rel := NewRel(subjVar)
+		for _, r := range rows {
+			rel.Cols[0] = append(rel.Cols[0], r.s)
+		}
+		return rel
+	default:
+		lo, hi := pso.Range1(p.Pred)
+		ctx.touchProj(pso, lo, hi, 2|4)
+		if p.ObjVar != "" {
+			rel := NewRel(subjVar, p.ObjVar)
+			rel.Cols[0] = append(rel.Cols[0], pso.B[lo:hi]...)
+			rel.Cols[1] = append(rel.Cols[1], pso.C[lo:hi]...)
+			return rel
+		}
+		rel := NewRel(subjVar)
+		rel.Cols[0] = append(rel.Cols[0], pso.B[lo:hi]...)
+		return rel
+	}
+}
+
+// extendStar joins one more property onto the current binding relation:
+// an index-lookup self-join when the relation is small relative to the
+// property run, otherwise a merge self-join over the full run. The input
+// relation must be sorted by the subject column (seedScan and extendStar
+// maintain this).
+func extendStar(ctx *Ctx, rel *Rel, subjVar string, p *StarProp, pso *triples.Projection) *Rel {
+	si := rel.ColIdx(subjVar)
+	runLo, runHi := pso.Range1(p.Pred)
+	runLen := runHi - runLo
+
+	outVars := rel.Vars
+	if p.ObjVar != "" {
+		outVars = append(append([]string{}, rel.Vars...), p.ObjVar)
+	}
+	out := NewRel(outVars...)
+	buf := make([]dict.OID, 0, len(rel.Vars)+1)
+
+	if rel.Len()*4 < runLen {
+		// Index nested-loop: one lookup per candidate subject. Page
+		// touches land wherever the subject's rows happen to be — dense
+		// after clustering, scattered in parse order.
+		for i := 0; i < rel.Len(); i++ {
+			s := rel.Cols[si][i]
+			lo, hi := pso.Range2(p.Pred, s)
+			if hi == lo {
+				continue
+			}
+			ctx.touchProj(pso, lo, hi, 4)
+			for k := lo; k < hi; k++ {
+				o := pso.C[k]
+				if !p.matches(o) {
+					continue
+				}
+				buf = rel.Row(i, buf)
+				if p.ObjVar != "" {
+					buf = append(buf, o)
+				}
+				out.AppendRow(buf...)
+			}
+		}
+		return out
+	}
+
+	// Merge self-join over the whole property run.
+	ctx.touchProj(pso, runLo, runHi, 2|4)
+	k := runLo
+	for i := 0; i < rel.Len(); i++ {
+		s := rel.Cols[si][i]
+		// rows are sorted by subject; catch k up
+		for k < runHi && pso.B[k] < s {
+			k++
+		}
+		for j := k; j < runHi && pso.B[j] == s; j++ {
+			o := pso.C[j]
+			if !p.matches(o) {
+				continue
+			}
+			buf = rel.Row(i, buf)
+			if p.ObjVar != "" {
+				buf = append(buf, o)
+			}
+			out.AppendRow(buf...)
+		}
+	}
+	return out
+}
+
+// LookupStarSubject evaluates a star for one concrete subject via SPO
+// point lookups (used for constant-subject patterns and residual
+// fallbacks). Returns the cross product of matching values.
+func LookupStarSubject(ctx *Ctx, idx *triples.IndexSet, s dict.OID, star Star) *Rel {
+	spo := idx.Get(triples.SPO)
+	rel := NewRel(star.Vars()...)
+	vals := make([][]dict.OID, 0, len(star.Props))
+	for i := range star.Props {
+		p := &star.Props[i]
+		lo, hi := spo.Range2(s, p.Pred)
+		ctx.touchProj(spo, lo, hi, 4)
+		var vs []dict.OID
+		for k := lo; k < hi; k++ {
+			if p.matches(spo.C[k]) {
+				vs = append(vs, spo.C[k])
+			}
+		}
+		if len(vs) == 0 {
+			return rel
+		}
+		vals = append(vals, vs)
+	}
+	emitCross(rel, s, star, vals)
+	return rel
+}
+
+// emitCross appends the cross product of per-property value lists.
+func emitCross(rel *Rel, s dict.OID, star Star, vals [][]dict.OID) {
+	row := make([]dict.OID, 0, len(rel.Vars))
+	var rec func(pi int)
+	rec = func(pi int) {
+		if pi == len(star.Props) {
+			rel.AppendRow(row...)
+			return
+		}
+		p := &star.Props[pi]
+		for _, v := range vals[pi] {
+			if p.ObjVar != "" {
+				row = append(row, v)
+			}
+			rec(pi + 1)
+			if p.ObjVar != "" {
+				row = row[:len(row)-1]
+			}
+		}
+	}
+	row = append(row, s)
+	rec(0)
+}

@@ -1,0 +1,366 @@
+// Package nt parses and serializes RDF triples in the N-Triples format,
+// plus a pragmatic subset of Turtle (prefixes, `a`, `;`/`,` lists).
+// It is the ingestion front door of the self-organizing store.
+package nt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"srdf/internal/dict"
+)
+
+// Triple is one parsed statement.
+type Triple struct {
+	S, P, O dict.Term
+}
+
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// ParseError describes a malformed statement.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("nt: line %d: %s", e.Line, e.Msg)
+}
+
+// Reader streams triples from N-Triples input. Malformed lines are
+// reported but, when the reader is configured as lenient, skipped —
+// web-crawled RDF is dirty and a single bad line must not abort a bulk
+// load.
+type Reader struct {
+	sc      *bufio.Scanner
+	line    int
+	lenient bool
+	errs    []error
+}
+
+// NewReader returns a strict N-Triples reader: the first malformed line
+// stops the stream with an error.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// NewLenientReader returns a reader that skips malformed lines, recording
+// them for later inspection via Errs.
+func NewLenientReader(r io.Reader) *Reader {
+	nr := NewReader(r)
+	nr.lenient = true
+	return nr
+}
+
+// Errs returns the parse errors skipped so far (lenient mode only).
+func (r *Reader) Errs() []error { return r.errs }
+
+// Line returns the current line number.
+func (r *Reader) Line() int { return r.line }
+
+// Read returns the next triple. It returns io.EOF at end of input.
+func (r *Reader) Read() (Triple, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseLine(line, r.line)
+		if err != nil {
+			if r.lenient {
+				r.errs = append(r.errs, err)
+				continue
+			}
+			return Triple{}, err
+		}
+		return t, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll consumes the remaining stream.
+func (r *Reader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+func parseLine(line string, lineNo int) (Triple, error) {
+	p := &lineParser{s: line, line: lineNo}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	if s.Kind == dict.KindLiteral {
+		return Triple{}, p.errf("subject must not be a literal")
+	}
+	p.skipWS()
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	if pr.Kind != dict.KindIRI {
+		return Triple{}, p.errf("predicate must be an IRI")
+	}
+	p.skipWS()
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	if !p.consume('.') {
+		return Triple{}, p.errf("expected terminating '.'")
+	}
+	p.skipWS()
+	if !p.eof() && !strings.HasPrefix(p.rest(), "#") {
+		return Triple{}, p.errf("trailing garbage %q", p.rest())
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (p *lineParser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) eof() bool     { return p.pos >= len(p.s) }
+func (p *lineParser) rest() string  { return p.s[p.pos:] }
+func (p *lineParser) peek() byte    { return p.s[p.pos] }
+func (p *lineParser) advance() byte { c := p.s[p.pos]; p.pos++; return c }
+
+func (p *lineParser) consume(c byte) bool {
+	if !p.eof() && p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *lineParser) skipWS() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) term() (dict.Term, error) {
+	if p.eof() {
+		return dict.Term{}, p.errf("unexpected end of statement")
+	}
+	switch p.peek() {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return dict.Term{}, p.errf("unexpected character %q", p.peek())
+	}
+}
+
+func (p *lineParser) iri() (dict.Term, error) {
+	p.pos++ // '<'
+	start := p.pos
+	for !p.eof() && p.peek() != '>' {
+		p.pos++
+	}
+	if p.eof() {
+		return dict.Term{}, p.errf("unterminated IRI")
+	}
+	raw := p.s[start:p.pos]
+	p.pos++ // '>'
+	iri, err := unescape(raw, p.line)
+	if err != nil {
+		return dict.Term{}, err
+	}
+	if iri == "" {
+		return dict.Term{}, p.errf("empty IRI")
+	}
+	return dict.IRI(iri), nil
+}
+
+func (p *lineParser) blank() (dict.Term, error) {
+	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
+		return dict.Term{}, p.errf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for !p.eof() && isLabelChar(p.peek()) {
+		p.pos++
+	}
+	if p.pos == start {
+		return dict.Term{}, p.errf("empty blank node label")
+	}
+	return dict.Blank(p.s[start:p.pos]), nil
+}
+
+func isLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}
+
+func (p *lineParser) literal() (dict.Term, error) {
+	p.pos++ // '"'
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return dict.Term{}, p.errf("unterminated literal")
+		}
+		c := p.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if p.eof() {
+				return dict.Term{}, p.errf("dangling escape")
+			}
+			e := p.advance()
+			switch e {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '"', '\\', '\'':
+				b.WriteByte(e)
+			case 'u', 'U':
+				n := 4
+				if e == 'U' {
+					n = 8
+				}
+				if p.pos+n > len(p.s) {
+					return dict.Term{}, p.errf("truncated \\%c escape", e)
+				}
+				code, err := strconv.ParseUint(p.s[p.pos:p.pos+n], 16, 32)
+				if err != nil {
+					return dict.Term{}, p.errf("bad \\%c escape", e)
+				}
+				p.pos += n
+				b.WriteRune(rune(code))
+			default:
+				return dict.Term{}, p.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	lit := dict.Term{Kind: dict.KindLiteral, Value: b.String()}
+	if !p.eof() && p.peek() == '@' {
+		p.pos++
+		start := p.pos
+		for !p.eof() && (isLabelChar(p.peek()) && p.peek() != '.' || p.peek() == '-') {
+			p.pos++
+		}
+		if p.pos == start {
+			return dict.Term{}, p.errf("empty language tag")
+		}
+		lit.Lang = p.s[start:p.pos]
+		return lit, nil
+	}
+	if strings.HasPrefix(p.rest(), "^^") {
+		p.pos += 2
+		if p.eof() || p.peek() != '<' {
+			return dict.Term{}, p.errf("datatype must be an IRI")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return dict.Term{}, err
+		}
+		lit.Datatype = dt.Value
+	}
+	return lit, nil
+}
+
+func unescape(s string, line int) (string, error) {
+	if !strings.Contains(s, "\\") {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", &ParseError{Line: line, Msg: "dangling escape in IRI"}
+		}
+		e := s[i+1]
+		n := 0
+		switch e {
+		case 'u':
+			n = 4
+		case 'U':
+			n = 8
+		default:
+			return "", &ParseError{Line: line, Msg: "invalid IRI escape"}
+		}
+		if i+2+n > len(s) {
+			return "", &ParseError{Line: line, Msg: "truncated IRI escape"}
+		}
+		code, err := strconv.ParseUint(s[i+2:i+2+n], 16, 32)
+		if err != nil {
+			return "", &ParseError{Line: line, Msg: "bad IRI escape"}
+		}
+		b.WriteRune(rune(code))
+		i += 2 + n
+	}
+	return b.String(), nil
+}
+
+// Writer serializes triples as N-Triples.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one triple.
+func (w *Writer) Write(t Triple) error {
+	if w.err != nil {
+		return w.err
+	}
+	_, w.err = w.w.WriteString(t.String() + "\n")
+	return w.err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}

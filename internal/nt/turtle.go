@@ -1,0 +1,463 @@
+package nt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"srdf/internal/dict"
+)
+
+// ParseTurtle reads a pragmatic subset of Turtle: @prefix / PREFIX
+// declarations, prefixed names, `a` for rdf:type, object lists with `,`,
+// predicate-object lists with `;`, numeric / boolean / string literals
+// (with ^^ datatypes and @lang), blank nodes, and comments. It does not
+// support collections `( )` or nested blank-node property lists `[ ]`
+// beyond the anonymous `[]`.
+//
+// It exists so that examples and tests can state small graphs readably;
+// bulk loading uses the line-oriented N-Triples Reader.
+func ParseTurtle(r io.Reader) ([]Triple, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &turtleParser{src: string(data), line: 1, prefixes: map[string]string{}}
+	return p.parse()
+}
+
+type turtleParser struct {
+	src      string
+	pos      int
+	line     int
+	prefixes map[string]string
+	base     string
+	bnodeSeq int
+	out      []Triple
+}
+
+func (p *turtleParser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *turtleParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *turtleParser) peek() byte { return p.src[p.pos] }
+
+func (p *turtleParser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+func (p *turtleParser) skipWS() {
+	for !p.eof() {
+		c := p.peek()
+		if c == '#' {
+			for !p.eof() && p.peek() != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			p.advance()
+			continue
+		}
+		return
+	}
+}
+
+func (p *turtleParser) parse() ([]Triple, error) {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return p.out, nil
+		}
+		if err := p.statement(); err != nil {
+			return p.out, err
+		}
+	}
+}
+
+func (p *turtleParser) statement() error {
+	if p.matchKeyword("@prefix") || p.matchKeyword("PREFIX") {
+		return p.prefixDecl()
+	}
+	if p.matchKeyword("@base") || p.matchKeyword("BASE") {
+		return p.baseDecl()
+	}
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	if p.eof() || p.peek() != '.' {
+		return p.errf("expected '.' after statement")
+	}
+	p.advance()
+	return nil
+}
+
+func (p *turtleParser) matchKeyword(kw string) bool {
+	if strings.HasPrefix(p.src[p.pos:], kw) {
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+func (p *turtleParser) prefixDecl() error {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() && p.peek() != ':' {
+		p.advance()
+	}
+	if p.eof() {
+		return p.errf("malformed @prefix")
+	}
+	name := strings.TrimSpace(p.src[start:p.pos])
+	p.advance() // ':'
+	p.skipWS()
+	if p.eof() || p.peek() != '<' {
+		return p.errf("@prefix expects an IRI")
+	}
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = iri
+	p.skipWS()
+	if !p.eof() && p.peek() == '.' {
+		p.advance()
+	}
+	return nil
+}
+
+func (p *turtleParser) baseDecl() error {
+	p.skipWS()
+	if p.eof() || p.peek() != '<' {
+		return p.errf("@base expects an IRI")
+	}
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.base = iri
+	p.skipWS()
+	if !p.eof() && p.peek() == '.' {
+		p.advance()
+	}
+	return nil
+}
+
+func (p *turtleParser) subject() (dict.Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return dict.Term{}, p.errf("expected subject")
+	}
+	switch p.peek() {
+	case '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return dict.Term{}, err
+		}
+		return dict.IRI(p.resolve(iri)), nil
+	case '_':
+		return p.blankNode()
+	case '[':
+		p.advance()
+		p.skipWS()
+		if !p.eof() && p.peek() == ']' {
+			p.advance()
+			p.bnodeSeq++
+			return dict.Blank(fmt.Sprintf("anon%d", p.bnodeSeq)), nil
+		}
+		return dict.Term{}, p.errf("non-empty blank node property lists are unsupported")
+	default:
+		iri, err := p.prefixedName()
+		if err != nil {
+			return dict.Term{}, err
+		}
+		return dict.IRI(iri), nil
+	}
+}
+
+func (p *turtleParser) predicateObjectList(subj dict.Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.out = append(p.out, Triple{S: subj, P: pred, O: obj})
+			p.skipWS()
+			if !p.eof() && p.peek() == ',' {
+				p.advance()
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if !p.eof() && p.peek() == ';' {
+			p.advance()
+			p.skipWS()
+			// a ';' may be trailing before '.'
+			if !p.eof() && (p.peek() == '.' || p.peek() == ';') {
+				continue
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *turtleParser) predicate() (dict.Term, error) {
+	if p.eof() {
+		return dict.Term{}, p.errf("expected predicate")
+	}
+	if p.peek() == 'a' {
+		// `a` only if followed by whitespace
+		if p.pos+1 < len(p.src) {
+			nxt := p.src[p.pos+1]
+			if nxt == ' ' || nxt == '\t' || nxt == '\n' || nxt == '\r' {
+				p.advance()
+				return dict.IRI(dict.RDFType), nil
+			}
+		}
+	}
+	if p.peek() == '<' {
+		iri, err := p.iriRef()
+		if err != nil {
+			return dict.Term{}, err
+		}
+		return dict.IRI(p.resolve(iri)), nil
+	}
+	iri, err := p.prefixedName()
+	if err != nil {
+		return dict.Term{}, err
+	}
+	return dict.IRI(iri), nil
+}
+
+func (p *turtleParser) object() (dict.Term, error) {
+	if p.eof() {
+		return dict.Term{}, p.errf("expected object")
+	}
+	c := p.peek()
+	switch {
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return dict.Term{}, err
+		}
+		return dict.IRI(p.resolve(iri)), nil
+	case c == '_':
+		return p.blankNode()
+	case c == '"' || c == '\'':
+		return p.turtleLiteral()
+	case c == '[':
+		p.advance()
+		p.skipWS()
+		if !p.eof() && p.peek() == ']' {
+			p.advance()
+			p.bnodeSeq++
+			return dict.Blank(fmt.Sprintf("anon%d", p.bnodeSeq)), nil
+		}
+		return dict.Term{}, p.errf("non-empty blank node property lists are unsupported")
+	case c == '+' || c == '-' || c >= '0' && c <= '9':
+		return p.numericLiteral()
+	case strings.HasPrefix(p.src[p.pos:], "true") && p.boundaryAt(p.pos+4):
+		p.pos += 4
+		return dict.TypedLit("true", dict.XSDBool), nil
+	case strings.HasPrefix(p.src[p.pos:], "false") && p.boundaryAt(p.pos+5):
+		p.pos += 5
+		return dict.TypedLit("false", dict.XSDBool), nil
+	default:
+		iri, err := p.prefixedName()
+		if err != nil {
+			return dict.Term{}, err
+		}
+		return dict.IRI(iri), nil
+	}
+}
+
+func (p *turtleParser) boundaryAt(i int) bool {
+	if i >= len(p.src) {
+		return true
+	}
+	c := p.src[i]
+	return !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_')
+}
+
+func (p *turtleParser) iriRef() (string, error) {
+	p.advance() // '<'
+	start := p.pos
+	for !p.eof() && p.peek() != '>' {
+		p.advance()
+	}
+	if p.eof() {
+		return "", p.errf("unterminated IRI")
+	}
+	raw := p.src[start:p.pos]
+	p.advance() // '>'
+	return unescape(raw, p.line)
+}
+
+func (p *turtleParser) resolve(iri string) string {
+	if p.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		return p.base + iri
+	}
+	return iri
+}
+
+func (p *turtleParser) blankNode() (dict.Term, error) {
+	if p.pos+1 >= len(p.src) || p.src[p.pos+1] != ':' {
+		return dict.Term{}, p.errf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for !p.eof() && isLabelChar(p.peek()) {
+		p.advance()
+	}
+	if p.pos == start {
+		return dict.Term{}, p.errf("empty blank node label")
+	}
+	return dict.Blank(p.src[start:p.pos]), nil
+}
+
+func (p *turtleParser) prefixedName() (string, error) {
+	start := p.pos
+	for !p.eof() && (isPNChar(rune(p.peek())) || p.peek() == ':') {
+		if p.peek() == ':' {
+			prefix := p.src[start:p.pos]
+			ns, ok := p.prefixes[prefix]
+			if !ok {
+				return "", p.errf("undefined prefix %q", prefix)
+			}
+			p.advance()
+			lstart := p.pos
+			for !p.eof() && isPNChar(rune(p.peek())) {
+				p.advance()
+			}
+			return ns + p.src[lstart:p.pos], nil
+		}
+		p.advance()
+	}
+	return "", p.errf("expected term, got %q", p.src[start:min(p.pos+8, len(p.src))])
+}
+
+func isPNChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+func (p *turtleParser) turtleLiteral() (dict.Term, error) {
+	quote := p.advance()
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return dict.Term{}, p.errf("unterminated literal")
+		}
+		c := p.advance()
+		if c == quote {
+			break
+		}
+		if c == '\\' {
+			if p.eof() {
+				return dict.Term{}, p.errf("dangling escape")
+			}
+			switch e := p.advance(); e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			default:
+				return dict.Term{}, p.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	lit := dict.Term{Kind: dict.KindLiteral, Value: b.String()}
+	if !p.eof() && p.peek() == '@' {
+		p.advance()
+		start := p.pos
+		for !p.eof() && (isLabelChar(p.peek()) || p.peek() == '-') {
+			p.advance()
+		}
+		lit.Lang = p.src[start:p.pos]
+		return lit, nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		if !p.eof() && p.peek() == '<' {
+			dt, err := p.iriRef()
+			if err != nil {
+				return dict.Term{}, err
+			}
+			lit.Datatype = dt
+		} else {
+			dt, err := p.prefixedName()
+			if err != nil {
+				return dict.Term{}, err
+			}
+			lit.Datatype = dt
+		}
+	}
+	return lit, nil
+}
+
+func (p *turtleParser) numericLiteral() (dict.Term, error) {
+	start := p.pos
+	if p.peek() == '+' || p.peek() == '-' {
+		p.advance()
+	}
+	dot := false
+	for !p.eof() {
+		c := p.peek()
+		if c >= '0' && c <= '9' {
+			p.advance()
+			continue
+		}
+		if c == '.' && !dot {
+			// '.' terminates the statement unless followed by a digit
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9' {
+				dot = true
+				p.advance()
+				continue
+			}
+		}
+		break
+	}
+	lex := p.src[start:p.pos]
+	if lex == "" || lex == "+" || lex == "-" {
+		return dict.Term{}, p.errf("malformed number")
+	}
+	if dot {
+		return dict.TypedLit(lex, dict.XSDDec), nil
+	}
+	return dict.TypedLit(lex, dict.XSDInt), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,390 @@
+// Package plan builds and executes query plans over the self-organizing
+// store. It detects star patterns in the basic graph pattern and chooses
+// between the two operator families of the paper (Fig. 4): the Default
+// family (per-property index scans stitched with self-joins) and the
+// RDFscan/RDFjoin family over clustered CS tables, optionally with
+// zone-map pushdown of range predicates — including across correlated
+// foreign keys, the Netezza-style trick of §II-D.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"srdf/internal/dict"
+	"srdf/internal/exec"
+	"srdf/internal/relational"
+	"srdf/internal/sparql"
+	"srdf/internal/triples"
+)
+
+// Node is one plan operator.
+type Node interface {
+	Exec(ctx *exec.Ctx) *exec.Rel
+	// Explain writes one line per operator, indented.
+	Explain(b *strings.Builder, indent int)
+	// Vars lists the output variables.
+	Vars() []string
+	// EstRows is the planner's cardinality estimate.
+	EstRows() float64
+	// Joins counts the join operators in the subtree — the quantity
+	// Fig. 4 is about.
+	Joins() int
+}
+
+func pad(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// EmptyNode is a provably empty result (e.g. a constant term that is not
+// in the dictionary).
+type EmptyNode struct {
+	vars   []string
+	Reason string
+}
+
+func (n *EmptyNode) Exec(*exec.Ctx) *exec.Rel { return exec.NewRel(n.vars...) }
+func (n *EmptyNode) Vars() []string           { return n.vars }
+func (n *EmptyNode) EstRows() float64         { return 0 }
+func (n *EmptyNode) Joins() int               { return 0 }
+func (n *EmptyNode) Explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "Empty (%s)\n", n.Reason)
+}
+
+// DefaultStarNode evaluates a star with index scans + self-joins.
+type DefaultStarNode struct {
+	Star exec.Star
+	Idx  *triples.IndexSet
+	est  float64
+}
+
+func (n *DefaultStarNode) Exec(ctx *exec.Ctx) *exec.Rel {
+	return exec.DefaultStar(ctx, n.Star, n.Idx)
+}
+func (n *DefaultStarNode) Vars() []string   { return n.Star.Vars() }
+func (n *DefaultStarNode) EstRows() float64 { return n.est }
+func (n *DefaultStarNode) Joins() int {
+	if len(n.Star.Props) > 1 {
+		return len(n.Star.Props) - 1
+	}
+	return 0
+}
+func (n *DefaultStarNode) Explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "StarSelfJoin ?%s [%d props, %d self-joins] est=%.0f\n",
+		n.Star.SubjVar, len(n.Star.Props), n.Joins(), n.est)
+	for i := range n.Star.Props {
+		pad(b, indent+1)
+		fmt.Fprintf(b, "IdxScan %s\n", propDesc(&n.Star.Props[i]))
+	}
+}
+
+func propDesc(p *exec.StarProp) string {
+	s := fmt.Sprintf("p=%v", p.Pred)
+	if p.ObjVar != "" {
+		s += " ?" + p.ObjVar
+	}
+	if p.ObjConst != dict.Nil {
+		s += fmt.Sprintf(" =%v", p.ObjConst)
+	}
+	if p.HasRange {
+		s += fmt.Sprintf(" in[%v,%v]", p.Lo, p.Hi)
+	}
+	return s
+}
+
+// RDFScanNode evaluates a star over its covering CS tables with the
+// RDFscan operator plus the irregular residual, unioned.
+type RDFScanNode struct {
+	Star     exec.Star
+	Tables   []*relational.Table
+	UseZones bool
+	est      float64
+}
+
+func (n *RDFScanNode) Exec(ctx *exec.Ctx) *exec.Rel {
+	rels := make([]*exec.Rel, 0, len(n.Tables)+1)
+	for _, t := range n.Tables {
+		rels = append(rels, exec.RDFScan(ctx, t, n.Star, n.UseZones, 0, -1))
+	}
+	rels = append(rels, exec.ResidualStar(ctx, n.Star, n.Tables))
+	return exec.Union(rels...)
+}
+func (n *RDFScanNode) Vars() []string   { return n.Star.Vars() }
+func (n *RDFScanNode) EstRows() float64 { return n.est }
+func (n *RDFScanNode) Joins() int       { return 0 }
+func (n *RDFScanNode) Explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	names := make([]string, len(n.Tables))
+	for i, t := range n.Tables {
+		names[i] = t.Name
+	}
+	zones := ""
+	if n.UseZones {
+		zones = " +zonemaps"
+	}
+	fmt.Fprintf(b, "RDFscan ?%s over %s [%d props, 0 self-joins]%s est=%.0f\n",
+		n.Star.SubjVar, strings.Join(names, ","), len(n.Star.Props), zones, n.est)
+	for i := range n.Star.Props {
+		pad(b, indent+1)
+		fmt.Fprintf(b, "col %s\n", propDesc(&n.Star.Props[i]))
+	}
+}
+
+// RDFJoinNode extends candidate subjects flowing from Input with a star
+// fetched positionally from a CS table.
+type RDFJoinNode struct {
+	Input  Node
+	KeyVar string
+	Table  *relational.Table
+	Star   exec.Star
+	Idx    *triples.IndexSet
+	est    float64
+}
+
+func (n *RDFJoinNode) Exec(ctx *exec.Ctx) *exec.Rel {
+	in := n.Input.Exec(ctx)
+	return exec.RDFJoin(ctx, in, n.KeyVar, n.Table, n.Star, n.Idx)
+}
+func (n *RDFJoinNode) Vars() []string {
+	out := append([]string{}, n.Input.Vars()...)
+	for i := range n.Star.Props {
+		if v := n.Star.Props[i].ObjVar; v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+func (n *RDFJoinNode) EstRows() float64 { return n.est }
+func (n *RDFJoinNode) Joins() int       { return n.Input.Joins() + 1 }
+func (n *RDFJoinNode) Explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "RDFjoin ?%s -> %s [%d props fetched positionally] est=%.0f\n",
+		n.KeyVar, n.Table.Name, len(n.Star.Props), n.est)
+	n.Input.Explain(b, indent+1)
+}
+
+// HashJoinNode is a natural hash join on shared variables.
+type HashJoinNode struct {
+	L, R Node
+	est  float64
+}
+
+func (n *HashJoinNode) Exec(ctx *exec.Ctx) *exec.Rel {
+	return exec.HashJoin(ctx, n.L.Exec(ctx), n.R.Exec(ctx))
+}
+func (n *HashJoinNode) Vars() []string {
+	out := append([]string{}, n.L.Vars()...)
+	seen := map[string]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	for _, v := range n.R.Vars() {
+		if !seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+func (n *HashJoinNode) EstRows() float64 { return n.est }
+func (n *HashJoinNode) Joins() int       { return n.L.Joins() + n.R.Joins() + 1 }
+func (n *HashJoinNode) Explain(b *strings.Builder, indent int) {
+	shared := sharedVarNames(n.L.Vars(), n.R.Vars())
+	pad(b, indent)
+	fmt.Fprintf(b, "HashJoin on %v est=%.0f\n", shared, n.est)
+	n.L.Explain(b, indent+1)
+	n.R.Explain(b, indent+1)
+}
+
+func sharedVarNames(l, r []string) []string {
+	set := map[string]bool{}
+	for _, v := range l {
+		set[v] = true
+	}
+	var out []string
+	for _, v := range r {
+		if set[v] {
+			out = append(out, "?"+v)
+		}
+	}
+	return out
+}
+
+// FilterNode applies an expression filter.
+type FilterNode struct {
+	Input Node
+	Expr  sparql.Expr
+}
+
+func (n *FilterNode) Exec(ctx *exec.Ctx) *exec.Rel {
+	return exec.Filter(ctx, n.Input.Exec(ctx), n.Expr)
+}
+func (n *FilterNode) Vars() []string   { return n.Input.Vars() }
+func (n *FilterNode) EstRows() float64 { return n.Input.EstRows() / 3 }
+func (n *FilterNode) Joins() int       { return n.Input.Joins() }
+func (n *FilterNode) Explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "Filter %s\n", sparql.ExprString(n.Expr))
+	n.Input.Explain(b, indent+1)
+}
+
+// EqSelectNode keeps rows where two columns are equal (used when one
+// variable occurs twice in a pattern or star).
+type EqSelectNode struct {
+	Input Node
+	A, B  string
+}
+
+func (n *EqSelectNode) Exec(ctx *exec.Ctx) *exec.Rel {
+	rel := n.Input.Exec(ctx)
+	ai, bi := rel.ColIdx(n.A), rel.ColIdx(n.B)
+	if ai < 0 || bi < 0 {
+		return rel
+	}
+	var keep []int32
+	for i := 0; i < rel.Len(); i++ {
+		if rel.Cols[ai][i] == rel.Cols[bi][i] {
+			keep = append(keep, int32(i))
+		}
+	}
+	out := rel.Select(keep)
+	// drop the temp column B
+	res := exec.NewRel(removeVar(out.Vars, n.B)...)
+	for i := 0; i < out.Len(); i++ {
+		row := make([]dict.OID, 0, len(res.Vars))
+		for ci, v := range out.Vars {
+			if v != n.B {
+				row = append(row, out.Cols[ci][i])
+			}
+		}
+		res.AppendRow(row...)
+	}
+	return res
+}
+func removeVar(vars []string, v string) []string {
+	var out []string
+	for _, x := range vars {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+func (n *EqSelectNode) Vars() []string   { return removeVar(n.Input.Vars(), n.B) }
+func (n *EqSelectNode) EstRows() float64 { return n.Input.EstRows() / 10 }
+func (n *EqSelectNode) Joins() int       { return n.Input.Joins() }
+func (n *EqSelectNode) Explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "EqSelect ?%s = ?%s\n", n.A, n.B)
+	n.Input.Explain(b, indent+1)
+}
+
+// GenericScanNode answers one arbitrary triple pattern (variable
+// predicate and/or constant subject) off the best-matching projection.
+type GenericScanNode struct {
+	P   sparql.TriplePattern
+	S   dict.OID // bound values (Nil = variable)
+	Pr  dict.OID
+	O   dict.OID
+	Idx *triples.IndexSet
+	est float64
+}
+
+func (n *GenericScanNode) Vars() []string {
+	var out []string
+	for _, nd := range []sparql.Node{n.P.S, n.P.P, n.P.O} {
+		if nd.IsVar() && !contains(out, nd.Var) {
+			out = append(out, nd.Var)
+		}
+	}
+	return out
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *GenericScanNode) Exec(ctx *exec.Ctx) *exec.Rel {
+	rel := exec.NewRel(n.Vars()...)
+	// choose projection by bound prefix
+	var pr *triples.Projection
+	var lo, hi int
+	switch {
+	case n.S != dict.Nil && n.Pr != dict.Nil:
+		pr = n.Idx.Get(triples.SPO)
+		lo, hi = pr.Range2(n.S, n.Pr)
+	case n.S != dict.Nil && n.O != dict.Nil:
+		pr = n.Idx.Get(triples.SOP)
+		lo, hi = pr.Range2(n.S, n.O)
+	case n.S != dict.Nil:
+		pr = n.Idx.Get(triples.SPO)
+		lo, hi = pr.Range1(n.S)
+	case n.Pr != dict.Nil && n.O != dict.Nil:
+		pr = n.Idx.Get(triples.POS)
+		lo, hi = pr.Range2(n.Pr, n.O)
+	case n.Pr != dict.Nil:
+		pr = n.Idx.Get(triples.PSO)
+		lo, hi = pr.Range1(n.Pr)
+	case n.O != dict.Nil:
+		pr = n.Idx.Get(triples.OSP)
+		lo, hi = pr.Range1(n.O)
+	default:
+		pr = n.Idx.Get(triples.SPO)
+		lo, hi = 0, pr.Len()
+	}
+	row := make([]dict.OID, 0, 3)
+	nodes := [3]sparql.Node{n.P.S, n.P.P, n.P.O}
+	var b0, b1 string // up to two distinct vars already bound in this row
+	var v0, v1 dict.OID
+	for i := lo; i < hi; i++ {
+		tr := pr.Triple(i)
+		comps := [3]dict.OID{tr.S, tr.P, tr.O}
+		row = row[:0]
+		b0, b1 = "", ""
+		ok := true
+		for k := 0; k < 3; k++ {
+			nd := nodes[k]
+			if !nd.IsVar() {
+				continue // constants are enforced by the range prefix
+			}
+			switch nd.Var {
+			case b0:
+				if v0 != comps[k] {
+					ok = false
+				}
+			case b1:
+				if v1 != comps[k] {
+					ok = false
+				}
+			default:
+				if b0 == "" {
+					b0, v0 = nd.Var, comps[k]
+				} else {
+					b1, v1 = nd.Var, comps[k]
+				}
+				row = append(row, comps[k])
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			rel.AppendRow(row...)
+		}
+	}
+	return rel
+}
+func (n *GenericScanNode) EstRows() float64 { return n.est }
+func (n *GenericScanNode) Joins() int       { return 0 }
+func (n *GenericScanNode) Explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "TripleScan %s est=%.0f\n", n.P.String(), n.est)
+}

@@ -1,0 +1,405 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"srdf/internal/cs"
+	"srdf/internal/dict"
+	"srdf/internal/exec"
+	"srdf/internal/relational"
+	"srdf/internal/sparql"
+	"srdf/internal/triples"
+)
+
+// Mode selects the plan family.
+type Mode uint8
+
+const (
+	// ModeDefault uses per-property index scans and self-joins only —
+	// the paper's "Default" query plan scheme.
+	ModeDefault Mode = iota
+	// ModeRDFScan uses RDFscan/RDFjoin over the emergent tables where
+	// star patterns allow, falling back to Default elsewhere.
+	ModeRDFScan
+)
+
+func (m Mode) String() string {
+	if m == ModeRDFScan {
+		return "RDFscan/RDFjoin"
+	}
+	return "Default"
+}
+
+// Options tunes planning, mirroring the configuration axes of Table I.
+type Options struct {
+	Mode Mode
+	// ZoneMaps enables zone-map block skipping and cross-table FK
+	// pushdown. Only effective on an organized store.
+	ZoneMaps bool
+}
+
+// StoreView is what the planner needs to know about the store.
+type StoreView struct {
+	Dict *dict.Dictionary
+	Idx  *triples.IndexSet
+	// Schema and Cat are nil before Organize.
+	Schema *cs.Schema
+	Cat    *relational.Catalog
+	// Organized reports that subject clustering ran and the catalog is
+	// populated.
+	Organized bool
+	// LiteralsOrdered reports that literal OIDs are currently in value
+	// order (false again once trickle inserts mint new literals); range
+	// pushdown to OID comparisons requires it.
+	LiteralsOrdered bool
+}
+
+// Plan is an executable query plan.
+type Plan struct {
+	Root  Node
+	Query *sparql.Query
+	Opts  Options
+}
+
+// Explain renders the operator tree.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan [%s", p.Opts.Mode)
+	if p.Opts.ZoneMaps {
+		b.WriteString(" +zonemaps")
+	}
+	fmt.Fprintf(&b, "] joins=%d\n", p.Root.Joins())
+	p.Root.Explain(&b, 0)
+	return b.String()
+}
+
+// Execute runs the plan to a decoded result.
+func (p *Plan) Execute(ctx *exec.Ctx) (*exec.Result, error) {
+	rel := p.Root.Exec(ctx)
+	return exec.Head(ctx, rel, p.Query)
+}
+
+// Build plans a parsed query against a store view.
+func Build(q *sparql.Query, sv *StoreView, opts Options) (*Plan, error) {
+	b := &builder{q: q, sv: sv, opts: opts}
+	root, err := b.build()
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, Query: q, Opts: opts}, nil
+}
+
+type builder struct {
+	q    *sparql.Query
+	sv   *StoreView
+	opts Options
+	// renames maps temp vars introduced for duplicate variables to
+	// their originals; EqSelect nodes resolve them.
+	tmpSeq int
+}
+
+// star groups the patterns sharing one subject variable.
+type star struct {
+	subjVar string
+	props   []exec.StarProp
+	eqPairs [][2]string // (orig, temp) equality constraints
+	est     float64
+	// tables covering the star (RDFScan mode, organized store).
+	tables []*relational.Table
+}
+
+func (b *builder) build() (Node, error) {
+	var stars []*star
+	starBySubj := map[string]*star{}
+	var generic []sparql.TriplePattern
+
+	for _, tp := range b.q.Patterns {
+		if tp.S.IsVar() && !tp.P.IsVar() {
+			st := starBySubj[tp.S.Var]
+			if st == nil {
+				st = &star{subjVar: tp.S.Var}
+				starBySubj[tp.S.Var] = st
+				stars = append(stars, st)
+			}
+			prop, eq, err := b.makeProp(st, tp)
+			if err != nil {
+				return &EmptyNode{vars: b.q.PatternVars(), Reason: err.Error()}, nil
+			}
+			st.props = append(st.props, prop)
+			if eq != nil {
+				st.eqPairs = append(st.eqPairs, *eq)
+			}
+			continue
+		}
+		generic = append(generic, tp)
+	}
+
+	// Push single-variable range filters into stars.
+	b.pushFilters(stars)
+	// Resolve covering tables + zone pushdown.
+	for _, st := range stars {
+		b.resolveStar(st)
+	}
+	b.crossTablePushdown(stars)
+	for _, st := range stars {
+		st.est = b.estimate(st)
+	}
+
+	// Build the join tree greedily: cheapest star first, then always the
+	// connected star with the smallest estimate (RDFjoin when the link
+	// is subject-shaped).
+	var root Node
+	remaining := append([]*star{}, stars...)
+	sort.SliceStable(remaining, func(i, j int) bool { return remaining[i].est < remaining[j].est })
+	boundVars := map[string]bool{}
+	for len(remaining) > 0 {
+		next := -1
+		if root == nil {
+			next = 0
+		} else {
+			for i, st := range remaining {
+				if starConnected(st, boundVars) {
+					next = i
+					break
+				}
+			}
+			if next < 0 {
+				next = 0 // disconnected component: cross product
+			}
+		}
+		st := remaining[next]
+		remaining = append(remaining[:next], remaining[next+1:]...)
+		node := b.starNode(st)
+		if root == nil {
+			root = node
+		} else if b.opts.Mode == ModeRDFScan && boundVars[st.subjVar] && len(st.tables) >= 1 {
+			// candidates for this star's subject flow from the tree:
+			// RDFjoin (positional fetch) instead of scan + hash join.
+			root = &RDFJoinNode{
+				Input:  root,
+				KeyVar: st.subjVar,
+				Table:  biggestTable(st.tables),
+				Star:   execStar(st),
+				Idx:    b.sv.Idx,
+				est:    root.EstRows(),
+			}
+			root = b.eqSelects(root, st)
+		} else {
+			root = &HashJoinNode{L: root, R: node, est: minf(root.EstRows(), node.EstRows())}
+		}
+		for _, v := range node.Vars() {
+			boundVars[v] = true
+		}
+	}
+
+	// Generic patterns join in afterwards.
+	for _, tp := range generic {
+		node, err := b.genericNode(tp)
+		if err != nil {
+			return &EmptyNode{vars: b.q.PatternVars(), Reason: err.Error()}, nil
+		}
+		if root == nil {
+			root = node
+		} else {
+			root = &HashJoinNode{L: root, R: node, est: minf(root.EstRows(), node.EstRows())}
+		}
+	}
+	if root == nil {
+		return &EmptyNode{vars: nil, Reason: "no patterns"}, nil
+	}
+	return root, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func starConnected(st *star, bound map[string]bool) bool {
+	if bound[st.subjVar] {
+		return true
+	}
+	for i := range st.props {
+		if v := st.props[i].ObjVar; v != "" && bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func biggestTable(ts []*relational.Table) *relational.Table {
+	best := ts[0]
+	for _, t := range ts[1:] {
+		if t.Count > best.Count {
+			best = t
+		}
+	}
+	return best
+}
+
+// makeProp converts one pattern into a StarProp, introducing a temp
+// variable when the object variable repeats within the star or equals
+// the subject.
+func (b *builder) makeProp(st *star, tp sparql.TriplePattern) (exec.StarProp, *[2]string, error) {
+	pred, ok := b.sv.Dict.Lookup(tp.P.Term)
+	if !ok {
+		return exec.StarProp{}, nil, fmt.Errorf("predicate %s not in store", tp.P.Term)
+	}
+	prop := exec.StarProp{Pred: pred}
+	if tp.O.IsVar() {
+		name := tp.O.Var
+		dup := name == st.subjVar
+		for i := range st.props {
+			if st.props[i].ObjVar == name {
+				dup = true
+			}
+		}
+		if dup {
+			b.tmpSeq++
+			tmp := fmt.Sprintf("%s#%d", name, b.tmpSeq)
+			prop.ObjVar = tmp
+			return prop, &[2]string{name, tmp}, nil
+		}
+		prop.ObjVar = name
+		return prop, nil, nil
+	}
+	obj, ok := b.sv.Dict.Lookup(tp.O.Term)
+	if !ok {
+		return exec.StarProp{}, nil, fmt.Errorf("object %s not in store", tp.O.Term)
+	}
+	prop.ObjConst = obj
+	return prop, nil, nil
+}
+
+func (b *builder) genericNode(tp sparql.TriplePattern) (Node, error) {
+	n := &GenericScanNode{P: tp, Idx: b.sv.Idx, est: float64(b.sv.Idx.Get(triples.SPO).Len())}
+	resolve := func(nd sparql.Node) (dict.OID, error) {
+		if nd.IsVar() {
+			return dict.Nil, nil
+		}
+		o, ok := b.sv.Dict.Lookup(nd.Term)
+		if !ok {
+			return dict.Nil, fmt.Errorf("term %s not in store", nd.Term)
+		}
+		return o, nil
+	}
+	var err error
+	if n.S, err = resolve(tp.S); err != nil {
+		return nil, err
+	}
+	if n.Pr, err = resolve(tp.P); err != nil {
+		return nil, err
+	}
+	if n.O, err = resolve(tp.O); err != nil {
+		return nil, err
+	}
+	bound := 0
+	for _, o := range []dict.OID{n.S, n.Pr, n.O} {
+		if o != dict.Nil {
+			bound++
+		}
+	}
+	n.est /= float64(uint(1) << (4 * uint(bound)))
+	return n, nil
+}
+
+// starNode materializes the scan node for a star.
+func (b *builder) starNode(st *star) Node {
+	var node Node
+	if b.opts.Mode == ModeRDFScan && len(st.tables) > 0 {
+		node = &RDFScanNode{Star: execStar(st), Tables: st.tables, UseZones: b.opts.ZoneMaps && b.sv.Organized, est: st.est}
+	} else {
+		node = &DefaultStarNode{Star: execStar(st), Idx: b.sv.Idx, est: st.est}
+	}
+	return b.eqSelects(node, st)
+}
+
+func (b *builder) eqSelects(node Node, st *star) Node {
+	for _, pair := range st.eqPairs {
+		node = &EqSelectNode{Input: node, A: pair[0], B: pair[1]}
+	}
+	return node
+}
+
+func execStar(st *star) exec.Star {
+	return exec.Star{SubjVar: st.subjVar, Props: st.props}
+}
+
+// resolveStar finds covering tables and prunes pushdown usability.
+func (b *builder) resolveStar(st *star) {
+	if b.sv.Schema == nil || b.sv.Cat == nil || !b.sv.Organized {
+		return
+	}
+	preds := make([]dict.OID, len(st.props))
+	for i := range st.props {
+		preds[i] = st.props[i].Pred
+	}
+	for _, c := range b.sv.Schema.Covering(preds) {
+		if t := b.sv.Cat.ByCS(c.ID); t != nil {
+			// a split-off (multi-valued) property has no column; such
+			// stars cannot use RDFscan on this table
+			all := true
+			for _, p := range preds {
+				if t.Col(p) == nil {
+					all = false
+					break
+				}
+			}
+			if all {
+				st.tables = append(st.tables, t)
+			}
+		}
+	}
+}
+
+// estimate is the CS-informed cardinality model: base cardinality from
+// covering CS supports (or the property run length), multiplied by
+// constraint selectivities — the structural-correlation awareness the
+// paper argues triple stores lack.
+func (b *builder) estimate(st *star) float64 {
+	var base float64
+	if len(st.tables) > 0 {
+		for _, t := range st.tables {
+			base += float64(t.Count)
+		}
+	} else {
+		// smallest property run bounds the star size
+		pso := b.sv.Idx.Get(triples.PSO)
+		minRun := -1
+		for i := range st.props {
+			lo, hi := pso.Range1(st.props[i].Pred)
+			if minRun < 0 || hi-lo < minRun {
+				minRun = hi - lo
+			}
+		}
+		if minRun < 0 {
+			minRun = 0
+		}
+		base = float64(minRun)
+	}
+	sel := 1.0
+	for i := range st.props {
+		p := &st.props[i]
+		switch {
+		case p.ObjConst != dict.Nil:
+			sel *= selConst(b.sv.Idx, p)
+		case p.HasRange:
+			sel *= 0.3
+		}
+	}
+	return base * sel
+}
+
+func selConst(idx *triples.IndexSet, p *exec.StarProp) float64 {
+	pos := idx.Get(triples.POS)
+	runLo, runHi := pos.Range1(p.Pred)
+	if runHi == runLo {
+		return 0
+	}
+	lo, hi := pos.Range2(p.Pred, p.ObjConst)
+	return float64(hi-lo+1) / float64(runHi-runLo+1)
+}

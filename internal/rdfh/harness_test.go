@@ -1,0 +1,24 @@
+package rdfh
+
+import "testing"
+
+func TestHarnessTableI(t *testing.T) {
+	h, err := NewHarness(0.002, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := h.RunTableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 24 {
+		t.Fatalf("measurements = %d, want 24", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Checked {
+			t.Errorf("unvalidated cell: %s %s cold=%v rows=%d", m.Config.Name, m.Query, m.Cold, m.Rows)
+		}
+	}
+	out := FormatTableI(ms, 0.002)
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,274 @@
+package rdfh
+
+import (
+	"fmt"
+	"sort"
+
+	"srdf/internal/dict"
+)
+
+// Q6 is TPC-H Q6 in SPARQL: the forecasting revenue change query — a
+// pure single-star query over LINEITEM with three range predicates, the
+// paper's showcase for RDFscan + zone maps on the shipdate sub-order.
+func Q6() string {
+	return `
+PREFIX rdfh: <` + NS + `>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT (SUM(?ep * ?disc) AS ?revenue)
+WHERE {
+  ?li rdfh:lineitem_shipdate ?sd .
+  ?li rdfh:lineitem_extendedprice ?ep .
+  ?li rdfh:lineitem_discount ?disc .
+  ?li rdfh:lineitem_quantity ?q .
+  FILTER (?sd >= "1994-01-01"^^xsd:date && ?sd < "1995-01-01"^^xsd:date)
+  FILTER (?disc >= 0.05 && ?disc <= 0.07 && ?q < 24)
+}`
+}
+
+// RefQ6 computes Q6's expected answer from the rows.
+func RefQ6(d *Data) float64 {
+	lo, _ := dict.ParseDate("1994-01-01")
+	hi, _ := dict.ParseDate("1995-01-01")
+	var rev float64
+	for i := range d.Lineitems {
+		l := &d.Lineitems[i]
+		if l.ShipDate >= lo && l.ShipDate < hi &&
+			l.Discount >= 0.05 && l.Discount <= 0.07 && l.Quantity < 24 {
+			rev += l.ExtendedPrice * l.Discount
+		}
+	}
+	return rev
+}
+
+// Q3 is TPC-H Q3: the shipping priority query — customer ⋈ orders ⋈
+// lineitem with anti-correlated date predicates, the paper's showcase
+// for RDFjoin and cross-table zone-map pushdown.
+func Q3() string {
+	return `
+PREFIX rdfh: <` + NS + `>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?o (SUM(?ep * (1 - ?disc)) AS ?revenue) ?od ?sp
+WHERE {
+  ?c rdfh:customer_mktsegment ?seg .
+  ?o rdfh:order_customer ?c .
+  ?o rdfh:order_orderdate ?od .
+  ?o rdfh:order_shippriority ?sp .
+  ?li rdfh:lineitem_order ?o .
+  ?li rdfh:lineitem_shipdate ?sd .
+  ?li rdfh:lineitem_extendedprice ?ep .
+  ?li rdfh:lineitem_discount ?disc .
+  FILTER (?seg = "BUILDING")
+  FILTER (?od < "1995-03-15"^^xsd:date)
+  FILTER (?sd > "1995-03-15"^^xsd:date)
+}
+GROUP BY ?o ?od ?sp
+ORDER BY DESC(?revenue) ?od
+LIMIT 10`
+}
+
+// Q3Row is one expected Q3 result row.
+type Q3Row struct {
+	OrderKey  int
+	Revenue   float64
+	OrderDate int64
+}
+
+// RefQ3 computes Q3's expected top-10.
+func RefQ3(d *Data) []Q3Row {
+	cut, _ := dict.ParseDate("1995-03-15")
+	building := make(map[int]bool)
+	for i := range d.Customers {
+		if d.Customers[i].MktSegment == "BUILDING" {
+			building[d.Customers[i].Key] = true
+		}
+	}
+	ordDate := make(map[int]int64)
+	for i := range d.Orders {
+		o := &d.Orders[i]
+		if building[o.CustKey] && o.OrderDate < cut {
+			ordDate[o.Key] = o.OrderDate
+		}
+	}
+	rev := make(map[int]float64)
+	for i := range d.Lineitems {
+		l := &d.Lineitems[i]
+		if l.ShipDate > cut {
+			if _, ok := ordDate[l.OrderKey]; ok {
+				rev[l.OrderKey] += l.ExtendedPrice * (1 - l.Discount)
+			}
+		}
+	}
+	rows := make([]Q3Row, 0, len(rev))
+	for k, r := range rev {
+		rows = append(rows, Q3Row{OrderKey: k, Revenue: r, OrderDate: ordDate[k]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Revenue != rows[j].Revenue {
+			return rows[i].Revenue > rows[j].Revenue
+		}
+		return rows[i].OrderDate < rows[j].OrderDate
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return rows
+}
+
+// Q1 is TPC-H Q1: the pricing summary report — a full LINEITEM star with
+// heavy aggregation.
+func Q1() string {
+	return `
+PREFIX rdfh: <` + NS + `>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?rf ?ls (SUM(?q) AS ?sum_qty) (SUM(?ep) AS ?sum_base)
+       (SUM(?ep * (1 - ?disc)) AS ?sum_disc)
+       (SUM(?ep * (1 - ?disc) * (1 + ?tax)) AS ?sum_charge)
+       (AVG(?q) AS ?avg_qty) (AVG(?ep) AS ?avg_price)
+       (AVG(?disc) AS ?avg_disc) (COUNT(*) AS ?n)
+WHERE {
+  ?li rdfh:lineitem_returnflag ?rf .
+  ?li rdfh:lineitem_linestatus ?ls .
+  ?li rdfh:lineitem_quantity ?q .
+  ?li rdfh:lineitem_extendedprice ?ep .
+  ?li rdfh:lineitem_discount ?disc .
+  ?li rdfh:lineitem_tax ?tax .
+  ?li rdfh:lineitem_shipdate ?sd .
+  FILTER (?sd <= "1998-09-02"^^xsd:date)
+}
+GROUP BY ?rf ?ls
+ORDER BY ?rf ?ls`
+}
+
+// Q1Row is one expected Q1 group.
+type Q1Row struct {
+	ReturnFlag, LineStatus string
+	SumQty                 int64
+	SumBase, SumDisc       float64
+	Count                  int
+}
+
+// RefQ1 computes Q1's expected groups.
+func RefQ1(d *Data) []Q1Row {
+	cut, _ := dict.ParseDate("1998-09-02")
+	type key struct{ rf, ls string }
+	agg := map[key]*Q1Row{}
+	for i := range d.Lineitems {
+		l := &d.Lineitems[i]
+		if l.ShipDate > cut {
+			continue
+		}
+		k := key{l.ReturnFlag, l.LineStatus}
+		r := agg[k]
+		if r == nil {
+			r = &Q1Row{ReturnFlag: l.ReturnFlag, LineStatus: l.LineStatus}
+			agg[k] = r
+		}
+		r.SumQty += int64(l.Quantity)
+		r.SumBase += l.ExtendedPrice
+		r.SumDisc += l.ExtendedPrice * (1 - l.Discount)
+		r.Count++
+	}
+	var rows []Q1Row
+	for _, r := range agg {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ReturnFlag != rows[j].ReturnFlag {
+			return rows[i].ReturnFlag < rows[j].ReturnFlag
+		}
+		return rows[i].LineStatus < rows[j].LineStatus
+	})
+	return rows
+}
+
+// Q5 is TPC-H Q5: the local supplier volume query — a six-way join
+// cycle (customer, orders, lineitem, supplier, shared nation, region).
+func Q5() string {
+	return `
+PREFIX rdfh: <` + NS + `>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?nn (SUM(?ep * (1 - ?disc)) AS ?revenue)
+WHERE {
+  ?c rdfh:customer_nation ?n .
+  ?o rdfh:order_customer ?c .
+  ?o rdfh:order_orderdate ?od .
+  ?li rdfh:lineitem_order ?o .
+  ?li rdfh:lineitem_supplier ?s .
+  ?li rdfh:lineitem_extendedprice ?ep .
+  ?li rdfh:lineitem_discount ?disc .
+  ?s rdfh:supplier_nation ?n .
+  ?n rdfh:nation_name ?nn .
+  ?n rdfh:nation_region ?r .
+  ?r rdfh:region_name ?rn .
+  FILTER (?rn = "ASIA")
+  FILTER (?od >= "1994-01-01"^^xsd:date && ?od < "1995-01-01"^^xsd:date)
+}
+GROUP BY ?nn
+ORDER BY DESC(?revenue)`
+}
+
+// Q5Row is one expected Q5 group.
+type Q5Row struct {
+	Nation  string
+	Revenue float64
+}
+
+// RefQ5 computes Q5's expected answer.
+func RefQ5(d *Data) []Q5Row {
+	lo, _ := dict.ParseDate("1994-01-01")
+	hi, _ := dict.ParseDate("1995-01-01")
+	asiaNations := map[int]string{}
+	for i := range d.Nations {
+		if d.Regions[d.Nations[i].RegionKey].Name == "ASIA" {
+			asiaNations[d.Nations[i].Key] = d.Nations[i].Name
+		}
+	}
+	custNation := map[int]int{}
+	for i := range d.Customers {
+		custNation[d.Customers[i].Key] = d.Customers[i].NationKey
+	}
+	suppNation := map[int]int{}
+	for i := range d.Suppliers {
+		suppNation[d.Suppliers[i].Key] = d.Suppliers[i].NationKey
+	}
+	ordCustNation := map[int]int{} // order -> customer nation, if in window
+	for i := range d.Orders {
+		o := &d.Orders[i]
+		if o.OrderDate >= lo && o.OrderDate < hi {
+			ordCustNation[o.Key] = custNation[o.CustKey]
+		}
+	}
+	rev := map[int]float64{}
+	for i := range d.Lineitems {
+		l := &d.Lineitems[i]
+		cn, ok := ordCustNation[l.OrderKey]
+		if !ok {
+			continue
+		}
+		sn := suppNation[l.SuppKey]
+		if sn != cn {
+			continue
+		}
+		if _, asia := asiaNations[sn]; !asia {
+			continue
+		}
+		rev[sn] += l.ExtendedPrice * (1 - l.Discount)
+	}
+	var rows []Q5Row
+	for n, r := range rev {
+		rows = append(rows, Q5Row{Nation: asiaNations[n], Revenue: r})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Revenue > rows[j].Revenue })
+	return rows
+}
+
+// Queries maps the benchmark's query ids to their SPARQL text.
+func Queries() map[string]string {
+	return map[string]string{"Q1": Q1(), "Q3": Q3(), "Q5": Q5(), "Q6": Q6()}
+}
+
+// String renders counts.
+func (c Counts) String() string {
+	return fmt.Sprintf("region=%d nation=%d supplier=%d customer=%d part=%d partsupp=%d orders=%d lineitem=%d",
+		c.Regions, c.Nations, c.Suppliers, c.Customers, c.Parts, c.PartSupps, c.Orders, c.Lineitems)
+}

@@ -1,0 +1,283 @@
+package rdfh
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"srdf/internal/core"
+	"srdf/internal/dict"
+	"srdf/internal/nt"
+	"srdf/internal/plan"
+)
+
+const testSF = 0.002
+
+func testData() *Data { return Generate(testSF, 42) }
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.001, 7)
+	b := Generate(0.001, 7)
+	if len(a.Lineitems) != len(b.Lineitems) || len(a.Orders) != len(b.Orders) {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range a.Lineitems {
+		if a.Lineitems[i] != b.Lineitems[i] {
+			t.Fatalf("lineitem %d differs", i)
+		}
+	}
+	c := Generate(0.001, 8)
+	same := true
+	for i := range a.Lineitems {
+		if i < len(c.Lineitems) && a.Lineitems[i] != c.Lineitems[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(a.Lineitems) == len(c.Lineitems) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := testData()
+	c := d.Counts()
+	if c.Regions != 5 || c.Nations != 25 {
+		t.Errorf("regions/nations: %v", c)
+	}
+	if c.Orders == 0 || c.Lineitems < c.Orders {
+		t.Errorf("orders/lineitems: %v", c)
+	}
+	// average lineitems per order ~4
+	avg := float64(c.Lineitems) / float64(c.Orders)
+	if avg < 2.5 || avg > 5.5 {
+		t.Errorf("avg lineitems per order = %.2f", avg)
+	}
+	// date correlation: shipdate in (orderdate, orderdate+121]
+	ord := map[int]int64{}
+	for i := range d.Orders {
+		ord[d.Orders[i].Key] = d.Orders[i].OrderDate
+	}
+	for i := range d.Lineitems {
+		l := &d.Lineitems[i]
+		od := ord[l.OrderKey]
+		if l.ShipDate <= od || l.ShipDate > od+121 {
+			t.Fatalf("lineitem %d shipdate %d outside (%d, %d]", i, l.ShipDate, od, od+121)
+		}
+	}
+}
+
+func TestEmitAndParseBack(t *testing.T) {
+	d := Generate(0.0005, 1)
+	var buf bytes.Buffer
+	n, err := d.WriteNT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := nt.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted N-Triples do not re-parse: %v", err)
+	}
+	if len(ts) != n {
+		t.Errorf("wrote %d, parsed %d", n, len(ts))
+	}
+}
+
+// loadStore loads a generated database into an organized store.
+func loadStore(t testing.TB, d *Data) *core.Store {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.CS.MinSupport = 5
+	st := core.NewStore(opts)
+	d.Emit(st.Add)
+	if _, err := st.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSchemaDiscoveryOnRDFH(t *testing.T) {
+	d := testData()
+	st := loadStore(t, d)
+	rep := st.Stats()
+	if rep.Coverage < 0.999 {
+		t.Errorf("RDF-H is fully regular; coverage = %v", rep.Coverage)
+	}
+	// 8 entity classes
+	if rep.Tables != 8 {
+		t.Errorf("tables = %d, want 8:\n%s", rep.Tables, st.SQLSchema())
+	}
+	ddl := st.SQLSchema()
+	for _, want := range []string{"shipdate DATE", "orderdate DATE", "REFERENCES"} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+}
+
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	return diff < 1e-6*math.Max(math.Abs(a), math.Abs(b))+1e-9
+}
+
+func TestQ6AllConfigs(t *testing.T) {
+	d := testData()
+	st := loadStore(t, d)
+	want := RefQ6(d)
+	for _, cfg := range []core.QueryOptions{
+		{Mode: plan.ModeDefault},
+		{Mode: plan.ModeRDFScan},
+		{Mode: plan.ModeRDFScan, ZoneMaps: true},
+	} {
+		res, err := st.Query(Q6(), cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Len() != 1 {
+			t.Fatalf("%+v: rows = %d", cfg, res.Len())
+		}
+		got := res.Rows[0][0].AsFloat()
+		if !approxEq(got, want) {
+			t.Errorf("%+v: revenue = %v, want %v", cfg, got, want)
+		}
+	}
+	if want == 0 {
+		t.Error("degenerate test: reference revenue is 0")
+	}
+}
+
+func TestQ3AllConfigs(t *testing.T) {
+	d := testData()
+	st := loadStore(t, d)
+	want := RefQ3(d)
+	if len(want) == 0 {
+		t.Skip("no qualifying orders at this SF/seed")
+	}
+	for _, cfg := range []core.QueryOptions{
+		{Mode: plan.ModeDefault},
+		{Mode: plan.ModeRDFScan},
+		{Mode: plan.ModeRDFScan, ZoneMaps: true},
+	} {
+		res, err := st.Query(Q3(), cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Len() != len(want) {
+			t.Fatalf("%+v: rows = %d, want %d", cfg, res.Len(), len(want))
+		}
+		for i, w := range want {
+			if !approxEq(res.Rows[i][1].AsFloat(), w.Revenue) {
+				t.Errorf("%+v row %d: revenue %v, want %v", cfg, i, res.Rows[i][1], w.Revenue)
+			}
+		}
+	}
+}
+
+func TestQ1AllConfigs(t *testing.T) {
+	d := testData()
+	st := loadStore(t, d)
+	want := RefQ1(d)
+	for _, cfg := range []core.QueryOptions{
+		{Mode: plan.ModeDefault},
+		{Mode: plan.ModeRDFScan, ZoneMaps: true},
+	} {
+		res, err := st.Query(Q1(), cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Len() != len(want) {
+			t.Fatalf("%+v: groups = %d, want %d", cfg, res.Len(), len(want))
+		}
+		for i, w := range want {
+			if res.Rows[i][0].Lexical() != w.ReturnFlag || res.Rows[i][1].Lexical() != w.LineStatus {
+				t.Errorf("group %d: %s/%s want %s/%s", i,
+					res.Rows[i][0].Lexical(), res.Rows[i][1].Lexical(), w.ReturnFlag, w.LineStatus)
+			}
+			if res.Rows[i][2].Int != w.SumQty {
+				t.Errorf("group %d sum_qty: %v want %d", i, res.Rows[i][2], w.SumQty)
+			}
+			if !approxEq(res.Rows[i][3].AsFloat(), w.SumBase) {
+				t.Errorf("group %d sum_base: %v want %v", i, res.Rows[i][3], w.SumBase)
+			}
+			if int(res.Rows[i][9].Int) != w.Count {
+				t.Errorf("group %d count: %v want %d", i, res.Rows[i][9], w.Count)
+			}
+		}
+	}
+}
+
+func TestQ5AllConfigs(t *testing.T) {
+	d := Generate(0.004, 11) // a bit bigger so ASIA matches exist
+	st := loadStore(t, d)
+	want := RefQ5(d)
+	if len(want) == 0 {
+		t.Skip("no qualifying ASIA volume at this SF/seed")
+	}
+	for _, cfg := range []core.QueryOptions{
+		{Mode: plan.ModeDefault},
+		{Mode: plan.ModeRDFScan, ZoneMaps: true},
+	} {
+		res, err := st.Query(Q5(), cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Len() != len(want) {
+			t.Fatalf("%+v: rows = %d, want %d", cfg, res.Len(), len(want))
+		}
+		for i, w := range want {
+			if res.Rows[i][0].Lexical() != w.Nation || !approxEq(res.Rows[i][1].AsFloat(), w.Revenue) {
+				t.Errorf("%+v row %d: %s %v, want %s %v", cfg, i,
+					res.Rows[i][0].Lexical(), res.Rows[i][1], w.Nation, w.Revenue)
+			}
+		}
+	}
+}
+
+func TestLineitemSubOrderedByShipdate(t *testing.T) {
+	d := testData()
+	st := loadStore(t, d)
+	// find the lineitem table: the one with a shipdate column
+	var found bool
+	for _, tab := range st.Catalog().Visible() {
+		col := tab.ColByName("lineitem_shipdate")
+		if col == nil {
+			continue
+		}
+		found = true
+		vals := col.Data.Vals
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != dict.Nil && vals[i-1] != dict.Nil && vals[i] < vals[i-1] {
+				t.Fatalf("shipdate column not ascending at %d", i)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("lineitem table not found")
+	}
+}
+
+func TestZoneMapsReducePageTouches(t *testing.T) {
+	d := Generate(0.01, 3)
+	st := loadStore(t, d)
+	run := func(cfg core.QueryOptions) uint64 {
+		st.Pool().ResetCold()
+		st.Pool().ResetStats()
+		if _, err := st.Query(Q6(), cfg); err != nil {
+			t.Fatal(err)
+		}
+		return st.Pool().Stats().Misses
+	}
+	noZones := run(core.QueryOptions{Mode: plan.ModeRDFScan})
+	zones := run(core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true})
+	defPages := run(core.QueryOptions{Mode: plan.ModeDefault})
+	if zones >= noZones {
+		t.Errorf("zone maps did not reduce pages: %d vs %d", zones, noZones)
+	}
+	if zones >= defPages {
+		t.Errorf("RDFscan+zones (%d pages) should beat Default (%d pages)", zones, defPages)
+	}
+}

@@ -1,0 +1,325 @@
+// Package sparql implements the SPARQL subset the store's front-end
+// accepts: SELECT queries over basic graph patterns with FILTERs,
+// expression projections with aggregates, GROUP BY, ORDER BY,
+// DISTINCT, LIMIT and OFFSET — enough for the RDF-H benchmark queries
+// and typical star-shaped workloads the paper targets.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"srdf/internal/dict"
+)
+
+// Node is a triple pattern position: either a variable or a constant
+// term.
+type Node struct {
+	// Var is the variable name without '?', or "" for a constant.
+	Var  string
+	Term dict.Term
+}
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// Variable makes a variable node.
+func Variable(name string) Node { return Node{Var: name} }
+
+// Constant makes a constant node.
+func Constant(t dict.Term) Node { return Node{Term: t} }
+
+func (n Node) String() string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// TriplePattern is one pattern of the basic graph pattern.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String() + " ."
+}
+
+// Op enumerates expression operators.
+type Op uint8
+
+// Expression operators.
+const (
+	OpOr Op = iota
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpNot
+	OpNeg
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOr:
+		return "||"
+	case OpAnd:
+		return "&&"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpNot:
+		return "!"
+	case OpNeg:
+		return "-"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	default:
+		return "MAX"
+	}
+}
+
+// Expr is a filter or projection expression tree.
+type Expr interface {
+	exprString() string
+	// Vars appends the variables the expression references.
+	Vars(dst []string) []string
+}
+
+// ExVar references a variable.
+type ExVar struct{ Name string }
+
+// ExLit is a constant literal with its parsed value.
+type ExLit struct {
+	Term dict.Term
+	Val  dict.Value
+}
+
+// ExBin is a binary operation.
+type ExBin struct {
+	Op   Op
+	L, R Expr
+}
+
+// ExUn is a unary operation (OpNot, OpNeg).
+type ExUn struct {
+	Op Op
+	E  Expr
+}
+
+// ExAgg is an aggregate application.
+type ExAgg struct {
+	Func AggFunc
+	// Arg is nil for COUNT(*).
+	Arg      Expr
+	Distinct bool
+}
+
+func (e *ExVar) exprString() string { return "?" + e.Name }
+func (e *ExLit) exprString() string { return e.Term.String() }
+func (e *ExBin) exprString() string {
+	return "(" + e.L.exprString() + " " + e.Op.String() + " " + e.R.exprString() + ")"
+}
+func (e *ExUn) exprString() string { return e.Op.String() + "(" + e.E.exprString() + ")" }
+func (e *ExAgg) exprString() string {
+	inner := "*"
+	if e.Arg != nil {
+		inner = e.Arg.exprString()
+	}
+	if e.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	return e.Func.String() + "(" + inner + ")"
+}
+
+// Vars implementations.
+func (e *ExVar) Vars(dst []string) []string { return append(dst, e.Name) }
+func (e *ExLit) Vars(dst []string) []string { return dst }
+func (e *ExBin) Vars(dst []string) []string { return e.R.Vars(e.L.Vars(dst)) }
+func (e *ExUn) Vars(dst []string) []string  { return e.E.Vars(dst) }
+func (e *ExAgg) Vars(dst []string) []string {
+	if e.Arg == nil {
+		return dst
+	}
+	return e.Arg.Vars(dst)
+}
+
+// String renders an expression.
+func ExprString(e Expr) string { return e.exprString() }
+
+// HasAgg reports whether the expression contains an aggregate.
+func HasAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *ExAgg:
+		return true
+	case *ExBin:
+		return HasAgg(x.L) || HasAgg(x.R)
+	case *ExUn:
+		return HasAgg(x.E)
+	default:
+		return false
+	}
+}
+
+// SelectItem is one projection: an expression with an output name.
+type SelectItem struct {
+	Expr Expr
+	// As is the output variable name. For a bare ?var projection it is
+	// the variable name itself.
+	As string
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Query is a parsed SELECT query.
+type Query struct {
+	Prefixes  map[string]string
+	Distinct  bool
+	SelectAll bool
+	Select    []SelectItem
+	Patterns  []TriplePattern
+	Filters   []Expr
+	GroupBy   []string
+	OrderBy   []OrderKey
+	// Limit and Offset are -1 when absent.
+	Limit, Offset int
+}
+
+// Aggregating reports whether the query computes aggregates.
+func (q *Query) Aggregating() bool {
+	if len(q.GroupBy) > 0 {
+		return true
+	}
+	for _, s := range q.Select {
+		if HasAgg(s.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// PatternVars returns the distinct variables of the BGP in first-seen
+// order.
+func (q *Query) PatternVars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(n Node) {
+		if n.IsVar() && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	for _, tp := range q.Patterns {
+		add(tp.S)
+		add(tp.P)
+		add(tp.O)
+	}
+	return out
+}
+
+// String renders the query in parseable SPARQL.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if q.SelectAll {
+		b.WriteString("*")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if v, ok := s.Expr.(*ExVar); ok && v.Name == s.As {
+				b.WriteString("?" + s.As)
+			} else {
+				fmt.Fprintf(&b, "(%s AS ?%s)", s.Expr.exprString(), s.As)
+			}
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	for _, tp := range q.Patterns {
+		b.WriteString("  " + tp.String() + "\n")
+	}
+	for _, f := range q.Filters {
+		b.WriteString("  FILTER " + f.exprString() + "\n")
+	}
+	b.WriteString("}")
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY")
+		for _, g := range q.GroupBy {
+			b.WriteString(" ?" + g)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				b.WriteString(" DESC(" + k.Expr.exprString() + ")")
+			} else {
+				b.WriteString(" ASC(" + k.Expr.exprString() + ")")
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset >= 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
+	}
+	return b.String()
+}

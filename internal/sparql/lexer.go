@@ -1,0 +1,340 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF    tokKind = iota
+	tIRI            // <...>
+	tPName          // prefix:local or prefix:
+	tVar            // ?x or $x
+	tString         // "..." with optional ^^<dt> / ^^pn / @lang folded in
+	tNumber
+	tKeyword // SELECT, WHERE, ... (upper-cased)
+	tPunct   // { } ( ) . ; , * = != < <= > >= && || ! + - /
+	tA       // the keyword 'a' (rdf:type)
+)
+
+type token struct {
+	kind tokKind
+	text string
+	// literal parts for tString
+	datatype, lang string
+	line           int
+}
+
+func (t token) String() string {
+	return fmt.Sprintf("%q", t.text)
+}
+
+// ParseError reports a syntax error with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("sparql: line %d: %s", e.Line, e.Msg) }
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "WHERE": true, "FILTER": true,
+	"PREFIX": true, "BASE": true, "GROUP": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"TRUE": true, "FALSE": true, "OPTIONAL": true, "UNION": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipWS()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tEOF, line: l.line})
+			return l.toks, nil
+		}
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipWS() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == '\n' {
+			l.line++
+			l.pos++
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) next() error {
+	c := l.src[l.pos]
+	switch {
+	case c == '<':
+		return l.iri()
+	case c == '?' || c == '$':
+		return l.variable()
+	case c == '"' || c == '\'':
+		return l.str(c)
+	case c >= '0' && c <= '9':
+		return l.number(false)
+	case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == ';' ||
+		c == ',' || c == '*' || c == '=' || c == '+' || c == '/':
+		l.pos++
+		l.emit(token{kind: tPunct, text: string(c), line: l.line})
+		return nil
+	case c == '-':
+		// negative number literal or minus operator; the parser
+		// disambiguates, so always emit the operator and let unary
+		// minus handle negatives.
+		l.pos++
+		l.emit(token{kind: tPunct, text: "-", line: l.line})
+		return nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			l.emit(token{kind: tPunct, text: "!=", line: l.line})
+		} else {
+			l.emit(token{kind: tPunct, text: "!", line: l.line})
+		}
+		return nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			l.emit(token{kind: tPunct, text: ">=", line: l.line})
+		} else {
+			l.emit(token{kind: tPunct, text: ">", line: l.line})
+		}
+		return nil
+	case c == '&':
+		if strings.HasPrefix(l.src[l.pos:], "&&") {
+			l.pos += 2
+			l.emit(token{kind: tPunct, text: "&&", line: l.line})
+			return nil
+		}
+		return l.errf("unexpected '&'")
+	case c == '|':
+		if strings.HasPrefix(l.src[l.pos:], "||") {
+			l.pos += 2
+			l.emit(token{kind: tPunct, text: "||", line: l.line})
+			return nil
+		}
+		return l.errf("unexpected '|'")
+	default:
+		return l.word()
+	}
+}
+
+func (l *lexer) iri() error {
+	// '<' may open an IRI or be the less-than operator: an IRI ref has
+	// no whitespace before the closing '>'.
+	start := l.pos + 1
+	i := start
+	for i < len(l.src) && l.src[i] != '>' && l.src[i] != ' ' && l.src[i] != '\n' && l.src[i] != '\t' {
+		i++
+	}
+	if i < len(l.src) && l.src[i] == '>' {
+		l.emit(token{kind: tIRI, text: l.src[start:i], line: l.line})
+		l.pos = i + 1
+		return nil
+	}
+	// operator '<' or '<='
+	l.pos++
+	if l.pos < len(l.src) && l.src[l.pos] == '=' {
+		l.pos++
+		l.emit(token{kind: tPunct, text: "<=", line: l.line})
+	} else {
+		l.emit(token{kind: tPunct, text: "<", line: l.line})
+	}
+	return nil
+}
+
+func (l *lexer) variable() error {
+	l.pos++
+	start := l.pos
+	for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos == start {
+		return l.errf("empty variable name")
+	}
+	l.emit(token{kind: tVar, text: l.src[start:l.pos], line: l.line})
+	return nil
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (l *lexer) str(quote byte) error {
+	l.pos++
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return l.errf("unterminated string")
+		}
+		c := l.src[l.pos]
+		l.pos++
+		if c == quote {
+			break
+		}
+		if c == '\\' {
+			if l.pos >= len(l.src) {
+				return l.errf("dangling escape")
+			}
+			e := l.src[l.pos]
+			l.pos++
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			default:
+				return l.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		if c == '\n' {
+			l.line++
+		}
+		b.WriteByte(c)
+	}
+	tok := token{kind: tString, text: b.String(), line: l.line}
+	if l.pos < len(l.src) && l.src[l.pos] == '@' {
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && (isNameChar(l.src[l.pos]) || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		tok.lang = l.src[start:l.pos]
+	} else if strings.HasPrefix(l.src[l.pos:], "^^") {
+		l.pos += 2
+		if l.pos < len(l.src) && l.src[l.pos] == '<' {
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '>' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return l.errf("unterminated datatype IRI")
+			}
+			tok.datatype = l.src[start:l.pos]
+			l.pos++
+		} else {
+			start := l.pos
+			for l.pos < len(l.src) && (isNameChar(l.src[l.pos]) || l.src[l.pos] == ':' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			tok.datatype = "pn:" + l.src[start:l.pos] // resolved by parser
+		}
+	}
+	l.emit(tok)
+	return nil
+}
+
+func (l *lexer) number(neg bool) error {
+	start := l.pos
+	dot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !dot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			dot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			nxt := l.src[l.pos+1]
+			if nxt >= '0' && nxt <= '9' || nxt == '-' || nxt == '+' {
+				dot = true
+				l.pos += 2
+				continue
+			}
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if neg {
+		text = "-" + text
+	}
+	l.emit(token{kind: tNumber, text: text, line: l.line})
+	return nil
+}
+
+func (l *lexer) word() error {
+	start := l.pos
+	for l.pos < len(l.src) && (isNameChar(l.src[l.pos]) || l.src[l.pos] == '-' || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == ':' {
+		// prefixed name: word ':' local
+		l.pos++
+		lstart := l.pos
+		for l.pos < len(l.src) && (isNameChar(l.src[l.pos]) || l.src[l.pos] == '-' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		// trailing '.' is a statement terminator, not part of the name
+		for l.pos > lstart && l.src[l.pos-1] == '.' {
+			l.pos--
+		}
+		l.emit(token{kind: tPName, text: l.src[start:l.pos], line: l.line})
+		return nil
+	}
+	word := l.src[start:l.pos]
+	// strip trailing dots (statement terminators glued to the word)
+	trimmed := strings.TrimRight(word, ".")
+	ndots := len(word) - len(trimmed)
+	l.pos -= ndots
+	word = trimmed
+	if word == "" {
+		return l.errf("unexpected character %q", l.src[start])
+	}
+	if word == "a" {
+		l.emit(token{kind: tA, text: "a", line: l.line})
+		return nil
+	}
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.emit(token{kind: tKeyword, text: up, line: l.line})
+		return nil
+	}
+	return l.errf("unknown token %q", word)
+}

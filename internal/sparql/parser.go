@@ -1,0 +1,678 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"srdf/internal/dict"
+)
+
+// Parse parses one SELECT query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, q: &Query{Prefixes: map[string]string{}, Limit: -1, Offset: -1}}
+	if err := p.query(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	q    *Query
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.cur().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if t.kind != tKeyword || t.text != kw {
+		return p.errf("expected %s, got %s", kw, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.cur()
+	if t.kind != tPunct || t.text != s {
+		return p.errf("expected %q, got %s", s, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == s
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tKeyword && t.text == kw
+}
+
+func (p *parser) query() error {
+	for p.isKeyword("PREFIX") {
+		p.advance()
+		if err := p.prefixDecl(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return err
+	}
+	if p.isKeyword("DISTINCT") {
+		p.advance()
+		p.q.Distinct = true
+	}
+	if err := p.selectClause(); err != nil {
+		return err
+	}
+	if p.isKeyword("WHERE") {
+		p.advance()
+	}
+	if err := p.groupGraphPattern(); err != nil {
+		return err
+	}
+	if err := p.solutionModifiers(); err != nil {
+		return err
+	}
+	if p.cur().kind != tEOF {
+		return p.errf("trailing input %s", p.cur())
+	}
+	return p.validate()
+}
+
+func (p *parser) prefixDecl() error {
+	t := p.cur()
+	if t.kind != tPName || !strings.HasSuffix(t.text, ":") {
+		// PNAME with empty local part arrives as "prefix:"
+		if t.kind != tPName {
+			return p.errf("expected prefix name, got %s", t)
+		}
+	}
+	name := strings.TrimSuffix(p.advance().text, ":")
+	if i := strings.Index(name, ":"); i >= 0 {
+		name = name[:i]
+	}
+	iri := p.cur()
+	if iri.kind != tIRI {
+		return p.errf("expected IRI after PREFIX %s:", name)
+	}
+	p.advance()
+	p.q.Prefixes[name] = iri.text
+	return nil
+}
+
+func (p *parser) selectClause() error {
+	if p.isPunct("*") {
+		p.advance()
+		p.q.SelectAll = true
+		return nil
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tVar:
+			p.advance()
+			p.q.Select = append(p.q.Select, SelectItem{Expr: &ExVar{Name: t.text}, As: t.text})
+		case t.kind == tPunct && t.text == "(":
+			p.advance()
+			e, err := p.expr()
+			if err != nil {
+				return err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return err
+			}
+			av := p.cur()
+			if av.kind != tVar {
+				return p.errf("expected variable after AS")
+			}
+			p.advance()
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			p.q.Select = append(p.q.Select, SelectItem{Expr: e, As: av.text})
+		default:
+			if len(p.q.Select) == 0 {
+				return p.errf("empty SELECT clause")
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) groupGraphPattern() error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tPunct && t.text == "}":
+			p.advance()
+			return nil
+		case t.kind == tKeyword && t.text == "FILTER":
+			p.advance()
+			e, err := p.bracketedOrBuiltin()
+			if err != nil {
+				return err
+			}
+			p.q.Filters = append(p.q.Filters, e)
+			if p.isPunct(".") {
+				p.advance()
+			}
+		case t.kind == tEOF:
+			return p.errf("unterminated group pattern")
+		default:
+			if err := p.triplesSameSubject(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *parser) bracketedOrBuiltin() (Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// triplesSameSubject parses `subject p o (, o)* (; p o ...)* .`
+func (p *parser) triplesSameSubject() error {
+	s, err := p.node(true)
+	if err != nil {
+		return err
+	}
+	for {
+		pr, err := p.predicateNode()
+		if err != nil {
+			return err
+		}
+		for {
+			o, err := p.node(false)
+			if err != nil {
+				return err
+			}
+			p.q.Patterns = append(p.q.Patterns, TriplePattern{S: s, P: pr, O: o})
+			if p.isPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if p.isPunct(";") {
+			p.advance()
+			if p.isPunct(".") || p.isPunct("}") { // trailing semicolon
+				break
+			}
+			continue
+		}
+		break
+	}
+	if p.isPunct(".") {
+		p.advance()
+	}
+	return nil
+}
+
+func (p *parser) predicateNode() (Node, error) {
+	if p.cur().kind == tA {
+		p.advance()
+		return Constant(dict.IRI(dict.RDFType)), nil
+	}
+	n, err := p.node(true)
+	if err != nil {
+		return Node{}, err
+	}
+	if !n.IsVar() && n.Term.Kind != dict.KindIRI {
+		return Node{}, p.errf("predicate must be an IRI or variable")
+	}
+	return n, nil
+}
+
+// node parses a variable, IRI, prefixed name, or (for objects) literal.
+func (p *parser) node(subjPos bool) (Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tVar:
+		p.advance()
+		return Variable(t.text), nil
+	case tIRI:
+		p.advance()
+		return Constant(dict.IRI(t.text)), nil
+	case tPName:
+		p.advance()
+		iri, err := p.resolvePName(t.text)
+		if err != nil {
+			return Node{}, err
+		}
+		return Constant(dict.IRI(iri)), nil
+	case tString:
+		if subjPos {
+			return Node{}, p.errf("literal in subject/predicate position")
+		}
+		p.advance()
+		lit, err := p.stringTerm(t)
+		if err != nil {
+			return Node{}, err
+		}
+		return Constant(lit), nil
+	case tNumber:
+		if subjPos {
+			return Node{}, p.errf("literal in subject/predicate position")
+		}
+		p.advance()
+		return Constant(numberTerm(t.text)), nil
+	case tKeyword:
+		if !subjPos && (t.text == "TRUE" || t.text == "FALSE") {
+			p.advance()
+			return Constant(dict.TypedLit(strings.ToLower(t.text), dict.XSDBool)), nil
+		}
+	}
+	return Node{}, p.errf("expected term, got %s", t)
+}
+
+func (p *parser) resolvePName(pn string) (string, error) {
+	i := strings.Index(pn, ":")
+	if i < 0 {
+		return "", p.errf("malformed prefixed name %q", pn)
+	}
+	ns, ok := p.q.Prefixes[pn[:i]]
+	if !ok {
+		return "", p.errf("undefined prefix %q", pn[:i])
+	}
+	return ns + pn[i+1:], nil
+}
+
+func (p *parser) stringTerm(t token) (dict.Term, error) {
+	lit := dict.Term{Kind: dict.KindLiteral, Value: t.text, Lang: t.lang}
+	if t.datatype != "" {
+		dt := t.datatype
+		if strings.HasPrefix(dt, "pn:") {
+			resolved, err := p.resolvePName(dt[3:])
+			if err != nil {
+				return dict.Term{}, err
+			}
+			dt = resolved
+		}
+		lit.Datatype = dt
+	}
+	return lit, nil
+}
+
+func numberTerm(text string) dict.Term {
+	if strings.ContainsAny(text, ".eE") {
+		return dict.TypedLit(text, dict.XSDDec)
+	}
+	return dict.TypedLit(text, dict.XSDInt)
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("||") {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExBin{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("&&") {
+		p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExBin{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]Op{"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tPunct {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &ExBin{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := OpAdd
+		if p.cur().text == "-" {
+			op = OpSub
+		}
+		p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExBin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") {
+		op := OpMul
+		if p.cur().text == "/" {
+			op = OpDiv
+		}
+		p.advance()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExBin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch {
+	case p.isPunct("!"):
+		p.advance()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExUn{Op: OpNot, E: e}, nil
+	case p.isPunct("-"):
+		p.advance()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExUn{Op: OpNeg, E: e}, nil
+	}
+	return p.primary()
+}
+
+var aggFuncs = map[string]AggFunc{
+	"SUM": AggSum, "COUNT": AggCount, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tVar:
+		p.advance()
+		return &ExVar{Name: t.text}, nil
+	case tNumber:
+		p.advance()
+		return litExpr(numberTerm(t.text)), nil
+	case tString:
+		p.advance()
+		term, err := p.stringTerm(t)
+		if err != nil {
+			return nil, err
+		}
+		return litExpr(term), nil
+	case tIRI:
+		p.advance()
+		return litExpr(dict.IRI(t.text)), nil
+	case tPName:
+		p.advance()
+		iri, err := p.resolvePName(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return litExpr(dict.IRI(iri)), nil
+	case tPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tKeyword:
+		if fn, ok := aggFuncs[t.text]; ok {
+			p.advance()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			agg := &ExAgg{Func: fn}
+			if p.isKeyword("DISTINCT") {
+				p.advance()
+				agg.Distinct = true
+			}
+			if p.isPunct("*") {
+				if fn != AggCount {
+					return nil, p.errf("%s(*) is only valid for COUNT", fn)
+				}
+				p.advance()
+			} else {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				agg.Arg = arg
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		if t.text == "TRUE" || t.text == "FALSE" {
+			p.advance()
+			return litExpr(dict.TypedLit(strings.ToLower(t.text), dict.XSDBool)), nil
+		}
+	}
+	return nil, p.errf("expected expression, got %s", t)
+}
+
+func litExpr(t dict.Term) *ExLit {
+	e := &ExLit{Term: t}
+	if t.Kind == dict.KindLiteral {
+		e.Val = dict.ParseLiteral(t.Value, t.Datatype, t.Lang)
+	} else {
+		e.Val = dict.Value{Kind: dict.VString, Str: t.Value}
+	}
+	return e
+}
+
+func (p *parser) solutionModifiers() error {
+	for {
+		t := p.cur()
+		if t.kind != tKeyword {
+			return nil
+		}
+		switch t.text {
+		case "GROUP":
+			p.advance()
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			for p.cur().kind == tVar {
+				p.q.GroupBy = append(p.q.GroupBy, p.advance().text)
+			}
+			if len(p.q.GroupBy) == 0 {
+				return p.errf("GROUP BY needs at least one variable")
+			}
+		case "ORDER":
+			p.advance()
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			if err := p.orderKeys(); err != nil {
+				return err
+			}
+		case "LIMIT":
+			p.advance()
+			n, err := p.intTok()
+			if err != nil {
+				return err
+			}
+			p.q.Limit = n
+		case "OFFSET":
+			p.advance()
+			n, err := p.intTok()
+			if err != nil {
+				return err
+			}
+			p.q.Offset = n
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) orderKeys() error {
+	for {
+		switch {
+		case p.isKeyword("ASC") || p.isKeyword("DESC"):
+			desc := p.advance().text == "DESC"
+			e, err := p.bracketedOrBuiltin()
+			if err != nil {
+				return err
+			}
+			p.q.OrderBy = append(p.q.OrderBy, OrderKey{Expr: e, Desc: desc})
+		case p.cur().kind == tVar:
+			p.q.OrderBy = append(p.q.OrderBy, OrderKey{Expr: &ExVar{Name: p.advance().text}})
+		default:
+			if len(p.q.OrderBy) == 0 {
+				return p.errf("ORDER BY needs at least one key")
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) intTok() (int, error) {
+	t := p.cur()
+	if t.kind != tNumber {
+		return 0, p.errf("expected number, got %s", t)
+	}
+	p.advance()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("bad number %q", t.text)
+	}
+	return n, nil
+}
+
+// validate performs post-parse semantic checks.
+func (p *parser) validate() error {
+	if len(p.q.Patterns) == 0 {
+		return &ParseError{Line: 1, Msg: "query has no triple patterns"}
+	}
+	known := map[string]bool{}
+	for _, v := range p.q.PatternVars() {
+		known[v] = true
+	}
+	if p.q.Aggregating() {
+		grouped := map[string]bool{}
+		for _, g := range p.q.GroupBy {
+			if !known[g] {
+				return &ParseError{Line: 1, Msg: fmt.Sprintf("GROUP BY ?%s: unknown variable", g)}
+			}
+			grouped[g] = true
+		}
+		for _, s := range p.q.Select {
+			if HasAgg(s.Expr) {
+				continue
+			}
+			for _, v := range s.Expr.Vars(nil) {
+				if !grouped[v] {
+					return &ParseError{Line: 1, Msg: fmt.Sprintf("?%s must be aggregated or grouped", v)}
+				}
+			}
+		}
+	} else {
+		for _, s := range p.q.Select {
+			for _, v := range s.Expr.Vars(nil) {
+				if !known[v] {
+					return &ParseError{Line: 1, Msg: fmt.Sprintf("SELECT ?%s: unknown variable", v)}
+				}
+			}
+		}
+	}
+	for _, f := range p.q.Filters {
+		if HasAgg(f) {
+			return &ParseError{Line: 1, Msg: "aggregates are not allowed in FILTER"}
+		}
+		for _, v := range f.Vars(nil) {
+			if !known[v] {
+				return &ParseError{Line: 1, Msg: fmt.Sprintf("FILTER ?%s: unknown variable", v)}
+			}
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,347 @@
+package triples
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"srdf/internal/dict"
+)
+
+func r(p uint64) dict.OID { return dict.ResourceOID(p) }
+func l(p uint64) dict.OID { return dict.LiteralOID(p) }
+
+func randomTable(seed int64, n int) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewTable(n)
+	for i := 0; i < n; i++ {
+		s := r(uint64(1 + rng.Intn(20)))
+		p := r(uint64(100 + rng.Intn(5)))
+		var o dict.OID
+		if rng.Intn(2) == 0 {
+			o = r(uint64(1 + rng.Intn(20)))
+		} else {
+			o = l(uint64(1 + rng.Intn(30)))
+		}
+		t.Append(s, p, o)
+	}
+	return t
+}
+
+func TestTableAppendAt(t *testing.T) {
+	tb := NewTable(0)
+	tb.Append(r(1), r(2), l(3))
+	tb.AppendTriple(Triple{r(4), r(5), r(6)})
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if tb.At(0) != (Triple{r(1), r(2), l(3)}) || tb.At(1) != (Triple{r(4), r(5), r(6)}) {
+		t.Errorf("At mismatch: %v %v", tb.At(0), tb.At(1))
+	}
+}
+
+func TestProjectionSortedInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		tb := randomTable(seed, 200)
+		for _, perm := range AllPerms {
+			pr := Build(tb, perm)
+			if pr.Len() != tb.Len() {
+				return false
+			}
+			for i := 1; i < pr.Len(); i++ {
+				a0, b0, c0 := pr.At(i - 1)
+				a1, b1, c1 := pr.At(i)
+				if a0 > a1 || (a0 == a1 && b0 > b1) || (a0 == a1 && b0 == b1 && c0 > c1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionTripleReconstruction(t *testing.T) {
+	tb := randomTable(42, 300)
+	want := make(map[Triple]int)
+	for i := 0; i < tb.Len(); i++ {
+		want[tb.At(i)]++
+	}
+	for _, perm := range AllPerms {
+		pr := Build(tb, perm)
+		got := make(map[Triple]int)
+		for i := 0; i < pr.Len(); i++ {
+			got[pr.Triple(i)]++
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d distinct triples, want %d", perm, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%v: triple %v count %d, want %d", perm, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestRangeLookups(t *testing.T) {
+	tb := NewTable(0)
+	// p=100: s1->o1, s1->o2, s2->o1 ; p=101: s1->o5
+	tb.Append(r(1), r(100), l(1))
+	tb.Append(r(1), r(100), l(2))
+	tb.Append(r(2), r(100), l(1))
+	tb.Append(r(1), r(101), l(5))
+	pso := Build(tb, PSO)
+
+	lo, hi := pso.Range1(r(100))
+	if hi-lo != 3 {
+		t.Errorf("Range1(p100) = %d rows, want 3", hi-lo)
+	}
+	lo, hi = pso.Range2(r(100), r(1))
+	if hi-lo != 2 {
+		t.Errorf("Range2(p100,s1) = %d rows, want 2", hi-lo)
+	}
+	lo, hi = pso.Range3(r(100), r(1), l(2))
+	if hi-lo != 1 {
+		t.Errorf("Range3 = %d rows, want 1", hi-lo)
+	}
+	lo, hi = pso.Range1(r(999))
+	if hi != lo {
+		t.Errorf("Range1(missing) non-empty")
+	}
+	if !pso.Contains(Triple{r(1), r(100), l(2)}) {
+		t.Error("Contains failed for present triple")
+	}
+	if pso.Contains(Triple{r(2), r(101), l(5)}) {
+		t.Error("Contains true for absent triple")
+	}
+}
+
+func TestRange2Between(t *testing.T) {
+	tb := NewTable(0)
+	for i := 1; i <= 10; i++ {
+		tb.Append(r(uint64(i)), r(100), l(uint64(i)))
+	}
+	pos := Build(tb, POS)
+	lo, hi := pos.Range2Between(r(100), l(3), l(7))
+	if hi-lo != 5 {
+		t.Errorf("Range2Between = %d rows, want 5", hi-lo)
+	}
+	for i := lo; i < hi; i++ {
+		_, b, _ := pos.At(i)
+		if b < l(3) || b > l(7) {
+			t.Errorf("row %d object %v outside range", i, b)
+		}
+	}
+}
+
+func TestRangeAgainstNaiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		tb := randomTable(seed, 150)
+		pso := Build(tb, PSO)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		for k := 0; k < 20; k++ {
+			p := r(uint64(100 + rng.Intn(5)))
+			s := r(uint64(1 + rng.Intn(20)))
+			lo, hi := pso.Range2(p, s)
+			naive := 0
+			for i := 0; i < tb.Len(); i++ {
+				tr := tb.At(i)
+				if tr.P == p && tr.S == s {
+					naive++
+				}
+			}
+			if hi-lo != naive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	tb := NewTable(0)
+	tb.Append(r(1), r(2), r(3))
+	tb.Append(r(1), r(2), r(3))
+	tb.Append(r(1), r(2), r(4))
+	tb.Append(r(1), r(2), r(3))
+	removed := tb.Dedup()
+	if removed != 2 {
+		t.Errorf("Dedup removed %d, want 2", removed)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len after dedup = %d, want 2", tb.Len())
+	}
+}
+
+func TestRemap(t *testing.T) {
+	tb := NewTable(0)
+	tb.Append(r(1), r(2), l(1))
+	tb.Remap(func(o dict.OID) dict.OID {
+		if o.IsLiteral() {
+			return l(o.Payload() + 10)
+		}
+		return r(o.Payload() + 100)
+	})
+	if tb.At(0) != (Triple{r(101), r(102), l(11)}) {
+		t.Errorf("Remap gave %v", tb.At(0))
+	}
+}
+
+func TestDistinct1(t *testing.T) {
+	tb := randomTable(7, 100)
+	pso := Build(tb, PSO)
+	seen := map[dict.OID]int{}
+	total := 0
+	pso.Distinct1(func(v dict.OID, lo, hi int) {
+		seen[v] += hi - lo
+		total += hi - lo
+		for i := lo; i < hi; i++ {
+			if pso.A[i] != v {
+				t.Errorf("Distinct1 range contains foreign value")
+			}
+		}
+	})
+	if total != tb.Len() {
+		t.Errorf("Distinct1 covered %d rows, want %d", total, tb.Len())
+	}
+	// every run must be maximal: consecutive calls have different v — implied
+	// by map accumulation matching naive counts
+	naive := map[dict.OID]int{}
+	for i := 0; i < tb.Len(); i++ {
+		naive[tb.P[i]]++
+	}
+	for k, v := range naive {
+		if seen[k] != v {
+			t.Errorf("value %v count %d, want %d", k, seen[k], v)
+		}
+	}
+}
+
+func TestDistinct2(t *testing.T) {
+	tb := randomTable(9, 80)
+	spo := Build(tb, SPO)
+	spo.Distinct1(func(s dict.OID, lo, hi int) {
+		prev := dict.Nil
+		spo.Distinct2(lo, hi, func(p dict.OID, l2, h2 int) {
+			if p == prev {
+				t.Errorf("Distinct2 emitted duplicate run for %v", p)
+			}
+			prev = p
+			for i := l2; i < h2; i++ {
+				if spo.B[i] != p {
+					t.Errorf("Distinct2 range impurity")
+				}
+			}
+		})
+	})
+}
+
+func TestMergeJoinS(t *testing.T) {
+	a := []dict.OID{r(1), r(2), r(2), r(4), r(7)}
+	b := []dict.OID{r(2), r(3), r(4), r(4), r(8)}
+	got := MergeJoinS(a, b)
+	want := []dict.OID{r(2), r(4)}
+	if len(got) != len(want) {
+		t.Fatalf("MergeJoinS = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeJoinS = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeJoinSQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []dict.OID {
+			n := rng.Intn(50)
+			out := make([]dict.OID, n)
+			for i := range out {
+				out[i] = r(uint64(rng.Intn(30)))
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		a, b := mk(), mk()
+		got := MergeJoinS(a, b)
+		inA := map[dict.OID]bool{}
+		for _, x := range a {
+			inA[x] = true
+		}
+		want := map[dict.OID]bool{}
+		for _, x := range b {
+			if inA[x] {
+				want[x] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, x := range got {
+			if !want[x] {
+				return false
+			}
+		}
+		// sorted & unique
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeJoinPairs(t *testing.T) {
+	ka := []dict.OID{r(1), r(2), r(2)}
+	va := []dict.OID{l(10), l(20), l(21)}
+	kb := []dict.OID{r(2), r(2), r(3)}
+	vb := []dict.OID{l(90), l(91), l(99)}
+	var rows [][3]dict.OID
+	MergeJoinPairs(ka, va, kb, vb, func(k, a, b dict.OID) {
+		rows = append(rows, [3]dict.OID{k, a, b})
+	})
+	if len(rows) != 4 { // 2x2 cross product on key r(2)
+		t.Fatalf("got %d rows, want 4: %v", len(rows), rows)
+	}
+	for _, row := range rows {
+		if row[0] != r(2) {
+			t.Errorf("unexpected key %v", row[0])
+		}
+	}
+}
+
+func TestUniq(t *testing.T) {
+	in := []dict.OID{r(1), r(1), r(2), r(3), r(3), r(3)}
+	got := Uniq(in)
+	if len(got) != 3 || got[0] != r(1) || got[1] != r(2) || got[2] != r(3) {
+		t.Errorf("Uniq = %v", got)
+	}
+	if len(Uniq(nil)) != 0 {
+		t.Error("Uniq(nil) should be empty")
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	tb := randomTable(3, 50)
+	s := BuildAll(tb)
+	for _, p := range AllPerms {
+		if s.Get(p) == nil || s.Get(p).Order != p {
+			t.Errorf("projection %v missing or mislabeled", p)
+		}
+		if s.Get(p).Len() != tb.Len() {
+			t.Errorf("projection %v has %d rows, want %d", p, s.Get(p).Len(), tb.Len())
+		}
+	}
+}

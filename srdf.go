@@ -1,0 +1,229 @@
+// Package srdf is a self-organizing RDF store: a Go reproduction of
+// "Self-organizing Structured RDF in MonetDB" (Pham & Boncz, ICDE 2013).
+//
+// The store ingests RDF triples without requiring a schema, then
+// discovers one: characteristic sets (property combinations that co-occur
+// on subjects) are detected, generalized, typed, linked with foreign
+// keys, and materialized as relational tables over columnar storage. The
+// physical triple store is reorganized so that subjects of one table
+// occupy a contiguous, value-sub-ordered OID range, and SPARQL star
+// patterns are evaluated by the RDFscan/RDFjoin operators with zero
+// self-joins, pruned by zone maps. Irregular triples that fit no table
+// remain in a classic triple store and stay fully queryable.
+//
+// Quickstart:
+//
+//	store := srdf.New(srdf.Defaults())
+//	store.MustLoadTurtle(data)
+//	report, _ := store.Organize()
+//	fmt.Println(report)            // discovered schema summary
+//	fmt.Println(store.SQLSchema()) // the emergent DDL
+//	res, _ := store.Query(`SELECT ?a ?n WHERE { ... }`)
+//	fmt.Println(res)
+package srdf
+
+import (
+	"io"
+	"strings"
+
+	"srdf/internal/colstore"
+	"srdf/internal/core"
+	"srdf/internal/cs"
+	"srdf/internal/dict"
+	"srdf/internal/exec"
+	"srdf/internal/nt"
+	"srdf/internal/plan"
+)
+
+// Mode selects the query-plan family.
+type Mode = plan.Mode
+
+// Plan families (the paper's Table I configurations).
+const (
+	// Default evaluates star patterns with per-property index scans and
+	// self-joins over the six ordered projections.
+	Default = plan.ModeDefault
+	// RDFScan evaluates star patterns with the RDFscan/RDFjoin
+	// operators over the emergent tables.
+	RDFScan = plan.ModeRDFScan
+)
+
+// Options configures a Store. The zero value is not useful; start from
+// Defaults.
+type Options struct {
+	// MinSupport is the minimum subject count (plus incoming-link tally)
+	// for a characteristic set to become a table.
+	MinSupport int
+	// MinPropFrac is the minority fraction under which a property is
+	// dropped from a merged CS instead of becoming a nullable column.
+	MinPropFrac float64
+	// TypeSplit enables per-object-type CS variants.
+	TypeSplit bool
+	// SortKeys maps emergent table names to predicate IRIs used for
+	// subject sub-ordering (empty: automatic date/int selection).
+	SortKeys map[string]string
+	// PoolPages caps the simulated buffer pool (<=0: unlimited).
+	PoolPages int
+}
+
+// Defaults returns the standard configuration.
+func Defaults() Options {
+	return Options{
+		MinSupport:  3,
+		MinPropFrac: 0.05,
+		TypeSplit:   true,
+	}
+}
+
+// QueryOptions selects the plan family and zone-map usage per query.
+type QueryOptions struct {
+	Mode     Mode
+	ZoneMaps bool
+}
+
+// Store is a self-organizing RDF store. Create with New.
+type Store struct {
+	inner *core.Store
+}
+
+// New creates an empty store.
+func New(o Options) *Store {
+	copts := core.DefaultOptions()
+	if o.MinSupport > 0 {
+		copts.CS.MinSupport = o.MinSupport
+	}
+	if o.MinPropFrac > 0 {
+		copts.CS.MinPropFrac = o.MinPropFrac
+	}
+	copts.CS.TypeSplit = o.TypeSplit
+	copts.Cluster.SortKeys = o.SortKeys
+	copts.PoolPages = o.PoolPages
+	return &Store{inner: core.NewStore(copts)}
+}
+
+// Report summarizes an Organize run.
+type Report = core.OrganizeReport
+
+// Result is a decoded query result; Vars are the output columns and each
+// row holds typed values (use Value.Lexical for display).
+type Result = exec.Result
+
+// Value is a typed query-result cell.
+type Value = dict.Value
+
+// Triple is one RDF statement for trickle insertion.
+type Triple = nt.Triple
+
+// Term constructors for building triples programmatically.
+var (
+	IRI       = dict.IRI
+	Blank     = dict.Blank
+	StringLit = dict.StringLit
+	TypedLit  = dict.TypedLit
+	IntLit    = dict.IntLit
+	FloatLit  = dict.FloatLit
+	DateLit   = dict.DateLit
+	LangLit   = dict.LangLit
+)
+
+// LoadNTriples bulk-loads N-Triples from r. With lenient set, malformed
+// lines are skipped and returned as errors rather than aborting.
+func (s *Store) LoadNTriples(r io.Reader, lenient bool) (int, []error, error) {
+	return s.inner.LoadNTriples(r, lenient)
+}
+
+// LoadTurtle loads the supported Turtle subset from r.
+func (s *Store) LoadTurtle(r io.Reader) (int, error) {
+	return s.inner.LoadTurtle(r)
+}
+
+// MustLoadTurtle loads Turtle source text, panicking on parse errors.
+// Intended for examples and tests.
+func (s *Store) MustLoadTurtle(src string) int {
+	n, err := s.inner.LoadTurtle(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Add trickle-inserts one triple. After Organize the triple lands in the
+// irregular delta and stays exactly queryable; the next Organize folds
+// it into the schema.
+func (s *Store) Add(t Triple) { s.inner.Add(t) }
+
+// Organize discovers the schema, clusters subjects, and materializes the
+// relational catalog. Call it after bulk loading and periodically after
+// trickle inserts.
+func (s *Store) Organize() (Report, error) { return s.inner.Organize() }
+
+// Query runs a SPARQL SELECT query with the default configuration
+// (RDFscan plans with zone maps — the paper's fastest).
+func (s *Store) Query(q string) (*Result, error) {
+	return s.inner.Query(q, core.QueryOptions{Mode: RDFScan, ZoneMaps: true})
+}
+
+// QueryWith runs a SPARQL SELECT query under an explicit configuration.
+func (s *Store) QueryWith(q string, o QueryOptions) (*Result, error) {
+	return s.inner.Query(q, core.QueryOptions{Mode: o.Mode, ZoneMaps: o.ZoneMaps})
+}
+
+// Explain returns the plan tree that QueryWith would execute.
+func (s *Store) Explain(q string, o QueryOptions) (string, error) {
+	return s.inner.Explain(q, core.QueryOptions{Mode: o.Mode, ZoneMaps: o.ZoneMaps})
+}
+
+// SQLSchema renders the emergent relational schema as SQL DDL.
+func (s *Store) SQLSchema() string { return s.inner.SQLSchema() }
+
+// SchemaSummary renders a reduced schema: only tables matching the
+// keywords (any, case-insensitive) or at/above minSupport, expanded over
+// foreign-key reachability — the paper's session-time schema
+// summarization.
+func (s *Store) SchemaSummary(keywords []string, minSupport int) string {
+	sc := s.inner.Schema()
+	if sc == nil {
+		return "-- store not organized yet\n"
+	}
+	sum := sc.Summarize(cs.SummaryOptions{Keywords: keywords, MinSupport: minSupport, FollowFKs: true})
+	var b strings.Builder
+	for _, c := range sum.CSs {
+		b.WriteString("TABLE " + c.Name)
+		cols := make([]string, 0, len(c.Props))
+		for i := range c.Props {
+			cols = append(cols, c.Props[i].Name)
+		}
+		b.WriteString(" (" + strings.Join(cols, ", ") + ")\n")
+	}
+	for _, fk := range sum.FKs {
+		b.WriteString("  FK " + sum.NameOf(fk.From) + "." + fk.Name + " -> " + sum.NameOf(fk.To) + "\n")
+	}
+	return b.String()
+}
+
+// Stats returns store-level counters.
+type Stats = core.Stats
+
+// Stats returns store-level counters.
+func (s *Store) Stats() Stats { return s.inner.Stats() }
+
+// NumTriples returns the number of stored triples.
+func (s *Store) NumTriples() int { return s.inner.NumTriples() }
+
+// PoolStats exposes the simulated buffer pool counters (page hits,
+// misses, simulated I/O time).
+type PoolStats = colstore.PoolStats
+
+// PoolStats returns the buffer pool counters.
+func (s *Store) PoolStats() PoolStats { return s.inner.Pool().Stats() }
+
+// ResetCold flushes the simulated buffer pool, as if the server had
+// restarted — the "Cold" condition of the paper's Table I.
+func (s *Store) ResetCold() { s.inner.Pool().ResetCold() }
+
+// ResetPoolStats zeroes the pool counters without evicting pages.
+func (s *Store) ResetPoolStats() { s.inner.Pool().ResetStats() }
+
+// Internal returns the underlying engine for benchmark harnesses and
+// advanced use; the core API may change between versions.
+func (s *Store) Internal() *core.Store { return s.inner }

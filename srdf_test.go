@@ -1,0 +1,118 @@
+package srdf_test
+
+import (
+	"strings"
+	"testing"
+
+	"srdf"
+)
+
+const demo = `
+@prefix ex: <http://demo/> .
+ex:b1 a ex:Book ; ex:author ex:a1 ; ex:year 1996 ; ex:isbn "111" .
+ex:b2 a ex:Book ; ex:author ex:a2 ; ex:year 1996 ; ex:isbn "222" .
+ex:b3 a ex:Book ; ex:author ex:a1 ; ex:year 1998 ; ex:isbn "333" .
+ex:a1 ex:name "Alice" ; ex:born 1960 .
+ex:a2 ex:name "Bob" ; ex:born 1971 .
+`
+
+func organized(t *testing.T) *srdf.Store {
+	t.Helper()
+	s := srdf.New(srdf.Defaults())
+	s.MustLoadTurtle(demo)
+	if _, err := s.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	s := organized(t)
+	res, err := s.Query(`PREFIX ex: <http://demo/>
+SELECT ?n WHERE { ?b ex:author ?a . ?b ex:year 1996 . ?a ex:name ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", res.Len(), res)
+	}
+}
+
+func TestPublicModes(t *testing.T) {
+	s := organized(t)
+	q := `PREFIX ex: <http://demo/> SELECT ?i WHERE { ?b ex:isbn ?i . ?b ex:year ?y . }`
+	a, err := s.QueryWith(q, srdf.QueryOptions{Mode: srdf.Default})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.QueryWith(q, srdf.QueryOptions{Mode: srdf.RDFScan, ZoneMaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("rows: %d vs %d, want 3", a.Len(), b.Len())
+	}
+}
+
+func TestPublicExplain(t *testing.T) {
+	s := organized(t)
+	q := `PREFIX ex: <http://demo/> SELECT ?i WHERE { ?b ex:isbn ?i . ?b ex:year ?y . }`
+	exp, err := s.Explain(q, srdf.QueryOptions{Mode: srdf.RDFScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp, "RDFscan") {
+		t.Errorf("explain:\n%s", exp)
+	}
+}
+
+func TestPublicSchemaAndStats(t *testing.T) {
+	s := organized(t)
+	if !strings.Contains(s.SQLSchema(), "CREATE TABLE book") {
+		t.Errorf("schema:\n%s", s.SQLSchema())
+	}
+	sum := s.SchemaSummary([]string{"isbn"}, 0)
+	if !strings.Contains(sum, "book") {
+		t.Errorf("summary:\n%s", sum)
+	}
+	st := s.Stats()
+	if !st.Organized || st.Tables != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestPublicTrickleAndColdReset(t *testing.T) {
+	s := organized(t)
+	s.Add(srdf.Triple{
+		S: srdf.IRI("http://demo/b9"),
+		P: srdf.IRI("http://demo/isbn"),
+		O: srdf.StringLit("999"),
+	})
+	res, err := s.Query(`PREFIX ex: <http://demo/> SELECT ?i WHERE { ?b ex:isbn ?i . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("rows = %d, want 4 after trickle", res.Len())
+	}
+	s.ResetCold()
+	s.ResetPoolStats()
+	if _, err := s.Query(`PREFIX ex: <http://demo/> SELECT ?i WHERE { ?b ex:isbn ?i . }`); err != nil {
+		t.Fatal(err)
+	}
+	if s.PoolStats().Misses == 0 {
+		t.Error("cold query should miss pages")
+	}
+}
+
+func TestQueryBeforeOrganizeWorks(t *testing.T) {
+	s := srdf.New(srdf.Defaults())
+	s.MustLoadTurtle(demo)
+	res, err := s.Query(`PREFIX ex: <http://demo/> SELECT ?i WHERE { ?b ex:isbn ?i . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", res.Len())
+	}
+}
