@@ -356,6 +356,99 @@ func dirtyGraph(n int) string {
 	return b.String()
 }
 
+// --- streaming executor ---
+
+// BenchmarkStream_MaterializedVsStreaming contrasts the two query APIs
+// over the same vectorized pipeline: Query materializes the full result,
+// QueryStream hands rows out batch by batch; with a LIMIT the stream
+// stops the scans early.
+func BenchmarkStream_MaterializedVsStreaming(b *testing.B) {
+	h := getHarness(b)
+	q := rdfh.Queries()["Q3"]
+	qo := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}
+	b.Run("Query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Clustered.Query(q, qo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("QueryStream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := h.Clustered.QueryStream(q, qo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for rows.Next() {
+				n++
+			}
+			rows.Close()
+		}
+	})
+}
+
+// BenchmarkStream_LimitEarlyTermination measures a LIMIT probe over a
+// multi-block table: the streaming head stops pulling once satisfied, so
+// pages/op stays flat no matter how large the table is.
+func BenchmarkStream_LimitEarlyTermination(b *testing.B) {
+	st := parallelStore(b, 20000, 0)
+	for _, q := range []struct{ name, text string }{
+		{"full", `PREFIX e: <http://par/> SELECT ?s ?x WHERE { ?s e:a ?x . ?s e:b ?y . }`},
+		{"limit10", `PREFIX e: <http://par/> SELECT ?s ?x WHERE { ?s e:a ?x . ?s e:b ?y . } LIMIT 10`},
+	} {
+		b.Run(q.name, func(b *testing.B) {
+			qo := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}
+			st.Pool().ResetStats()
+			for i := 0; i < b.N; i++ {
+				st.Pool().ResetCold()
+				if _, err := st.Query(q.text, qo); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Pool().Stats().Misses)/float64(b.N), "pages/op")
+		})
+	}
+}
+
+// parallelStore builds a core store whose main CS spans many zone-map
+// blocks, with the given morsel-scan worker count.
+func parallelStore(b *testing.B, n, workers int) *core.Store {
+	var src strings.Builder
+	src.WriteString("@prefix e: <http://par/> .\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&src, "e:s%06d e:a %d ; e:b %d ; e:c %d .\n", i, i%9973, i%89, i%7)
+	}
+	opts := core.DefaultOptions()
+	opts.Parallelism = workers
+	st := core.NewStore(opts)
+	if _, err := st.LoadTurtle(strings.NewReader(src.String())); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Organize(); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkStream_ParallelismSweep sweeps the morsel-scan worker count
+// over a wide-table star scan, the knob the Parallelism option exposes.
+func BenchmarkStream_ParallelismSweep(b *testing.B) {
+	q := `PREFIX e: <http://par/>
+SELECT (COUNT(*) AS ?n) WHERE { ?s e:a ?x . ?s e:b ?y . ?s e:c ?z . FILTER (?x >= 2) }`
+	for _, workers := range []int{1, 2, 4} {
+		st := parallelStore(b, 40000, workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			qo := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Query(q, qo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- throughput ---
 
 func BenchmarkCSDetection(b *testing.B) {

@@ -1,0 +1,3 @@
+module srdf
+
+go 1.24

@@ -36,6 +36,9 @@ type Options struct {
 	PoolPages int
 	// Dedup removes duplicate triples on Organize (RDF graphs are sets).
 	Dedup bool
+	// Parallelism is the morsel-scan worker count for RDFscan; <=1
+	// scans sequentially.
+	Parallelism int
 }
 
 // DefaultOptions returns the standard configuration.
@@ -283,10 +286,11 @@ func (s *Store) recordWorkloadLocked(q *sparql.Query) {
 
 func (s *Store) rebuildCtxLocked() {
 	s.ctx = &exec.Ctx{
-		Dict: s.dict,
-		Idx:  s.idx,
-		Cat:  s.cat,
-		Pool: s.pool,
+		Dict:        s.dict,
+		Idx:         s.idx,
+		Cat:         s.cat,
+		Pool:        s.pool,
+		Parallelism: s.opts.Parallelism,
 	}
 	s.ctx.TrackProjections(s.idx)
 	if s.cat != nil {
@@ -334,6 +338,71 @@ func (s *Store) Query(src string, qopts QueryOptions) (*exec.Result, error) {
 		return nil, err
 	}
 	return p.Execute(s.ctx)
+}
+
+// Rows is a streaming query result: rows are produced by the vectorized
+// pipeline as the consumer pulls, so LIMIT queries stop scanning early
+// and large results never materialize. The store's (exclusive) mutex is
+// held for the lifetime of the iterator — call Close (or drain it)
+// promptly; calling any other store method before then blocks, and
+// doing so from the same goroutine deadlocks.
+type Rows struct {
+	s    *Store
+	it   *exec.RowIter
+	done bool
+}
+
+// Vars lists the output column names.
+func (r *Rows) Vars() []string { return r.it.Vars() }
+
+// Next advances to the next row, closing the iterator (and releasing
+// the store) at the end of the stream.
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	if r.it.Next() {
+		return true
+	}
+	r.Close()
+	return false
+}
+
+// Row returns the current row. The slice is reused by the next call to
+// Next; copy values to retain them.
+func (r *Rows) Row() []dict.Value { return r.it.Row() }
+
+// Close stops the pipeline and releases the store; idempotent.
+func (r *Rows) Close() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.it.Close()
+	r.s.mu.Unlock()
+}
+
+// QueryStream parses, plans and starts a SPARQL query, returning a
+// streaming row iterator instead of a materialized result.
+func (s *Store) QueryStream(src string, qopts QueryOptions) (*Rows, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.recordWorkloadLocked(q)
+	s.refreshLocked()
+	p, err := plan.Build(q, s.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	it, err := p.Stream(s.ctx)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	return &Rows{s: s, it: it}, nil
 }
 
 // Explain returns the plan tree for a query without executing it.

@@ -1,0 +1,275 @@
+package exec
+
+import (
+	"srdf/internal/dict"
+)
+
+// BatchRows is the vector size of the streaming executor: operators
+// exchange fixed-capacity OID batches instead of fully materialized
+// relations, MonetDB/X100-style. It matches colstore.BlockRows so one
+// scanned block fills at most one batch.
+const BatchRows = 1024
+
+// Batch is one vector of bindings flowing between operators: a column of
+// OIDs per variable, at most BatchRows rows. Batches are owned by the
+// consumer and refilled on every Next call, so their backing arrays are
+// reused across the whole pull.
+type Batch struct {
+	Vars []string
+	Cols [][]dict.OID
+}
+
+// NewBatch allocates an empty batch with capacity BatchRows per column.
+func NewBatch(vars []string) *Batch {
+	b := &Batch{Vars: vars, Cols: make([][]dict.OID, len(vars))}
+	for i := range b.Cols {
+		b.Cols[i] = make([]dict.OID, 0, BatchRows)
+	}
+	return b
+}
+
+// Len returns the row count.
+func (b *Batch) Len() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return len(b.Cols[0])
+}
+
+// Reset truncates the batch to zero rows, keeping capacity.
+func (b *Batch) Reset() {
+	for i := range b.Cols {
+		b.Cols[i] = b.Cols[i][:0]
+	}
+}
+
+// Full reports that the batch reached its target capacity.
+func (b *Batch) Full() bool { return b.Len() >= BatchRows }
+
+// AppendRow adds one row; vals must match Vars.
+func (b *Batch) AppendRow(vals ...dict.OID) {
+	for i, v := range vals {
+		b.Cols[i] = append(b.Cols[i], v)
+	}
+}
+
+// asRel returns a Rel header over the batch's current columns (no copy).
+// Valid until the next Reset/append cycle.
+func (b *Batch) asRel() *Rel {
+	return &Rel{Vars: b.Vars, Cols: b.Cols}
+}
+
+// Operator is a pull-based vectorized plan operator. The contract:
+// Open prepares state (and may start workers); Next fills the batch with
+// the next rows and reports whether it produced any — false means the
+// stream is exhausted; Close releases resources and may be called before
+// exhaustion (early termination, e.g. LIMIT). Open/Close are called at
+// most once.
+type Operator interface {
+	// Vars lists the output columns, available before Open.
+	Vars() []string
+	Open(ctx *Ctx) error
+	Next(b *Batch) bool
+	Close()
+}
+
+// Drain pulls an operator to completion into a materialized relation —
+// the adapter that keeps the operator-at-a-time API (and everything built
+// on it: Explain samples, tests, aggregation) working over the streaming
+// engine.
+func Drain(ctx *Ctx, op Operator) *Rel {
+	out := NewRel(op.Vars()...)
+	if err := op.Open(ctx); err != nil {
+		return out
+	}
+	defer op.Close()
+	b := NewBatch(op.Vars())
+	for {
+		b.Reset()
+		if !op.Next(b) {
+			return out
+		}
+		for i := range out.Cols {
+			out.Cols[i] = append(out.Cols[i], b.Cols[i]...)
+		}
+	}
+}
+
+// relCursor streams a materialized relation in batches.
+type relCursor struct {
+	rel *Rel
+	off int
+}
+
+func (c *relCursor) fill(b *Batch) bool {
+	n := c.rel.Len() - c.off
+	if n <= 0 {
+		return false
+	}
+	room := BatchRows - b.Len()
+	if n > room {
+		n = room
+	}
+	for i := range c.rel.Cols {
+		b.Cols[i] = append(b.Cols[i], c.rel.Cols[i][c.off:c.off+n]...)
+	}
+	c.off += n
+	return true
+}
+
+// RelSource streams an already materialized relation.
+type RelSource struct {
+	rel *Rel
+	cur relCursor
+}
+
+// NewRelSource wraps rel as an operator.
+func NewRelSource(rel *Rel) *RelSource { return &RelSource{rel: rel} }
+
+func (s *RelSource) Vars() []string      { return s.rel.Vars }
+func (s *RelSource) Open(ctx *Ctx) error { s.cur = relCursor{rel: s.rel}; return nil }
+func (s *RelSource) Next(b *Batch) bool  { return s.cur.fill(b) }
+func (s *RelSource) Close()              {}
+
+// LazyOp defers a materializing evaluation until first pull — used for
+// operators that are inherently whole-input (the irregular residual,
+// generic triple scans) so they cost nothing when an upstream LIMIT stops
+// before reaching them.
+type LazyOp struct {
+	vars []string
+	f    func(*Ctx) *Rel
+	ctx  *Ctx
+	cur  *relCursor
+}
+
+// NewLazyOp builds a lazily materialized operator.
+func NewLazyOp(vars []string, f func(*Ctx) *Rel) *LazyOp {
+	return &LazyOp{vars: vars, f: f}
+}
+
+func (s *LazyOp) Vars() []string      { return s.vars }
+func (s *LazyOp) Open(ctx *Ctx) error { s.ctx = ctx; return nil }
+func (s *LazyOp) Next(b *Batch) bool {
+	if s.cur == nil {
+		s.cur = &relCursor{rel: s.f(s.ctx)}
+	}
+	return s.cur.fill(b)
+}
+func (s *LazyOp) Close() {}
+
+// MapOp applies a chunkwise Rel transformation to every input batch: the
+// vectorized form of the materialized operators (Filter, RDFJoin,
+// EqSelect) that map one relation to another row-locally. One input batch
+// may expand to more than one output batch (joins) or shrink to zero
+// (filters); MapOp buffers the expansion and keeps pulling on shrink.
+type MapOp struct {
+	in   Operator
+	vars []string
+	f    func(ctx *Ctx, chunk *Rel) *Rel
+
+	ctx     *Ctx
+	inBatch *Batch
+	pending relCursor
+}
+
+// NewMapOp builds a chunk-transforming operator with the given output
+// schema.
+func NewMapOp(in Operator, vars []string, f func(*Ctx, *Rel) *Rel) *MapOp {
+	return &MapOp{in: in, vars: vars, f: f}
+}
+
+func (m *MapOp) Vars() []string { return m.vars }
+
+func (m *MapOp) Open(ctx *Ctx) error {
+	m.ctx = ctx
+	m.inBatch = NewBatch(m.in.Vars())
+	return m.in.Open(ctx)
+}
+
+func (m *MapOp) Next(b *Batch) bool {
+	for {
+		if m.pending.rel != nil && m.pending.fill(b) {
+			return true
+		}
+		m.inBatch.Reset()
+		if !m.in.Next(m.inBatch) {
+			return false
+		}
+		m.pending = relCursor{rel: m.f(m.ctx, m.inBatch.asRel())}
+	}
+}
+
+func (m *MapOp) Close() { m.in.Close() }
+
+// UnionOp concatenates child streams, aligning each child's columns to
+// the output schema by variable name (missing columns yield Nil).
+type UnionOp struct {
+	vars     []string
+	children []Operator
+
+	ctx   *Ctx
+	i     int
+	open  bool
+	perm  []int
+	child *Batch
+}
+
+// NewUnionOp builds a concatenating union with the given output schema.
+func NewUnionOp(vars []string, children ...Operator) *UnionOp {
+	return &UnionOp{vars: vars, children: children}
+}
+
+func (u *UnionOp) Vars() []string      { return u.vars }
+func (u *UnionOp) Open(ctx *Ctx) error { u.ctx = ctx; return nil }
+
+func (u *UnionOp) Next(b *Batch) bool {
+	for u.i < len(u.children) {
+		c := u.children[u.i]
+		if !u.open {
+			if err := c.Open(u.ctx); err != nil {
+				u.i++
+				continue
+			}
+			u.open = true
+			u.perm = make([]int, len(u.vars))
+			cv := c.Vars()
+			for k, v := range u.vars {
+				u.perm[k] = -1
+				for ci, w := range cv {
+					if w == v {
+						u.perm[k] = ci
+						break
+					}
+				}
+			}
+			u.child = NewBatch(cv)
+		}
+		u.child.Reset()
+		if !c.Next(u.child) {
+			c.Close()
+			u.open = false
+			u.i++
+			continue
+		}
+		n := u.child.Len()
+		for k, p := range u.perm {
+			if p < 0 {
+				for r := 0; r < n; r++ {
+					b.Cols[k] = append(b.Cols[k], dict.Nil)
+				}
+			} else {
+				b.Cols[k] = append(b.Cols[k], u.child.Cols[p]...)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (u *UnionOp) Close() {
+	if u.open && u.i < len(u.children) {
+		u.children[u.i].Close()
+		u.open = false
+	}
+	// children beyond i were never opened
+}

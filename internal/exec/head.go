@@ -42,6 +42,11 @@ func Head(ctx *Ctx, rel *Rel, q *sparql.Query) (*Result, error) {
 	for _, f := range q.Filters {
 		rel = Filter(ctx, rel, f)
 	}
+	return headAfterFilters(ctx, rel, q)
+}
+
+// headAfterFilters is Head for an already-filtered relation.
+func headAfterFilters(ctx *Ctx, rel *Rel, q *sparql.Query) (*Result, error) {
 	var res *Result
 	if q.Aggregating() {
 		res = aggregate(ctx, rel, q)
@@ -352,13 +357,8 @@ func applyBinary(op sparql.Op, l, r dict.Value) dict.Value {
 func distinct(res *Result) *Result {
 	seen := map[string]bool{}
 	out := &Result{Vars: res.Vars}
-	var b strings.Builder
 	for _, row := range res.Rows {
-		b.Reset()
-		for _, v := range row {
-			fmt.Fprintf(&b, "%d|%s|", v.Kind, v.Lexical())
-		}
-		k := b.String()
+		k := distinctKey(row)
 		if seen[k] {
 			continue
 		}

@@ -90,6 +90,9 @@ func (r *Rel) Select(keep []int32) *Rel {
 // Ctx carries the store state an executor needs.
 type Ctx struct {
 	Dict *dict.Dictionary
+	// Parallelism is the morsel-scan worker count; <=1 scans
+	// sequentially.
+	Parallelism int
 	// Idx are the six projections over the full triple table (the
 	// exhaustive-indexing access paths of the Default plans).
 	Idx *triples.IndexSet

@@ -1,0 +1,199 @@
+package exec
+
+import (
+	"fmt"
+
+	"srdf/internal/dict"
+	"srdf/internal/sparql"
+)
+
+// RowIter is a pull-based, decoded query result: rows stream out of the
+// operator pipeline as the consumer asks for them, and a satisfied LIMIT
+// closes the pipeline without running it to exhaustion. Aggregation and
+// ORDER BY inherently need the whole input, so those queries are
+// evaluated eagerly and the iterator replays the materialized result.
+type RowIter struct {
+	vars  []string
+	items []sparql.SelectItem
+
+	// streaming state
+	ctx    *Ctx
+	op     Operator
+	opened bool
+	batch  *Batch
+	env    *evalEnv
+	idx    int
+	seen   map[string]bool // DISTINCT
+	toSkip int             // OFFSET
+	remain int             // LIMIT budget; -1 = unlimited
+	row    []dict.Value
+
+	// materialized fallback (aggregation / ORDER BY)
+	res    *Result
+	resIdx int
+}
+
+// Stream runs an operator tree under the query's solution modifiers and
+// returns a row iterator. Residual FILTERs are applied batchwise;
+// projection, DISTINCT, OFFSET and LIMIT are applied row by row as the
+// consumer pulls. The caller must Close the iterator (exhaustion closes
+// it automatically).
+func Stream(ctx *Ctx, op Operator, q *sparql.Query) (*RowIter, error) {
+	for _, f := range q.Filters {
+		op = NewFilterOp(op, f)
+	}
+	if q.Aggregating() || len(q.OrderBy) > 0 {
+		rel := Drain(ctx, op)
+		res, err := headAfterFilters(ctx, rel, q)
+		if err != nil {
+			return nil, err
+		}
+		return &RowIter{vars: res.Vars, res: res}, nil
+	}
+	items := q.Select
+	if q.SelectAll {
+		items = nil
+		for _, v := range op.Vars() {
+			items = append(items, sparql.SelectItem{Expr: &sparql.ExVar{Name: v}, As: v})
+		}
+	}
+	it := &RowIter{ctx: ctx, op: op, items: items, remain: -1}
+	for _, item := range items {
+		it.vars = append(it.vars, item.As)
+	}
+	if q.Distinct {
+		it.seen = map[string]bool{}
+	}
+	if q.Offset > 0 {
+		it.toSkip = q.Offset
+	}
+	if q.Limit >= 0 {
+		it.remain = q.Limit
+	}
+	it.row = make([]dict.Value, len(items))
+	return it, nil
+}
+
+// Vars lists the output column names.
+func (it *RowIter) Vars() []string { return it.vars }
+
+// Next advances to the next row, reporting false at the end of the
+// stream. Once LIMIT rows have been produced the underlying pipeline is
+// closed immediately.
+func (it *RowIter) Next() bool {
+	if it.res != nil {
+		if it.resIdx >= len(it.res.Rows) {
+			return false
+		}
+		it.resIdx++
+		return true
+	}
+	if it.op == nil {
+		return false
+	}
+	if it.remain == 0 {
+		it.Close()
+		return false
+	}
+	if !it.opened {
+		if err := it.op.Open(it.ctx); err != nil {
+			it.Close()
+			return false
+		}
+		it.opened = true
+		it.batch = NewBatch(it.op.Vars())
+		it.idx = it.batch.Len() // 0, forces a pull
+	}
+	for {
+		if it.batch.Len() == 0 || it.idx >= it.batch.Len() {
+			it.batch.Reset()
+			if !it.op.Next(it.batch) {
+				it.Close()
+				return false
+			}
+			it.env = newEvalEnv(it.ctx, it.batch.asRel())
+			it.idx = 0
+		}
+		for it.idx < it.batch.Len() {
+			i := it.idx
+			it.idx++
+			it.env.row = i
+			for c, item := range it.items {
+				it.row[c] = it.env.evalValue(item.Expr)
+			}
+			if it.seen != nil {
+				k := distinctKey(it.row)
+				if it.seen[k] {
+					continue
+				}
+				it.seen[k] = true
+			}
+			if it.toSkip > 0 {
+				it.toSkip--
+				continue
+			}
+			if it.remain > 0 {
+				it.remain--
+			}
+			return true
+		}
+	}
+}
+
+// Row returns the current row. The slice is reused by the next call to
+// Next; copy it to retain.
+func (it *RowIter) Row() []dict.Value {
+	if it.res != nil {
+		if it.resIdx >= 1 && it.resIdx <= len(it.res.Rows) {
+			return it.res.Rows[it.resIdx-1]
+		}
+		return nil
+	}
+	return it.row
+}
+
+// Close shuts the pipeline down; it is idempotent and automatically
+// invoked on exhaustion or when LIMIT is reached.
+func (it *RowIter) Close() {
+	if it.op != nil {
+		if it.opened {
+			it.op.Close()
+			it.opened = false
+		}
+		it.op = nil
+	}
+}
+
+// Collect drains the iterator into a materialized Result (closing it).
+func (it *RowIter) Collect() *Result {
+	defer it.Close()
+	res := &Result{Vars: it.vars}
+	for it.Next() {
+		res.Rows = append(res.Rows, append([]dict.Value{}, it.Row()...))
+	}
+	return res
+}
+
+// HeadStream evaluates a full query over a streaming pipeline: Head's
+// semantics (filters, projection or aggregation, DISTINCT, ORDER BY,
+// OFFSET, LIMIT) driven batch-at-a-time, with LIMIT terminating the pull
+// early.
+func HeadStream(ctx *Ctx, op Operator, q *sparql.Query) (*Result, error) {
+	it, err := Stream(ctx, op, q)
+	if err != nil {
+		return nil, err
+	}
+	if it.res != nil {
+		it.Close()
+		return it.res, nil
+	}
+	return it.Collect(), nil
+}
+
+func distinctKey(row []dict.Value) string {
+	var b []byte
+	for _, v := range row {
+		b = append(b, fmt.Sprintf("%d|%s|", v.Kind, v.Lexical())...)
+	}
+	return string(b)
+}

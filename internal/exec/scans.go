@@ -62,30 +62,7 @@ func DefaultStar(ctx *Ctx, star Star, idx *triples.IndexSet) *Rel {
 	}
 	pso := idx.Get(triples.PSO)
 	pos := idx.Get(triples.POS)
-
-	// Pick the seed: bound-object pattern first, then range pattern,
-	// then smallest property run.
-	seed := -1
-	bestCost := -1
-	for i := range star.Props {
-		p := &star.Props[i]
-		var cost int
-		switch {
-		case p.ObjConst != dict.Nil:
-			lo, hi := pos.Range2(p.Pred, p.ObjConst)
-			cost = hi - lo
-		case p.HasRange:
-			lo, hi := pos.Range2Between(p.Pred, p.Lo, p.Hi)
-			cost = hi - lo
-		default:
-			lo, hi := pso.Range1(p.Pred)
-			cost = hi - lo
-		}
-		if seed < 0 || cost < bestCost {
-			seed, bestCost = i, cost
-		}
-	}
-
+	seed, _ := chooseSeed(&star, pso, pos)
 	rel := seedScan(ctx, &star.Props[seed], star.SubjVar, pso, pos)
 	for i := range star.Props {
 		if i == seed {
@@ -97,6 +74,33 @@ func DefaultStar(ctx *Ctx, star Star, idx *triples.IndexSet) *Rel {
 		}
 	}
 	return rel
+}
+
+// chooseSeed picks the star property to evaluate first — bound-object
+// patterns, then range patterns, then the smallest property run — and
+// returns its index and scan cost. Both the materialized and streaming
+// Default-family operators use it, so they always agree on access paths.
+func chooseSeed(star *Star, pso, pos *triples.Projection) (seed, cost int) {
+	seed, cost = -1, -1
+	for i := range star.Props {
+		p := &star.Props[i]
+		var c int
+		switch {
+		case p.ObjConst != dict.Nil:
+			lo, hi := pos.Range2(p.Pred, p.ObjConst)
+			c = hi - lo
+		case p.HasRange:
+			lo, hi := pos.Range2Between(p.Pred, p.Lo, p.Hi)
+			c = hi - lo
+		default:
+			lo, hi := pso.Range1(p.Pred)
+			c = hi - lo
+		}
+		if seed < 0 || c < cost {
+			seed, cost = i, c
+		}
+	}
+	return seed, cost
 }
 
 // seedScan produces the initial (subject[, object]) relation of a star,

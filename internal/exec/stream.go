@@ -1,0 +1,525 @@
+package exec
+
+import (
+	"srdf/internal/colstore"
+	"srdf/internal/dict"
+	"srdf/internal/relational"
+	"srdf/internal/sparql"
+	"srdf/internal/triples"
+)
+
+// ScanOp is the streaming RDFScan: it walks one CS table block by block
+// (the zone-map granularity), pruning blocks and touching pages only as
+// the consumer pulls — so a satisfied LIMIT stops the scan before the
+// tail blocks are ever faulted in. With ctx.Parallelism > 1 the block
+// range is split into morsels and dispatched to a worker pool (see
+// parallel.go); the ordered merge keeps row order identical to the
+// sequential scan.
+type ScanOp struct {
+	Table    *relational.Table
+	Star     Star
+	UseZones bool
+	// RowLo/RowHi restrict the scan to a row window (RowHi -1 = open),
+	// the planner's sort-key range pushdown path.
+	RowLo, RowHi int
+
+	ctx   *Ctx
+	cols  []*relational.Col
+	block int // next block to scan
+	last  int // last block (inclusive)
+	lo    int // effective row window
+	hi    int
+	row   []dict.OID
+	par   *morselScan
+}
+
+// NewScanOp builds a streaming scan of star over one CS table.
+func NewScanOp(t *relational.Table, star Star, useZones bool, rowLo, rowHi int) *ScanOp {
+	return &ScanOp{Table: t, Star: star, UseZones: useZones, RowLo: rowLo, RowHi: rowHi}
+}
+
+func (s *ScanOp) Vars() []string { return s.Star.Vars() }
+
+func (s *ScanOp) Open(ctx *Ctx) error {
+	s.ctx = ctx
+	s.last = -1 // empty unless a valid block range is established below
+	s.lo, s.hi = s.RowLo, s.RowHi
+	if s.hi < 0 || s.hi > s.Table.Count {
+		s.hi = s.Table.Count
+	}
+	if s.lo < 0 {
+		s.lo = 0
+	}
+	s.cols = make([]*relational.Col, len(s.Star.Props))
+	for i := range s.Star.Props {
+		s.cols[i] = s.Table.Col(s.Star.Props[i].Pred)
+		if s.cols[i] == nil {
+			s.hi = s.lo // planner error; empty result
+			return nil
+		}
+	}
+	if s.hi <= s.lo {
+		return nil
+	}
+	s.block = s.lo / colstore.BlockRows
+	s.last = (s.hi - 1) / colstore.BlockRows
+	s.row = make([]dict.OID, 0, len(s.Star.Vars()))
+	if ctx.Parallelism > 1 && s.last-s.block+1 >= 2*morselBlocks {
+		if s.UseZones {
+			// pre-build zone maps: lazily building them from concurrent
+			// workers would race
+			for _, c := range s.cols {
+				c.Data.Zones()
+			}
+		}
+		s.par = startMorselScan(ctx, s, ctx.Parallelism)
+	}
+	return nil
+}
+
+// scanBlock appends block b's matching rows to dst, honoring the row
+// window. Shared by the sequential path and the morsel workers.
+func (s *ScanOp) scanBlock(b int, row []dict.OID, dst *Rel) []dict.OID {
+	blo := b * colstore.BlockRows
+	bhi := blo + colstore.BlockRows
+	if blo < s.lo {
+		blo = s.lo
+	}
+	if bhi > s.hi {
+		bhi = s.hi
+	}
+	if s.UseZones && !blockMayMatch(s.cols, s.Star.Props, b) {
+		return row // pruned: pages never touched
+	}
+	for i := range s.cols {
+		s.cols[i].Data.Touch(blo, bhi)
+	}
+	for r := blo; r < bhi; r++ {
+		ok := true
+		for i := range s.cols {
+			v := s.cols[i].Data.Vals[r]
+			if v == dict.Nil || !s.Star.Props[i].matches(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row = row[:0]
+		row = append(row, s.Table.SubjectOID(r))
+		for i := range s.cols {
+			if s.Star.Props[i].ObjVar != "" {
+				row = append(row, s.cols[i].Data.Vals[r])
+			}
+		}
+		dst.AppendRow(row...)
+	}
+	return row
+}
+
+func (s *ScanOp) Next(b *Batch) bool {
+	if s.par != nil {
+		return s.par.next(b)
+	}
+	scratch := b.asRel()
+	for s.block <= s.last {
+		blk := s.block
+		s.block++
+		s.row = s.scanBlock(blk, s.row, scratch)
+		if b.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *ScanOp) Close() {
+	if s.par != nil {
+		s.par.stop()
+		s.par = nil
+	}
+}
+
+// DefaultStarOp is the streaming Default-family star: the seed index
+// scan is pulled chunk by chunk and every remaining property is joined
+// onto each chunk, with merge cursors persisting across chunks so the
+// access pattern matches the materialized DefaultStar.
+type DefaultStarOp struct {
+	star Star
+	idx  *triples.IndexSet
+
+	ctx      *Ctx
+	pso, pos *triples.Projection
+	seed     int // index of the seed property
+	seedLen  int
+
+	// streaming seed cursor: either a projection window [cursor,hiRow)
+	// or a pre-sorted materialized seed (range case, which must sort).
+	kind    seedKind
+	cursor  int
+	hiRow   int
+	seedRel relCursor
+
+	ext     []extendState
+	pending relCursor
+	done    bool
+}
+
+type seedKind uint8
+
+const (
+	seedConst seedKind = iota // pos.C run of a bound object
+	seedRange                 // materialized (sorted) range seed
+	seedRun                   // full pso property run
+)
+
+// extendState is the persistent join state of one non-seed property.
+type extendState struct {
+	prop   *StarProp
+	lookup bool // index nested-loop vs merge self-join
+	k      int  // merge cursor into the pso run
+	runLo  int
+	runHi  int
+}
+
+// NewDefaultStarOp builds a streaming Default-family star operator.
+func NewDefaultStarOp(star Star, idx *triples.IndexSet) *DefaultStarOp {
+	return &DefaultStarOp{star: star, idx: idx}
+}
+
+func (d *DefaultStarOp) Vars() []string { return d.star.Vars() }
+
+func (d *DefaultStarOp) Open(ctx *Ctx) error {
+	d.ctx = ctx
+	if len(d.star.Props) == 0 {
+		d.done = true
+		return nil
+	}
+	d.pso = d.idx.Get(triples.PSO)
+	d.pos = d.idx.Get(triples.POS)
+	d.seed, d.seedLen = chooseSeed(&d.star, d.pso, d.pos)
+	sp := &d.star.Props[d.seed]
+	switch {
+	case sp.ObjConst != dict.Nil:
+		d.kind = seedConst
+		d.cursor, d.hiRow = d.pos.Range2(sp.Pred, sp.ObjConst)
+	case sp.HasRange:
+		// the range seed must sort by subject before streaming
+		d.kind = seedRange
+		d.seedRel = relCursor{rel: seedScan(ctx, sp, d.star.SubjVar, d.pso, d.pos)}
+	default:
+		d.kind = seedRun
+		d.cursor, d.hiRow = d.pso.Range1(sp.Pred)
+	}
+	for i := range d.star.Props {
+		if i == d.seed {
+			continue
+		}
+		p := &d.star.Props[i]
+		runLo, runHi := d.pso.Range1(p.Pred)
+		st := extendState{prop: p, k: runLo, runLo: runLo, runHi: runHi}
+		// The materialized executor decides per extension from the live
+		// relation size; streaming fixes the choice from the seed
+		// cardinality, which is known upfront.
+		st.lookup = d.seedLen*4 < runHi-runLo
+		if !st.lookup {
+			// merge self-join reads the whole run, like extendStar
+			ctx.touchProj(d.pso, runLo, runHi, 2|4)
+		}
+		d.ext = append(d.ext, st)
+	}
+	return nil
+}
+
+// nextSeedChunk produces the next <=BatchRows seed rows, sorted by
+// subject, or nil at exhaustion.
+func (d *DefaultStarOp) nextSeedChunk() *Rel {
+	sp := &d.star.Props[d.seed]
+	switch d.kind {
+	case seedRange:
+		chunk := NewRel(d.seedRel.rel.Vars...)
+		n := d.seedRel.rel.Len() - d.seedRel.off
+		if n <= 0 {
+			return nil
+		}
+		if n > BatchRows {
+			n = BatchRows
+		}
+		for i := range chunk.Cols {
+			chunk.Cols[i] = d.seedRel.rel.Cols[i][d.seedRel.off : d.seedRel.off+n]
+		}
+		d.seedRel.off += n
+		return chunk
+	case seedConst:
+		if d.cursor >= d.hiRow {
+			return nil
+		}
+		n := d.hiRow - d.cursor
+		if n > BatchRows {
+			n = BatchRows
+		}
+		d.ctx.touchProj(d.pos, d.cursor, d.cursor+n, 4) // C = subjects
+		chunk := NewRel(d.star.SubjVar)
+		chunk.Cols[0] = d.pos.C[d.cursor : d.cursor+n]
+		d.cursor += n
+		return chunk
+	default: // seedRun
+		if d.cursor >= d.hiRow {
+			return nil
+		}
+		n := d.hiRow - d.cursor
+		if n > BatchRows {
+			n = BatchRows
+		}
+		d.ctx.touchProj(d.pso, d.cursor, d.cursor+n, 2|4)
+		var chunk *Rel
+		if sp.ObjVar != "" {
+			chunk = NewRel(d.star.SubjVar, sp.ObjVar)
+			chunk.Cols[0] = d.pso.B[d.cursor : d.cursor+n]
+			chunk.Cols[1] = d.pso.C[d.cursor : d.cursor+n]
+		} else {
+			chunk = NewRel(d.star.SubjVar)
+			chunk.Cols[0] = d.pso.B[d.cursor : d.cursor+n]
+		}
+		d.cursor += n
+		return chunk
+	}
+}
+
+// extendChunk joins one more property onto a seed chunk, advancing the
+// persistent merge cursor (chunks arrive subject-sorted, so the cursor
+// never rewinds).
+func (d *DefaultStarOp) extendChunk(rel *Rel, st *extendState) *Rel {
+	si := rel.ColIdx(d.star.SubjVar)
+	p := st.prop
+	outVars := rel.Vars
+	if p.ObjVar != "" {
+		outVars = append(append([]string{}, rel.Vars...), p.ObjVar)
+	}
+	out := NewRel(outVars...)
+	buf := make([]dict.OID, 0, len(rel.Vars)+1)
+
+	if st.lookup {
+		for i := 0; i < rel.Len(); i++ {
+			s := rel.Cols[si][i]
+			lo, hi := d.pso.Range2(p.Pred, s)
+			if hi == lo {
+				continue
+			}
+			d.ctx.touchProj(d.pso, lo, hi, 4)
+			for k := lo; k < hi; k++ {
+				o := d.pso.C[k]
+				if !p.matches(o) {
+					continue
+				}
+				buf = rel.Row(i, buf)
+				if p.ObjVar != "" {
+					buf = append(buf, o)
+				}
+				out.AppendRow(buf...)
+			}
+		}
+		return out
+	}
+
+	for i := 0; i < rel.Len(); i++ {
+		s := rel.Cols[si][i]
+		for st.k < st.runHi && d.pso.B[st.k] < s {
+			st.k++
+		}
+		for j := st.k; j < st.runHi && d.pso.B[j] == s; j++ {
+			o := d.pso.C[j]
+			if !p.matches(o) {
+				continue
+			}
+			buf = rel.Row(i, buf)
+			if p.ObjVar != "" {
+				buf = append(buf, o)
+			}
+			out.AppendRow(buf...)
+		}
+	}
+	return out
+}
+
+func (d *DefaultStarOp) Next(b *Batch) bool {
+	for !d.done {
+		if d.pending.rel != nil && d.pending.fill(b) {
+			return true
+		}
+		chunk := d.nextSeedChunk()
+		if chunk == nil {
+			d.done = true
+			return false
+		}
+		for i := range d.ext {
+			if chunk.Len() == 0 {
+				break
+			}
+			chunk = d.extendChunk(chunk, &d.ext[i])
+		}
+		if chunk.Len() > 0 {
+			// the seed choice reordered columns; restore the star's
+			// declared schema before emitting positionally
+			ordered := NewRel(d.star.Vars()...)
+			for i, v := range ordered.Vars {
+				ordered.Cols[i] = chunk.Cols[chunk.ColIdx(v)]
+			}
+			chunk = ordered
+		}
+		d.pending = relCursor{rel: chunk}
+	}
+	return false
+}
+
+func (d *DefaultStarOp) Close() {}
+
+// NewFilterOp streams Filter over each input batch.
+func NewFilterOp(in Operator, expr sparql.Expr) Operator {
+	return NewMapOp(in, in.Vars(), func(ctx *Ctx, chunk *Rel) *Rel {
+		return Filter(ctx, chunk, expr)
+	})
+}
+
+// NewRDFJoinOp streams RDFJoin: candidate subjects arrive batch by
+// batch and each batch is extended positionally from the CS table.
+func NewRDFJoinOp(in Operator, keyVar string, t *relational.Table, star Star, fullIdx *triples.IndexSet) Operator {
+	outVars := append([]string{}, in.Vars()...)
+	for i := range star.Props {
+		if star.Props[i].ObjVar != "" {
+			outVars = append(outVars, star.Props[i].ObjVar)
+		}
+	}
+	return NewMapOp(in, outVars, func(ctx *Ctx, chunk *Rel) *Rel {
+		return RDFJoin(ctx, chunk, keyVar, t, star, fullIdx)
+	})
+}
+
+// HashJoinOp is the streaming natural hash join: the build side is
+// drained and hashed at Open, the probe side streams through. The output
+// schema is the left child's variables followed by the right child's
+// extras regardless of which side builds, so plan shapes keep their
+// column order.
+type HashJoinOp struct {
+	left, right Operator
+	buildLeft   bool
+	vars        []string
+
+	ctx      *Ctx
+	probe    Operator
+	build    *Rel
+	buildMap map[string][]int32
+	buildKey []int
+	probeKey []int
+	// per output var: source column (build or probe)
+	fromBuild []int
+	fromProbe []int
+
+	probeBatch *Batch
+	pending    relCursor
+}
+
+// NewHashJoinOp joins left and right on their shared variables, hashing
+// the side indicated by buildLeft.
+func NewHashJoinOp(left, right Operator, buildLeft bool) *HashJoinOp {
+	vars := append([]string{}, left.Vars()...)
+	seen := map[string]bool{}
+	for _, v := range vars {
+		seen[v] = true
+	}
+	for _, v := range right.Vars() {
+		if !seen[v] {
+			vars = append(vars, v)
+		}
+	}
+	return &HashJoinOp{left: left, right: right, buildLeft: buildLeft, vars: vars}
+}
+
+func (h *HashJoinOp) Vars() []string { return h.vars }
+
+func (h *HashJoinOp) Open(ctx *Ctx) error {
+	h.ctx = ctx
+	buildSide := h.right
+	h.probe = h.left
+	if h.buildLeft {
+		buildSide = h.left
+		h.probe = h.right
+	}
+	h.build = Drain(ctx, buildSide)
+	if err := h.probe.Open(ctx); err != nil {
+		return err
+	}
+	probeVars := h.probe.Vars()
+	colOf := func(vars []string, v string) int {
+		for i, w := range vars {
+			if w == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, v := range h.build.Vars {
+		if pi := colOf(probeVars, v); pi >= 0 {
+			h.buildKey = append(h.buildKey, colOf(h.build.Vars, v))
+			h.probeKey = append(h.probeKey, pi)
+		}
+	}
+	h.fromBuild = make([]int, len(h.vars))
+	h.fromProbe = make([]int, len(h.vars))
+	for i, v := range h.vars {
+		h.fromBuild[i] = colOf(h.build.Vars, v)
+		h.fromProbe[i] = colOf(probeVars, v)
+	}
+	h.buildMap = make(map[string][]int32, h.build.Len())
+	var kb []byte
+	for i := 0; i < h.build.Len(); i++ {
+		kb = kb[:0]
+		for _, ci := range h.buildKey {
+			v := h.build.Cols[ci][i]
+			for sh := 0; sh < 64; sh += 8 {
+				kb = append(kb, byte(v>>sh))
+			}
+		}
+		h.buildMap[string(kb)] = append(h.buildMap[string(kb)], int32(i))
+	}
+	h.probeBatch = NewBatch(probeVars)
+	return nil
+}
+
+func (h *HashJoinOp) Next(b *Batch) bool {
+	var kb []byte
+	for {
+		if h.pending.rel != nil && h.pending.fill(b) {
+			return true
+		}
+		h.probeBatch.Reset()
+		if !h.probe.Next(h.probeBatch) {
+			return false
+		}
+		out := NewRel(h.vars...)
+		for j := 0; j < h.probeBatch.Len(); j++ {
+			kb = kb[:0]
+			for _, ci := range h.probeKey {
+				v := h.probeBatch.Cols[ci][j]
+				for sh := 0; sh < 64; sh += 8 {
+					kb = append(kb, byte(v>>sh))
+				}
+			}
+			for _, i := range h.buildMap[string(kb)] {
+				for c := range h.vars {
+					var v dict.OID
+					if bi := h.fromBuild[c]; bi >= 0 {
+						v = h.build.Cols[bi][i]
+					} else {
+						v = h.probeBatch.Cols[h.fromProbe[c]][j]
+					}
+					out.Cols[c] = append(out.Cols[c], v)
+				}
+			}
+		}
+		h.pending = relCursor{rel: out}
+	}
+}
+
+func (h *HashJoinOp) Close() { h.probe.Close() }

@@ -18,9 +18,12 @@ import (
 	"srdf/internal/triples"
 )
 
-// Node is one plan operator.
+// Node is one plan operator. Nodes build pull-based vectorized operator
+// trees (Op); Exec is the thin materializing adapter over the same
+// pipeline, kept so operator-at-a-time callers and tests keep working.
 type Node interface {
-	Exec(ctx *exec.Ctx) *exec.Rel
+	// Op builds the streaming operator subtree for this node.
+	Op() exec.Operator
 	// Explain writes one line per operator, indented.
 	Explain(b *strings.Builder, indent int)
 	// Vars lists the output variables.
@@ -30,6 +33,12 @@ type Node interface {
 	// Joins counts the join operators in the subtree — the quantity
 	// Fig. 4 is about.
 	Joins() int
+}
+
+// Exec runs a node's operator tree to a materialized relation — the
+// operator-at-a-time adapter over the vectorized pipeline.
+func Exec(n Node, ctx *exec.Ctx) *exec.Rel {
+	return exec.Drain(ctx, n.Op())
 }
 
 func pad(b *strings.Builder, indent int) {
@@ -45,10 +54,10 @@ type EmptyNode struct {
 	Reason string
 }
 
-func (n *EmptyNode) Exec(*exec.Ctx) *exec.Rel { return exec.NewRel(n.vars...) }
-func (n *EmptyNode) Vars() []string           { return n.vars }
-func (n *EmptyNode) EstRows() float64         { return 0 }
-func (n *EmptyNode) Joins() int               { return 0 }
+func (n *EmptyNode) Op() exec.Operator { return exec.NewRelSource(exec.NewRel(n.vars...)) }
+func (n *EmptyNode) Vars() []string    { return n.vars }
+func (n *EmptyNode) EstRows() float64  { return 0 }
+func (n *EmptyNode) Joins() int        { return 0 }
 func (n *EmptyNode) Explain(b *strings.Builder, indent int) {
 	pad(b, indent)
 	fmt.Fprintf(b, "Empty (%s)\n", n.Reason)
@@ -61,8 +70,8 @@ type DefaultStarNode struct {
 	est  float64
 }
 
-func (n *DefaultStarNode) Exec(ctx *exec.Ctx) *exec.Rel {
-	return exec.DefaultStar(ctx, n.Star, n.Idx)
+func (n *DefaultStarNode) Op() exec.Operator {
+	return exec.NewDefaultStarOp(n.Star, n.Idx)
 }
 func (n *DefaultStarNode) Vars() []string   { return n.Star.Vars() }
 func (n *DefaultStarNode) EstRows() float64 { return n.est }
@@ -105,13 +114,19 @@ type RDFScanNode struct {
 	est      float64
 }
 
-func (n *RDFScanNode) Exec(ctx *exec.Ctx) *exec.Rel {
-	rels := make([]*exec.Rel, 0, len(n.Tables)+1)
+func (n *RDFScanNode) Op() exec.Operator {
+	ops := make([]exec.Operator, 0, len(n.Tables)+1)
 	for _, t := range n.Tables {
-		rels = append(rels, exec.RDFScan(ctx, t, n.Star, n.UseZones, 0, -1))
+		ops = append(ops, exec.NewScanOp(t, n.Star, n.UseZones, 0, -1))
 	}
-	rels = append(rels, exec.ResidualStar(ctx, n.Star, n.Tables))
-	return exec.Union(rels...)
+	// The irregular residual is whole-input by nature; evaluate it
+	// lazily so an upstream LIMIT satisfied by the table scans never
+	// pays for it.
+	star, tables := n.Star, n.Tables
+	ops = append(ops, exec.NewLazyOp(star.Vars(), func(ctx *exec.Ctx) *exec.Rel {
+		return exec.ResidualStar(ctx, star, tables)
+	}))
+	return exec.NewUnionOp(n.Star.Vars(), ops...)
 }
 func (n *RDFScanNode) Vars() []string   { return n.Star.Vars() }
 func (n *RDFScanNode) EstRows() float64 { return n.est }
@@ -145,9 +160,8 @@ type RDFJoinNode struct {
 	est    float64
 }
 
-func (n *RDFJoinNode) Exec(ctx *exec.Ctx) *exec.Rel {
-	in := n.Input.Exec(ctx)
-	return exec.RDFJoin(ctx, in, n.KeyVar, n.Table, n.Star, n.Idx)
+func (n *RDFJoinNode) Op() exec.Operator {
+	return exec.NewRDFJoinOp(n.Input.Op(), n.KeyVar, n.Table, n.Star, n.Idx)
 }
 func (n *RDFJoinNode) Vars() []string {
 	out := append([]string{}, n.Input.Vars()...)
@@ -173,8 +187,10 @@ type HashJoinNode struct {
 	est  float64
 }
 
-func (n *HashJoinNode) Exec(ctx *exec.Ctx) *exec.Rel {
-	return exec.HashJoin(ctx, n.L.Exec(ctx), n.R.Exec(ctx))
+func (n *HashJoinNode) Op() exec.Operator {
+	// Materialize (build) the side the planner estimates smaller and
+	// stream the other through the probe.
+	return exec.NewHashJoinOp(n.L.Op(), n.R.Op(), n.L.EstRows() <= n.R.EstRows())
 }
 func (n *HashJoinNode) Vars() []string {
 	out := append([]string{}, n.L.Vars()...)
@@ -219,8 +235,8 @@ type FilterNode struct {
 	Expr  sparql.Expr
 }
 
-func (n *FilterNode) Exec(ctx *exec.Ctx) *exec.Rel {
-	return exec.Filter(ctx, n.Input.Exec(ctx), n.Expr)
+func (n *FilterNode) Op() exec.Operator {
+	return exec.NewFilterOp(n.Input.Op(), n.Expr)
 }
 func (n *FilterNode) Vars() []string   { return n.Input.Vars() }
 func (n *FilterNode) EstRows() float64 { return n.Input.EstRows() / 3 }
@@ -238,19 +254,23 @@ type EqSelectNode struct {
 	A, B  string
 }
 
-func (n *EqSelectNode) Exec(ctx *exec.Ctx) *exec.Rel {
-	rel := n.Input.Exec(ctx)
+func (n *EqSelectNode) Op() exec.Operator {
+	return exec.NewMapOp(n.Input.Op(), n.Vars(), n.apply)
+}
+
+// apply keeps the rows of one chunk where A = B and projects B away.
+func (n *EqSelectNode) apply(ctx *exec.Ctx, rel *exec.Rel) *exec.Rel {
 	ai, bi := rel.ColIdx(n.A), rel.ColIdx(n.B)
-	if ai < 0 || bi < 0 {
-		return rel
-	}
-	var keep []int32
-	for i := 0; i < rel.Len(); i++ {
-		if rel.Cols[ai][i] == rel.Cols[bi][i] {
-			keep = append(keep, int32(i))
+	out := rel
+	if ai >= 0 && bi >= 0 {
+		var keep []int32
+		for i := 0; i < rel.Len(); i++ {
+			if rel.Cols[ai][i] == rel.Cols[bi][i] {
+				keep = append(keep, int32(i))
+			}
 		}
+		out = rel.Select(keep)
 	}
-	out := rel.Select(keep)
 	// drop the temp column B
 	res := exec.NewRel(removeVar(out.Vars, n.B)...)
 	for i := 0; i < out.Len(); i++ {
@@ -312,76 +332,107 @@ func contains(xs []string, v string) bool {
 	return false
 }
 
-func (n *GenericScanNode) Exec(ctx *exec.Ctx) *exec.Rel {
-	rel := exec.NewRel(n.Vars()...)
+func (n *GenericScanNode) Op() exec.Operator {
+	return &genericScanOp{n: n, vars: n.Vars()}
+}
+
+// genericScanOp streams a GenericScanNode's projection range in
+// batch-sized slices.
+type genericScanOp struct {
+	n    *GenericScanNode
+	vars []string
+
+	pr      *triples.Projection
+	cur, hi int
+	row     []dict.OID
+}
+
+func (g *genericScanOp) Vars() []string { return g.vars }
+
+func (g *genericScanOp) Open(ctx *exec.Ctx) error {
+	n := g.n
 	// choose projection by bound prefix
-	var pr *triples.Projection
-	var lo, hi int
 	switch {
 	case n.S != dict.Nil && n.Pr != dict.Nil:
-		pr = n.Idx.Get(triples.SPO)
-		lo, hi = pr.Range2(n.S, n.Pr)
+		g.pr = n.Idx.Get(triples.SPO)
+		g.cur, g.hi = g.pr.Range2(n.S, n.Pr)
 	case n.S != dict.Nil && n.O != dict.Nil:
-		pr = n.Idx.Get(triples.SOP)
-		lo, hi = pr.Range2(n.S, n.O)
+		g.pr = n.Idx.Get(triples.SOP)
+		g.cur, g.hi = g.pr.Range2(n.S, n.O)
 	case n.S != dict.Nil:
-		pr = n.Idx.Get(triples.SPO)
-		lo, hi = pr.Range1(n.S)
+		g.pr = n.Idx.Get(triples.SPO)
+		g.cur, g.hi = g.pr.Range1(n.S)
 	case n.Pr != dict.Nil && n.O != dict.Nil:
-		pr = n.Idx.Get(triples.POS)
-		lo, hi = pr.Range2(n.Pr, n.O)
+		g.pr = n.Idx.Get(triples.POS)
+		g.cur, g.hi = g.pr.Range2(n.Pr, n.O)
 	case n.Pr != dict.Nil:
-		pr = n.Idx.Get(triples.PSO)
-		lo, hi = pr.Range1(n.Pr)
+		g.pr = n.Idx.Get(triples.PSO)
+		g.cur, g.hi = g.pr.Range1(n.Pr)
 	case n.O != dict.Nil:
-		pr = n.Idx.Get(triples.OSP)
-		lo, hi = pr.Range1(n.O)
+		g.pr = n.Idx.Get(triples.OSP)
+		g.cur, g.hi = g.pr.Range1(n.O)
 	default:
-		pr = n.Idx.Get(triples.SPO)
-		lo, hi = 0, pr.Len()
+		g.pr = n.Idx.Get(triples.SPO)
+		g.cur, g.hi = 0, g.pr.Len()
 	}
-	row := make([]dict.OID, 0, 3)
-	nodes := [3]sparql.Node{n.P.S, n.P.P, n.P.O}
+	g.row = make([]dict.OID, 0, 3)
+	return nil
+}
+
+func (g *genericScanOp) Next(b *exec.Batch) bool {
+	nodes := [3]sparql.Node{g.n.P.S, g.n.P.P, g.n.P.O}
 	var b0, b1 string // up to two distinct vars already bound in this row
 	var v0, v1 dict.OID
-	for i := lo; i < hi; i++ {
-		tr := pr.Triple(i)
-		comps := [3]dict.OID{tr.S, tr.P, tr.O}
-		row = row[:0]
-		b0, b1 = "", ""
-		ok := true
-		for k := 0; k < 3; k++ {
-			nd := nodes[k]
-			if !nd.IsVar() {
-				continue // constants are enforced by the range prefix
+	for g.cur < g.hi {
+		end := g.cur + exec.BatchRows
+		if end > g.hi {
+			end = g.hi
+		}
+		for i := g.cur; i < end; i++ {
+			tr := g.pr.Triple(i)
+			comps := [3]dict.OID{tr.S, tr.P, tr.O}
+			g.row = g.row[:0]
+			b0, b1 = "", ""
+			ok := true
+			for k := 0; k < 3; k++ {
+				nd := nodes[k]
+				if !nd.IsVar() {
+					continue // constants are enforced by the range prefix
+				}
+				switch nd.Var {
+				case b0:
+					if v0 != comps[k] {
+						ok = false
+					}
+				case b1:
+					if v1 != comps[k] {
+						ok = false
+					}
+				default:
+					if b0 == "" {
+						b0, v0 = nd.Var, comps[k]
+					} else {
+						b1, v1 = nd.Var, comps[k]
+					}
+					g.row = append(g.row, comps[k])
+				}
+				if !ok {
+					break
+				}
 			}
-			switch nd.Var {
-			case b0:
-				if v0 != comps[k] {
-					ok = false
-				}
-			case b1:
-				if v1 != comps[k] {
-					ok = false
-				}
-			default:
-				if b0 == "" {
-					b0, v0 = nd.Var, comps[k]
-				} else {
-					b1, v1 = nd.Var, comps[k]
-				}
-				row = append(row, comps[k])
-			}
-			if !ok {
-				break
+			if ok {
+				b.AppendRow(g.row...)
 			}
 		}
-		if ok {
-			rel.AppendRow(row...)
+		g.cur = end
+		if b.Len() > 0 {
+			return true
 		}
 	}
-	return rel
+	return false
 }
+
+func (g *genericScanOp) Close()             {}
 func (n *GenericScanNode) EstRows() float64 { return n.est }
 func (n *GenericScanNode) Joins() int       { return 0 }
 func (n *GenericScanNode) Explain(b *strings.Builder, indent int) {

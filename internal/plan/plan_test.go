@@ -312,6 +312,21 @@ func TestUnorganizedStoreFallsBack(t *testing.T) {
 	}
 }
 
+func TestExecAdapterMatchesExecute(t *testing.T) {
+	f := newFixture(t, ordersSrc, 3)
+	for _, opt := range []Options{{Mode: ModeDefault}, {Mode: ModeRDFScan, ZoneMaps: true}} {
+		p := buildPlan(t, f, starQ, opt)
+		rel := Exec(p.Root, f.ctx) // operator-at-a-time adapter
+		res, err := p.Execute(f.ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Len() != res.Len() || rel.Len() != 4 {
+			t.Fatalf("mode %v: adapter rows = %d, streamed rows = %d, want 4", opt.Mode, rel.Len(), res.Len())
+		}
+	}
+}
+
 func TestEstimatesOrderJoins(t *testing.T) {
 	f := newFixture(t, ordersSrc, 3)
 	// the filtered star should be estimated cheaper and anchor the tree

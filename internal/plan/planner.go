@@ -75,10 +75,17 @@ func (p *Plan) Explain() string {
 	return b.String()
 }
 
-// Execute runs the plan to a decoded result.
+// Execute runs the plan to a decoded result. The plan is driven as a
+// batch-streaming pipeline: scans produce as the head pulls, and a
+// satisfied LIMIT stops the pull early.
 func (p *Plan) Execute(ctx *exec.Ctx) (*exec.Result, error) {
-	rel := p.Root.Exec(ctx)
-	return exec.Head(ctx, rel, p.Query)
+	return exec.HeadStream(ctx, p.Root.Op(), p.Query)
+}
+
+// Stream runs the plan to a pull-based row iterator; the caller must
+// Close it (exhaustion closes it automatically).
+func (p *Plan) Stream(ctx *exec.Ctx) (*exec.RowIter, error) {
+	return exec.Stream(ctx, p.Root.Op(), p.Query)
 }
 
 // Build plans a parsed query against a store view.

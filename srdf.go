@@ -64,6 +64,10 @@ type Options struct {
 	SortKeys map[string]string
 	// PoolPages caps the simulated buffer pool (<=0: unlimited).
 	PoolPages int
+	// Parallelism sets the morsel-driven worker count for RDFscan
+	// table scans; <=1 scans sequentially. Results are row-identical
+	// to the sequential scan (workers merge in morsel order).
+	Parallelism int
 }
 
 // Defaults returns the standard configuration.
@@ -98,6 +102,7 @@ func New(o Options) *Store {
 	copts.CS.TypeSplit = o.TypeSplit
 	copts.Cluster.SortKeys = o.SortKeys
 	copts.PoolPages = o.PoolPages
+	copts.Parallelism = o.Parallelism
 	return &Store{inner: core.NewStore(copts)}
 }
 
@@ -166,6 +171,25 @@ func (s *Store) Query(q string) (*Result, error) {
 // QueryWith runs a SPARQL SELECT query under an explicit configuration.
 func (s *Store) QueryWith(q string, o QueryOptions) (*Result, error) {
 	return s.inner.Query(q, core.QueryOptions{Mode: o.Mode, ZoneMaps: o.ZoneMaps})
+}
+
+// Rows is a streaming query result; see QueryStream.
+type Rows = core.Rows
+
+// QueryStream runs a SPARQL SELECT query with the default configuration
+// and returns a streaming row iterator: rows are produced batch by batch
+// as the consumer pulls them, LIMIT stops the underlying scans early,
+// and large results never materialize. The iterator holds the store's
+// exclusive lock until Close (exhaustion closes it automatically):
+// always drain or Close it before issuing other store operations —
+// doing so from the same goroutine beforehand deadlocks.
+func (s *Store) QueryStream(q string) (*Rows, error) {
+	return s.inner.QueryStream(q, core.QueryOptions{Mode: RDFScan, ZoneMaps: true})
+}
+
+// QueryStreamWith is QueryStream under an explicit configuration.
+func (s *Store) QueryStreamWith(q string, o QueryOptions) (*Rows, error) {
+	return s.inner.QueryStream(q, core.QueryOptions{Mode: o.Mode, ZoneMaps: o.ZoneMaps})
 }
 
 // Explain returns the plan tree that QueryWith would execute.
