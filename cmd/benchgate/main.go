@@ -1,0 +1,164 @@
+// Command benchgate compares two `go test -bench` output files and
+// fails (exit 1) when any benchmark matching the gate pattern regressed
+// by more than the allowed factor — the CI guard that keeps the
+// streaming executor's hot paths from silently slowing down.
+//
+// Usage:
+//
+//	benchgate [-match regexp] [-threshold 1.20] old.txt new.txt
+//
+// Benchmarks present in only one file are reported but never fail the
+// gate (they are new or removed, not regressed). Single-shot (`-benchtime
+// 1x`) runs are noisy, so the default threshold is deliberately loose.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	match := flag.String("match", `^BenchmarkStream_`, "regexp of benchmark names the gate applies to")
+	threshold := flag.Float64("threshold", 1.20, "allowed new/old ns-per-op factor before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-match re] [-threshold f] old.txt new.txt")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	// A new run with zero gated benchmarks means the bench sweep broke or
+	// the pattern is stale — a gate with no coverage must not pass green.
+	if n := countNames(cur, re); n == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmarks matching %q in %s — empty gate\n", *match, flag.Arg(1))
+		os.Exit(1)
+	}
+	regressed := Compare(old, cur, re, *threshold)
+	for _, r := range regressed {
+		fmt.Printf("REGRESSION %s: %.0f ns/op -> %.0f ns/op (%.2fx > %.2fx allowed)\n",
+			r.Name, r.Old, r.New, r.Factor, *threshold)
+	}
+	if len(regressed) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d gated benchmarks within %.2fx\n", countMatches(cur, re, old), *threshold)
+}
+
+// Regression is one benchmark that slowed past the threshold.
+type Regression struct {
+	Name     string
+	Old, New float64
+	Factor   float64
+}
+
+// Compare returns the benchmarks matching re that are present in both
+// runs and regressed beyond threshold.
+func Compare(old, cur map[string]float64, re *regexp.Regexp, threshold float64) []Regression {
+	var out []Regression
+	for name, n := range cur {
+		if !re.MatchString(name) {
+			continue
+		}
+		o, ok := old[name]
+		if !ok || o <= 0 {
+			continue
+		}
+		if f := n / o; f > threshold {
+			out = append(out, Regression{Name: name, Old: o, New: n, Factor: f})
+		}
+	}
+	return out
+}
+
+func countNames(m map[string]float64, re *regexp.Regexp) int {
+	n := 0
+	for name := range m {
+		if re.MatchString(name) {
+			n++
+		}
+	}
+	return n
+}
+
+func countMatches(cur map[string]float64, re *regexp.Regexp, old map[string]float64) int {
+	n := 0
+	for name := range cur {
+		if _, ok := old[name]; ok && re.MatchString(name) {
+			n++
+		}
+	}
+	return n
+}
+
+// parseFile collects benchmarks as name -> best (minimum) ns/op. Taking
+// the minimum over repeated samples of the same benchmark is the
+// standard noise-robust statistic for single-shot runs: the CI job
+// appends extra samples of the gated benchmarks precisely so the gate
+// compares best-of-N, not one noisy shot.
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ns, ok := ParseLine(sc.Text()); ok {
+			if prev, seen := out[name]; !seen || ns < prev {
+				out[name] = ns
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// ParseLine extracts (name, ns/op) from one `go test -bench` result
+// line, stripping the -N GOMAXPROCS suffix so runs from different
+// machines compare.
+func ParseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	var ns float64
+	found := false
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			ns, found = v, true
+			break
+		}
+	}
+	if !found {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, ns, true
+}

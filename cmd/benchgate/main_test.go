@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkStream_AggregateHead/Streaming-8  \t 1 \t 11540450 ns/op", "BenchmarkStream_AggregateHead/Streaming", 11540450, true},
+		{"BenchmarkStream_LimitEarlyTermination/full-16 1 123 ns/op 12 pages/op", "BenchmarkStream_LimitEarlyTermination/full", 123, true},
+		{"BenchmarkLoadNTriples 5 200.5 ns/op 3 MB/s", "BenchmarkLoadNTriples", 200.5, true},
+		{"goos: linux", "", 0, false},
+		{"PASS", "", 0, false},
+		{"BenchmarkNoResult", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := ParseLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("ParseLine(%q) = (%q, %v, %v), want (%q, %v, %v)", c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	re := regexp.MustCompile(`^BenchmarkStream_`)
+	old := map[string]float64{
+		"BenchmarkStream_A": 100,
+		"BenchmarkStream_B": 100,
+		"BenchmarkOther":    100,
+		"BenchmarkStream_G": 100,
+	}
+	cur := map[string]float64{
+		"BenchmarkStream_A": 115, // within 1.20x
+		"BenchmarkStream_B": 150, // regression
+		"BenchmarkOther":    900, // unmatched: ignored
+		"BenchmarkStream_N": 999, // new: ignored
+		"BenchmarkStream_G": 80,  // improvement
+	}
+	got := Compare(old, cur, re, 1.20)
+	if len(got) != 1 || got[0].Name != "BenchmarkStream_B" {
+		t.Fatalf("Compare = %+v, want single BenchmarkStream_B regression", got)
+	}
+	if got[0].Factor < 1.49 || got[0].Factor > 1.51 {
+		t.Errorf("factor = %v, want 1.5", got[0].Factor)
+	}
+}
+
+func TestParseFileMinOfSamples(t *testing.T) {
+	// repeated samples of one benchmark gate on the minimum
+	dir := t.TempDir()
+	path := dir + "/bench.txt"
+	data := "BenchmarkStream_X-8 1 300 ns/op\nBenchmarkStream_X-8 1 100 ns/op\nBenchmarkStream_X-8 1 200 ns/op\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkStream_X"] != 100 {
+		t.Fatalf("min of samples = %v, want 100", got["BenchmarkStream_X"])
+	}
+}

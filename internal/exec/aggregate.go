@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+
+	"srdf/internal/dict"
+	"srdf/internal/sparql"
+)
+
+// AggregateOp is the vectorized hash GROUP BY/aggregate operator: it
+// consumes OID batches from the BGP pipeline and folds them into
+// columnar per-group aggregate states (COUNT/SUM/AVG/MIN/MAX, with
+// DISTINCT arguments), never materializing the input — memory is
+// bounded by the number of groups, not the number of input rows.
+//
+// With ctx.Parallelism > 1 input batches are dealt round-robin to a
+// worker pool; each worker folds its share into a private partial table
+// and the partials are merged at the head in worker order
+// (order-insensitive states merge directly, AVG via sum+count, DISTINCT
+// by replaying the value set). Group output order is the global
+// first-appearance order of each group key, tracked per group, so the
+// parallel merge emits groups in exactly the sequential order. Values
+// are identical to sequential execution except float SUM/AVG, whose
+// re-associated partial sums can differ in the last few bits (integer
+// aggregates, COUNT, MIN, MAX and AVG over integers are exact).
+type AggregateOp struct {
+	in      Operator
+	items   []sparql.SelectItem
+	groupBy []string
+	vars    []string
+	leaves  []*sparql.ExAgg
+
+	ctx *Ctx
+	ran bool
+	out vrowsCursor
+}
+
+// NewAggregateOp builds a streaming grouped-aggregation of items over in.
+func NewAggregateOp(in Operator, items []sparql.SelectItem, groupBy []string) *AggregateOp {
+	a := &AggregateOp{in: in, items: items, groupBy: groupBy}
+	for i := range items {
+		a.vars = append(a.vars, items[i].As)
+		a.leaves = collectAggs(items[i].Expr, a.leaves)
+	}
+	return a
+}
+
+// NumAggs reports the number of aggregate leaves (for plan explain).
+func (a *AggregateOp) NumAggs() int { return len(a.leaves) }
+
+func (a *AggregateOp) Vars() []string { return a.vars }
+
+func (a *AggregateOp) Open(ctx *Ctx) error {
+	a.ctx = ctx
+	return a.in.Open(ctx)
+}
+
+func (a *AggregateOp) Next(b *VBatch) bool {
+	if !a.ran {
+		a.ran = true
+		a.run()
+	}
+	return a.out.fill(b)
+}
+
+func (a *AggregateOp) Close() { a.in.Close() }
+
+// run drains the input into group states and materializes the (small)
+// one-row-per-group output.
+func (a *AggregateOp) run() {
+	workers := a.ctx.Parallelism
+	var tbl *aggTable
+	if workers > 1 {
+		tbl = a.runParallel(workers)
+	} else {
+		tbl = a.runSequential()
+	}
+	a.out = vrowsCursor{rows: tbl.finish(a.ctx, a.items, a.groupBy)}
+}
+
+func (a *AggregateOp) runSequential() *aggTable {
+	tbl := newAggTable(a.ctx, a.in.Vars(), a.groupBy, a.leaves)
+	b := NewBatch(a.in.Vars())
+	for seq := 0; a.in.Next(b); seq++ {
+		tbl.addRel(b.asRel(), seq)
+		b.Reset()
+	}
+	return tbl
+}
+
+// runParallel deals batches round-robin to workers computing partial
+// aggregates, then merges the partials in worker order. The round-robin
+// deal (rather than a shared queue) keeps the merge deterministic
+// across runs.
+func (a *AggregateOp) runParallel(workers int) *aggTable {
+	inVars := a.in.Vars()
+	tables := make([]*aggTable, workers)
+	chans := make([]chan batchJob, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tables[w] = newAggTable(a.ctx, inVars, a.groupBy, a.leaves)
+		chans[w] = make(chan batchJob, 2)
+		wg.Add(1)
+		go func(tbl *aggTable, ch chan batchJob) {
+			defer wg.Done()
+			for j := range ch {
+				tbl.addRel(j.rel, j.seq)
+			}
+		}(tables[w], chans[w])
+	}
+	b := NewBatch(inVars)
+	for seq := 0; a.in.Next(b); seq++ {
+		// the batch's arrays are reused by the next pull; hand the worker
+		// a copy
+		rel := NewRel(inVars...)
+		for i := range rel.Cols {
+			rel.Cols[i] = append([]dict.OID(nil), b.Cols[i]...)
+		}
+		chans[seq%workers] <- batchJob{rel: rel, seq: seq}
+		b.Reset()
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	tbl := tables[0]
+	for _, other := range tables[1:] {
+		tbl.merge(other)
+	}
+	tbl.sortByFirstSeen()
+	return tbl
+}
+
+type batchJob struct {
+	rel *Rel
+	seq int
+}
+
+// aggGroup is the columnar aggregate state of one group.
+type aggGroup struct {
+	key string
+	// first is the global position (batch sequence, row) of the group's
+	// first input row; output order sorts by it so parallel partials
+	// reproduce the sequential first-appearance order.
+	first uint64
+	// repr is the group's first input row, for resolving grouped
+	// variables in the select list.
+	repr   []dict.OID
+	states []aggState
+}
+
+// aggTable is one hash aggregation table: complete for the sequential
+// path, a mergeable partial for the morsel workers.
+type aggTable struct {
+	inVars   []string
+	groupIdx []int
+	leaves   []*sparql.ExAgg
+	groups   map[string]*aggGroup
+	order    []*aggGroup
+	env      *evalEnv
+	kb       []byte
+}
+
+func newAggTable(ctx *Ctx, inVars []string, groupBy []string, leaves []*sparql.ExAgg) *aggTable {
+	t := &aggTable{
+		inVars: inVars,
+		leaves: leaves,
+		groups: make(map[string]*aggGroup),
+		env:    newEvalEnv(ctx, &Rel{Vars: inVars}),
+	}
+	for _, g := range groupBy {
+		t.groupIdx = append(t.groupIdx, (&Rel{Vars: inVars}).ColIdx(g))
+	}
+	return t
+}
+
+// addRel folds one batch (as a Rel header) into the table. seq is the
+// batch's global sequence number, used only to stamp first-appearance
+// order.
+func (t *aggTable) addRel(rel *Rel, seq int) {
+	t.env.rel = rel
+	for i := 0; i < rel.Len(); i++ {
+		t.kb = t.kb[:0]
+		for _, gi := range t.groupIdx {
+			var v dict.OID
+			if gi >= 0 {
+				v = rel.Cols[gi][i]
+			}
+			t.kb = appendOIDKey(t.kb, v)
+		}
+		g, ok := t.groups[string(t.kb)]
+		if !ok {
+			g = &aggGroup{
+				key:    string(t.kb),
+				first:  uint64(seq)<<32 | uint64(i),
+				repr:   make([]dict.OID, 0, len(rel.Cols)),
+				states: make([]aggState, len(t.leaves)),
+			}
+			for ci := range rel.Cols {
+				g.repr = append(g.repr, rel.Cols[ci][i])
+			}
+			for j := range g.states {
+				g.states[j].allInt = true
+			}
+			t.groups[g.key] = g
+			t.order = append(t.order, g)
+		}
+		t.env.row = i
+		for j, leaf := range t.leaves {
+			if leaf.Arg == nil { // COUNT(*)
+				g.states[j].count++
+				continue
+			}
+			g.states[j].add(t.env.evalValue(leaf.Arg), leaf.Distinct)
+		}
+	}
+}
+
+// merge folds another partial table into t.
+func (t *aggTable) merge(o *aggTable) {
+	for _, og := range o.order {
+		g, ok := t.groups[og.key]
+		if !ok {
+			t.groups[og.key] = og
+			t.order = append(t.order, og)
+			continue
+		}
+		if og.first < g.first {
+			g.first, g.repr = og.first, og.repr
+		}
+		for j := range g.states {
+			if t.leaves[j].Arg != nil && t.leaves[j].Distinct {
+				g.states[j].mergeDistinct(&og.states[j])
+			} else {
+				g.states[j].merge(&og.states[j])
+			}
+		}
+	}
+}
+
+// sortByFirstSeen restores the global first-appearance group order after
+// a merge of partials.
+func (t *aggTable) sortByFirstSeen() {
+	sort.Slice(t.order, func(i, j int) bool { return t.order[i].first < t.order[j].first })
+}
+
+// finish resolves the select items per group into output rows.
+func (t *aggTable) finish(ctx *Ctx, items []sparql.SelectItem, groupBy []string) [][]dict.Value {
+	order := t.order
+	// An aggregate query with no GROUP BY over an empty input still
+	// yields one row (SUM=0 via empty states).
+	if len(order) == 0 && len(groupBy) == 0 {
+		g := &aggGroup{states: make([]aggState, len(t.leaves))}
+		for j := range g.states {
+			g.states[j].allInt = true
+		}
+		order = []*aggGroup{g}
+	}
+	rows := make([][]dict.Value, 0, len(order))
+	reprRel := &Rel{Vars: t.inVars, Cols: make([][]dict.OID, len(t.inVars))}
+	for _, g := range order {
+		leafVals := make(map[*sparql.ExAgg]dict.Value, len(t.leaves))
+		for j, leaf := range t.leaves {
+			leafVals[leaf] = g.states[j].result(leaf.Func)
+		}
+		row := make([]dict.Value, len(items))
+		reprRow := -1
+		if g.repr != nil {
+			for ci := range reprRel.Cols {
+				reprRel.Cols[ci] = g.repr[ci : ci+1]
+			}
+			reprRow = 0
+		}
+		for c := range items {
+			row[c] = evalWithAggs(ctx, reprRel, reprRow, items[c].Expr, leafVals)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -25,7 +25,7 @@ type fixture struct {
 	pool   *colstore.BufferPool
 }
 
-func newFixture(t *testing.T, src string, minSupport int) *fixture {
+func newFixture(t testing.TB, src string, minSupport int) *fixture {
 	t.Helper()
 	ts, err := nt.ParseTurtle(strings.NewReader(src))
 	if err != nil {

@@ -35,18 +35,25 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// Head applies the query's solution modifiers to the joined BGP
-// relation: residual FILTERs, aggregation or projection, DISTINCT,
+// Head applies the query's solution modifiers to a fully materialized
+// BGP relation: residual FILTERs, aggregation or projection, DISTINCT,
 // ORDER BY, OFFSET and LIMIT.
+//
+// This is the PR-1 materializing head, kept as the reference
+// implementation: the streaming head (Stream / the Aggregate, Distinct
+// and Sort value operators) must stay row-identical to it, which the
+// parity tests and the head benchmarks assert.
 func Head(ctx *Ctx, rel *Rel, q *sparql.Query) (*Result, error) {
 	for _, f := range q.Filters {
 		rel = Filter(ctx, rel, f)
 	}
-	return headAfterFilters(ctx, rel, q)
+	return MaterializedHead(ctx, rel, q)
 }
 
-// headAfterFilters is Head for an already-filtered relation.
-func headAfterFilters(ctx *Ctx, rel *Rel, q *sparql.Query) (*Result, error) {
+// MaterializedHead is Head for an already-filtered relation (exported so
+// benchmarks can contrast it with the streaming head over the same
+// operator tree).
+func MaterializedHead(ctx *Ctx, rel *Rel, q *sparql.Query) (*Result, error) {
 	var res *Result
 	if q.Aggregating() {
 		res = aggregate(ctx, rel, q)
@@ -99,7 +106,10 @@ func project(ctx *Ctx, rel *Rel, q *sparql.Query) *Result {
 	return res
 }
 
-// aggState accumulates one aggregate expression over a group.
+// aggState accumulates one aggregate expression over a group. It is a
+// mergeable partial: two states built over disjoint input slices combine
+// with merge/mergeDistinct, which is what lets morsel workers aggregate
+// independently and the head fold their partials together.
 type aggState struct {
 	count   int
 	sum     float64
@@ -108,7 +118,9 @@ type aggState struct {
 	started bool
 	min     dict.Value
 	max     dict.Value
-	seen    map[string]bool // DISTINCT
+	// seen holds the DISTINCT values themselves (not just presence) so a
+	// partial state can be replayed into another without double counting.
+	seen map[string]dict.Value
 }
 
 func newAggState() *aggState { return &aggState{allInt: true} }
@@ -119,13 +131,13 @@ func (a *aggState) add(v dict.Value, distinct bool) {
 	}
 	if distinct {
 		if a.seen == nil {
-			a.seen = map[string]bool{}
+			a.seen = map[string]dict.Value{}
 		}
 		k := fmt.Sprintf("%d|%s", v.Kind, v.Lexical())
-		if a.seen[k] {
+		if _, dup := a.seen[k]; dup {
 			return
 		}
-		a.seen[k] = true
+		a.seen[k] = v
 	}
 	a.count++
 	if v.Numeric() {
@@ -147,6 +159,45 @@ func (a *aggState) add(v dict.Value, distinct bool) {
 		if dict.Compare(v, a.max) > 0 {
 			a.max = v
 		}
+	}
+}
+
+// merge folds another partial state into a. COUNT, MIN, MAX and the
+// integer sums are order-insensitive and merge exactly; AVG merges via
+// sum+count. Float sums merge with the partials' rounding, which can
+// differ from the sequential fold in the last ulp.
+func (a *aggState) merge(o *aggState) {
+	a.count += o.count
+	a.sum += o.sum
+	a.sumInt += o.sumInt
+	if !o.allInt {
+		a.allInt = false
+	}
+	if o.started {
+		if !a.started {
+			a.min, a.max, a.started = o.min, o.max, true
+		} else {
+			if dict.Compare(o.min, a.min) < 0 {
+				a.min = o.min
+			}
+			if dict.Compare(o.max, a.max) > 0 {
+				a.max = o.max
+			}
+		}
+	}
+}
+
+// mergeDistinct folds a partial DISTINCT state by replaying its value
+// set: values both partials saw count once, never twice. Replay order is
+// the sorted key order, so the merge is deterministic.
+func (a *aggState) mergeDistinct(o *aggState) {
+	keys := make([]string, 0, len(o.seen))
+	for k := range o.seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a.add(o.seen[k], true)
 	}
 }
 
@@ -177,11 +228,7 @@ func (a *aggState) result(fn sparql.AggFunc) dict.Value {
 	}
 }
 
-// aggPlan is one select item decomposed into aggregate leaves.
-type aggLeaf struct {
-	agg *sparql.ExAgg
-}
-
+// collectAggs gathers the aggregate leaves of a select expression.
 func collectAggs(e sparql.Expr, dst []*sparql.ExAgg) []*sparql.ExAgg {
 	switch x := e.(type) {
 	case *sparql.ExAgg:
@@ -220,10 +267,7 @@ func aggregate(ctx *Ctx, rel *Rel, q *sparql.Query) *Result {
 	for i := 0; i < rel.Len(); i++ {
 		kb = kb[:0]
 		for _, gi := range groupIdx {
-			v := rel.Cols[gi][i]
-			for sh := 0; sh < 64; sh += 8 {
-				kb = append(kb, byte(v>>sh))
-			}
+			kb = appendOIDKey(kb, rel.Cols[gi][i])
 		}
 		k := string(kb)
 		g, ok := groups[k]

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"testing"
+
+	"srdf/internal/sparql"
+)
+
+// benchHeadFixture builds a multi-block star scan for head benchmarks.
+func benchHeadFixture(b *testing.B, n int) (*fixture, Star) {
+	f := newFixture(b, bigSrc(n), 3)
+	return f, bigStar(f)
+}
+
+// BenchmarkStream_AggregateHead contrasts the PR-1 materializing head
+// (drain the whole pipeline, then aggregate the relation) with the
+// streaming batch aggregate over the same scan, and the parallel
+// partial-aggregation path on top.
+func BenchmarkStream_AggregateHead(b *testing.B) {
+	f, star := benchHeadFixture(b, 40000)
+	tab := bigTable(b, f)
+	q, err := sparql.Parse(`PREFIX e: <http://b/>
+SELECT ?vb (COUNT(*) AS ?n) (SUM(?va) AS ?sum) (AVG(?va) AS ?avg)
+WHERE { ?s e:a ?va . ?s e:b ?vb . } GROUP BY ?vb`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel := Drain(f.ctx, NewScanOp(tab, star, false, 0, -1))
+			if _, err := MaterializedHead(f.ctx, rel, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := HeadStream(f.ctx, NewScanOp(tab, star, false, 0, -1), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Parallel4", func(b *testing.B) {
+		pctx := *f.ctx
+		pctx.Parallelism = 4
+		for i := 0; i < b.N; i++ {
+			if _, err := HeadStream(&pctx, NewScanOp(tab, star, false, 0, -1), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStream_TopKOrderBy contrasts the materializing full sort with
+// the bounded top-K heap the streaming head switches to under ORDER BY +
+// LIMIT.
+func BenchmarkStream_TopKOrderBy(b *testing.B) {
+	f, star := benchHeadFixture(b, 40000)
+	tab := bigTable(b, f)
+	q, err := sparql.Parse(`PREFIX e: <http://b/>
+SELECT ?s ?va WHERE { ?s e:a ?va . ?s e:b ?vb . } ORDER BY DESC(?va) ?s LIMIT 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel := Drain(f.ctx, NewScanOp(tab, star, false, 0, -1))
+			if _, err := MaterializedHead(f.ctx, rel, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := HeadStream(f.ctx, NewScanOp(tab, star, false, 0, -1), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStream_DistinctHead measures the streaming DISTINCT against
+// the materializing one.
+func BenchmarkStream_DistinctHead(b *testing.B) {
+	f, star := benchHeadFixture(b, 40000)
+	tab := bigTable(b, f)
+	q, err := sparql.Parse(`PREFIX e: <http://b/>
+SELECT DISTINCT ?vb WHERE { ?s e:a ?va . ?s e:b ?vb . }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel := Drain(f.ctx, NewScanOp(tab, star, false, 0, -1))
+			if _, err := MaterializedHead(f.ctx, rel, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := HeadStream(f.ctx, NewScanOp(tab, star, false, 0, -1), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"srdf/internal/sparql"
+)
+
+// headQueries are query heads exercising every streaming head operator;
+// the WHERE clause is the two-property star of bigSrc.
+var headQueries = []string{
+	`PREFIX e: <http://b/> SELECT ?s ?va WHERE { ?s e:a ?va . ?s e:b ?vb . }`,
+	`PREFIX e: <http://b/> SELECT DISTINCT ?vb WHERE { ?s e:a ?va . ?s e:b ?vb . }`,
+	`PREFIX e: <http://b/> SELECT DISTINCT ?vb WHERE { ?s e:a ?va . ?s e:b ?vb . } ORDER BY ?vb`,
+	`PREFIX e: <http://b/> SELECT ?vb (COUNT(*) AS ?n) (SUM(?va) AS ?sum) (MIN(?va) AS ?lo) (MAX(?va) AS ?hi) (AVG(?va) AS ?avg) WHERE { ?s e:a ?va . ?s e:b ?vb . } GROUP BY ?vb`,
+	`PREFIX e: <http://b/> SELECT ?vb (COUNT(DISTINCT ?va) AS ?nd) WHERE { ?s e:a ?va . ?s e:b ?vb . } GROUP BY ?vb ORDER BY DESC(?nd) ?vb`,
+	`PREFIX e: <http://b/> SELECT (SUM(?va) AS ?sum) (COUNT(*) AS ?n) WHERE { ?s e:a ?va . ?s e:b ?vb . }`,
+	`PREFIX e: <http://b/> SELECT ?s ?va WHERE { ?s e:a ?va . ?s e:b ?vb . FILTER (?va > 500) } ORDER BY DESC(?va) ?s LIMIT 7`,
+	`PREFIX e: <http://b/> SELECT ?vb (SUM(?va) AS ?sum) WHERE { ?s e:a ?va . ?s e:b ?vb . } GROUP BY ?vb ORDER BY DESC(?sum) LIMIT 5 OFFSET 3`,
+	`PREFIX e: <http://b/> SELECT DISTINCT ?vb WHERE { ?s e:a ?va . ?s e:b ?vb . } ORDER BY ?vb LIMIT 4 OFFSET 2`,
+}
+
+func bigStar(f *fixture) Star {
+	return Star{SubjVar: "s", Props: []StarProp{
+		{Pred: f.pred("http://b/a"), ObjVar: "va"},
+		{Pred: f.pred("http://b/b"), ObjVar: "vb"},
+	}}
+}
+
+func resultText(res *Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, v := range row {
+			fmt.Fprintf(&b, "%d|%s\t", v.Kind, v.Lexical())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestStreamHeadMatchesMaterializedHead runs every head shape through
+// the streaming operators and demands row-identical output to the PR-1
+// materializing reference head over the same scan.
+func TestStreamHeadMatchesMaterializedHead(t *testing.T) {
+	f := newFixture(t, bigSrc(4000), 3)
+	star := bigStar(f)
+	tab := bigTable(t, f)
+	for qi, src := range headQueries {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Head(f.ctx, Drain(f.ctx, NewScanOp(tab, star, false, 0, -1)), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := HeadStream(f.ctx, NewScanOp(tab, star, false, 0, -1), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resultText(got) != resultText(want) {
+			t.Errorf("q%d: streaming head diverged from materialized head\nquery: %s\ngot:\n%s\nwant:\n%s",
+				qi, src, resultText(got), resultText(want))
+		}
+	}
+}
+
+// TestParallelAggregateMatchesSequential asserts the parallel
+// partial-aggregation path is row-identical (values and group order) to
+// the sequential fold.
+func TestParallelAggregateMatchesSequential(t *testing.T) {
+	f := newFixture(t, bigSrc(9000), 3)
+	star := bigStar(f)
+	tab := bigTable(t, f)
+	pctx := *f.ctx
+	pctx.Parallelism = 4
+	for qi, src := range headQueries {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := HeadStream(f.ctx, NewScanOp(tab, star, false, 0, -1), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := HeadStream(&pctx, NewScanOp(tab, star, false, 0, -1), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resultText(got) != resultText(want) {
+			t.Errorf("q%d: parallel aggregation diverged from sequential\nquery: %s\ngot:\n%s\nwant:\n%s",
+				qi, src, resultText(got), resultText(want))
+		}
+	}
+}
+
+// TestSortOpTopKBound proves ORDER BY + LIMIT holds at most
+// LIMIT+OFFSET rows of sort state while returning exactly the stable
+// full-sort prefix.
+func TestSortOpTopKBound(t *testing.T) {
+	f := newFixture(t, bigSrc(6000), 3)
+	star := bigStar(f)
+	tab := bigTable(t, f)
+	src := `PREFIX e: <http://b/> SELECT ?s ?va WHERE { ?s e:a ?va . ?s e:b ?vb . } ORDER BY ?va DESC(?s)`
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := HeadStream(f.ctx, NewScanOp(tab, star, false, 0, -1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit, offset = 10, 5
+	proj := NewProjectOp(NewScanOp(tab, star, false, 0, -1), SelectItems(q, star.Vars()))
+	topk := NewSortOp(proj, q.OrderBy, limit+offset)
+	got := StreamVal(f.ctx, topk, limit, offset).Collect()
+
+	if got.Len() != limit {
+		t.Fatalf("top-k rows = %d, want %d", got.Len(), limit)
+	}
+	wantRows := full.Rows[offset : offset+limit]
+	for i := range got.Rows {
+		if resultText(&Result{Rows: got.Rows[i : i+1]}) != resultText(&Result{Rows: wantRows[i : i+1]}) {
+			t.Fatalf("row %d: top-k diverged from full sort prefix", i)
+		}
+	}
+	if topk.MaxHeld() > limit+offset {
+		t.Fatalf("sort held %d rows, want <= %d", topk.MaxHeld(), limit+offset)
+	}
+	if topk.MaxHeld() == 0 {
+		t.Fatal("sort held no rows")
+	}
+
+	// the unbounded sort really does hold everything (the contrast)
+	proj2 := NewProjectOp(NewScanOp(tab, star, false, 0, -1), SelectItems(q, star.Vars()))
+	fullSort := NewSortOp(proj2, q.OrderBy, -1)
+	_ = StreamVal(f.ctx, fullSort, -1, -1).Collect()
+	if fullSort.MaxHeld() != full.Len() {
+		t.Fatalf("full sort held %d rows, want %d", fullSort.MaxHeld(), full.Len())
+	}
+}
+
+// TestDistinctOpHoldsKeysNotRows checks the streaming DISTINCT dedups
+// across batch boundaries.
+func TestDistinctOpHoldsKeysNotRows(t *testing.T) {
+	f := newFixture(t, bigSrc(5000), 3)
+	star := bigStar(f)
+	tab := bigTable(t, f)
+	q, err := sparql.Parse(`PREFIX e: <http://b/> SELECT DISTINCT ?vb WHERE { ?s e:a ?va . ?s e:b ?vb . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HeadStream(f.ctx, NewScanOp(tab, star, false, 0, -1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 89 { // i%89 values
+		t.Fatalf("distinct rows = %d, want 89", res.Len())
+	}
+}
+
+// TestAggregateEmptyInputStreaming mirrors the materialized head's
+// empty-input aggregate edge case.
+func TestAggregateEmptyInputStreaming(t *testing.T) {
+	f := newFixture(t, shopSrc, 3)
+	q, err := sparql.Parse(`PREFIX e: <http://s/> SELECT (SUM(?p) AS ?tot) (COUNT(*) AS ?n) WHERE { ?s e:price ?p . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HeadStream(f.ctx, NewRelSource(NewRel("p")), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0].Int != 0 || res.Rows[0][1].Int != 0 {
+		t.Fatalf("empty streaming aggregate: %v", res)
+	}
+}
+
+// TestValidateOrderKeys covers the plan-time ORDER BY validation.
+func TestValidateOrderKeys(t *testing.T) {
+	vars := []string{"a", "b"}
+	ok := []sparql.OrderKey{{Expr: &sparql.ExVar{Name: "a"}}, {Expr: &sparql.ExVar{Name: "b"}, Desc: true}}
+	if err := ValidateOrderKeys(vars, ok); err != nil {
+		t.Fatalf("valid keys rejected: %v", err)
+	}
+	bad := []sparql.OrderKey{{Expr: &sparql.ExVar{Name: "zzz"}}}
+	if err := ValidateOrderKeys(vars, bad); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	agg := []sparql.OrderKey{{Expr: &sparql.ExAgg{Func: sparql.AggCount}}}
+	if err := ValidateOrderKeys(vars, agg); err == nil {
+		t.Fatal("aggregate order key accepted")
+	}
+}

@@ -46,10 +46,7 @@ func HashJoin(ctx *Ctx, l, r *Rel) *Rel {
 	mkKey := func(rel *Rel, idx []int, row int) key {
 		kb = kb[:0]
 		for _, ci := range idx {
-			v := rel.Cols[ci][row]
-			for sh := 0; sh < 64; sh += 8 {
-				kb = append(kb, byte(v>>sh))
-			}
+			kb = appendOIDKey(kb, rel.Cols[ci][row])
 		}
 		return key(kb)
 	}

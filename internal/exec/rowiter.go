@@ -9,69 +9,127 @@ import (
 
 // RowIter is a pull-based, decoded query result: rows stream out of the
 // operator pipeline as the consumer asks for them, and a satisfied LIMIT
-// closes the pipeline without running it to exhaustion. Aggregation and
-// ORDER BY inherently need the whole input, so those queries are
-// evaluated eagerly and the iterator replays the materialized result.
+// closes the pipeline without running it to exhaustion. Every solution
+// modifier — projection, aggregation, DISTINCT, ORDER BY — runs as a
+// batch operator inside the pipeline; the iterator itself only applies
+// OFFSET/LIMIT row accounting.
 type RowIter struct {
-	vars  []string
-	items []sparql.SelectItem
+	vars []string
 
-	// streaming state
 	ctx    *Ctx
-	op     Operator
+	vop    ValOperator
 	opened bool
-	batch  *Batch
-	env    *evalEnv
+	batch  *VBatch
 	idx    int
-	seen   map[string]bool // DISTINCT
-	toSkip int             // OFFSET
-	remain int             // LIMIT budget; -1 = unlimited
+	toSkip int // OFFSET
+	remain int // LIMIT budget; -1 = unlimited
 	row    []dict.Value
+}
 
-	// materialized fallback (aggregation / ORDER BY)
-	res    *Result
-	resIdx int
+// StreamVal drives a value pipeline under OFFSET/LIMIT and returns a row
+// iterator. The caller must Close it (exhaustion closes it
+// automatically).
+func StreamVal(ctx *Ctx, vop ValOperator, limit, offset int) *RowIter {
+	it := &RowIter{ctx: ctx, vop: vop, vars: vop.Vars(), remain: -1}
+	if offset > 0 {
+		it.toSkip = offset
+	}
+	if limit >= 0 {
+		it.remain = limit
+	}
+	it.row = make([]dict.Value, len(it.vars))
+	return it
+}
+
+// HeadShape is the resolved head of a query: projection items (SELECT *
+// expanded), modifier presence, and the top-K bound, with ORDER BY keys
+// validated against the output columns. It is the single source of the
+// head composition — exec.Stream builds value operators from it and the
+// planner builds its head nodes from it, so the two paths cannot
+// diverge on modifier order or bounds.
+type HeadShape struct {
+	Aggregate bool
+	Items     []sparql.SelectItem
+	GroupBy   []string
+	Distinct  bool
+	OrderBy   []sparql.OrderKey
+	// Keep is the sort-state bound (LIMIT+OFFSET), -1 for unbounded.
+	Keep int
+}
+
+// HeadShapeOf resolves a query's head against the BGP pipeline's output
+// variables.
+func HeadShapeOf(q *sparql.Query, vars []string) (HeadShape, error) {
+	hs := HeadShape{
+		Aggregate: q.Aggregating(),
+		Items:     SelectItems(q, vars),
+		GroupBy:   q.GroupBy,
+		Distinct:  q.Distinct,
+		OrderBy:   q.OrderBy,
+		Keep:      SortKeep(q),
+	}
+	if len(hs.OrderBy) > 0 {
+		outVars := make([]string, len(hs.Items))
+		for i := range hs.Items {
+			outVars[i] = hs.Items[i].As
+		}
+		if err := ValidateOrderKeys(outVars, hs.OrderBy); err != nil {
+			return HeadShape{}, err
+		}
+	}
+	return hs, nil
+}
+
+// Ops builds the head's value pipeline over an operator tree:
+// aggregation or projection, then DISTINCT, then ORDER BY (top-K when
+// bounded) — the modifier order of the materializing reference head.
+func (hs HeadShape) Ops(op Operator) ValOperator {
+	var vop ValOperator
+	if hs.Aggregate {
+		vop = NewAggregateOp(op, hs.Items, hs.GroupBy)
+	} else {
+		proj := NewProjectOp(op, hs.Items)
+		if hs.Keep >= 0 && !hs.Distinct && len(hs.OrderBy) == 0 {
+			// bare projection under LIMIT: only LIMIT+OFFSET rows are
+			// ever consumed, so stop decoding there
+			proj.SetRowBound(hs.Keep)
+		}
+		vop = proj
+	}
+	if hs.Distinct {
+		vop = NewDistinctOp(vop)
+	}
+	if len(hs.OrderBy) > 0 {
+		vop = NewSortOp(vop, hs.OrderBy, hs.Keep)
+	}
+	return vop
 }
 
 // Stream runs an operator tree under the query's solution modifiers and
-// returns a row iterator. Residual FILTERs are applied batchwise;
-// projection, DISTINCT, OFFSET and LIMIT are applied row by row as the
-// consumer pulls. The caller must Close the iterator (exhaustion closes
-// it automatically).
+// returns a row iterator: residual FILTERs batchwise on the OID side,
+// then the HeadShape value pipeline.
 func Stream(ctx *Ctx, op Operator, q *sparql.Query) (*RowIter, error) {
 	for _, f := range q.Filters {
 		op = NewFilterOp(op, f)
 	}
-	if q.Aggregating() || len(q.OrderBy) > 0 {
-		rel := Drain(ctx, op)
-		res, err := headAfterFilters(ctx, rel, q)
-		if err != nil {
-			return nil, err
-		}
-		return &RowIter{vars: res.Vars, res: res}, nil
+	hs, err := HeadShapeOf(q, op.Vars())
+	if err != nil {
+		return nil, err
 	}
-	items := q.Select
-	if q.SelectAll {
-		items = nil
-		for _, v := range op.Vars() {
-			items = append(items, sparql.SelectItem{Expr: &sparql.ExVar{Name: v}, As: v})
-		}
+	return StreamVal(ctx, hs.Ops(op), q.Limit, q.Offset), nil
+}
+
+// SortKeep returns the sort-state bound for a query: LIMIT+OFFSET rows
+// when a LIMIT is present (the top-K case), else -1 (unbounded).
+func SortKeep(q *sparql.Query) int {
+	if q.Limit < 0 {
+		return -1
 	}
-	it := &RowIter{ctx: ctx, op: op, items: items, remain: -1}
-	for _, item := range items {
-		it.vars = append(it.vars, item.As)
-	}
-	if q.Distinct {
-		it.seen = map[string]bool{}
-	}
+	keep := q.Limit
 	if q.Offset > 0 {
-		it.toSkip = q.Offset
+		keep += q.Offset
 	}
-	if q.Limit >= 0 {
-		it.remain = q.Limit
-	}
-	it.row = make([]dict.Value, len(items))
-	return it, nil
+	return keep
 }
 
 // Vars lists the output column names.
@@ -81,14 +139,7 @@ func (it *RowIter) Vars() []string { return it.vars }
 // stream. Once LIMIT rows have been produced the underlying pipeline is
 // closed immediately.
 func (it *RowIter) Next() bool {
-	if it.res != nil {
-		if it.resIdx >= len(it.res.Rows) {
-			return false
-		}
-		it.resIdx++
-		return true
-	}
-	if it.op == nil {
+	if it.vop == nil {
 		return false
 	}
 	if it.remain == 0 {
@@ -96,41 +147,32 @@ func (it *RowIter) Next() bool {
 		return false
 	}
 	if !it.opened {
-		if err := it.op.Open(it.ctx); err != nil {
+		if err := it.vop.Open(it.ctx); err != nil {
 			it.Close()
 			return false
 		}
 		it.opened = true
-		it.batch = NewBatch(it.op.Vars())
-		it.idx = it.batch.Len() // 0, forces a pull
+		it.batch = NewVBatch(it.vop.Vars())
+		it.idx = 0
 	}
 	for {
-		if it.batch.Len() == 0 || it.idx >= it.batch.Len() {
+		if it.idx >= it.batch.Len() {
 			it.batch.Reset()
-			if !it.op.Next(it.batch) {
+			if !it.vop.Next(it.batch) {
 				it.Close()
 				return false
 			}
-			it.env = newEvalEnv(it.ctx, it.batch.asRel())
 			it.idx = 0
 		}
 		for it.idx < it.batch.Len() {
 			i := it.idx
 			it.idx++
-			it.env.row = i
-			for c, item := range it.items {
-				it.row[c] = it.env.evalValue(item.Expr)
-			}
-			if it.seen != nil {
-				k := distinctKey(it.row)
-				if it.seen[k] {
-					continue
-				}
-				it.seen[k] = true
-			}
 			if it.toSkip > 0 {
 				it.toSkip--
 				continue
+			}
+			for c := range it.row {
+				it.row[c] = it.batch.Cols[c][i]
 			}
 			if it.remain > 0 {
 				it.remain--
@@ -142,25 +184,17 @@ func (it *RowIter) Next() bool {
 
 // Row returns the current row. The slice is reused by the next call to
 // Next; copy it to retain.
-func (it *RowIter) Row() []dict.Value {
-	if it.res != nil {
-		if it.resIdx >= 1 && it.resIdx <= len(it.res.Rows) {
-			return it.res.Rows[it.resIdx-1]
-		}
-		return nil
-	}
-	return it.row
-}
+func (it *RowIter) Row() []dict.Value { return it.row }
 
 // Close shuts the pipeline down; it is idempotent and automatically
 // invoked on exhaustion or when LIMIT is reached.
 func (it *RowIter) Close() {
-	if it.op != nil {
+	if it.vop != nil {
 		if it.opened {
-			it.op.Close()
+			it.vop.Close()
 			it.opened = false
 		}
-		it.op = nil
+		it.vop = nil
 	}
 }
 
@@ -175,17 +209,12 @@ func (it *RowIter) Collect() *Result {
 }
 
 // HeadStream evaluates a full query over a streaming pipeline: Head's
-// semantics (filters, projection or aggregation, DISTINCT, ORDER BY,
-// OFFSET, LIMIT) driven batch-at-a-time, with LIMIT terminating the pull
+// semantics driven batch-at-a-time, with LIMIT terminating the pull
 // early.
 func HeadStream(ctx *Ctx, op Operator, q *sparql.Query) (*Result, error) {
 	it, err := Stream(ctx, op, q)
 	if err != nil {
 		return nil, err
-	}
-	if it.res != nil {
-		it.Close()
-		return it.res, nil
 	}
 	return it.Collect(), nil
 }

@@ -476,10 +476,7 @@ func (h *HashJoinOp) Open(ctx *Ctx) error {
 	for i := 0; i < h.build.Len(); i++ {
 		kb = kb[:0]
 		for _, ci := range h.buildKey {
-			v := h.build.Cols[ci][i]
-			for sh := 0; sh < 64; sh += 8 {
-				kb = append(kb, byte(v>>sh))
-			}
+			kb = appendOIDKey(kb, h.build.Cols[ci][i])
 		}
 		h.buildMap[string(kb)] = append(h.buildMap[string(kb)], int32(i))
 	}
@@ -501,10 +498,7 @@ func (h *HashJoinOp) Next(b *Batch) bool {
 		for j := 0; j < h.probeBatch.Len(); j++ {
 			kb = kb[:0]
 			for _, ci := range h.probeKey {
-				v := h.probeBatch.Cols[ci][j]
-				for sh := 0; sh < 64; sh += 8 {
-					kb = append(kb, byte(v>>sh))
-				}
+				kb = appendOIDKey(kb, h.probeBatch.Cols[ci][j])
 			}
 			for _, i := range h.buildMap[string(kb)] {
 				for c := range h.vars {

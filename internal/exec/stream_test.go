@@ -49,7 +49,7 @@ func bigSrc(n int) string {
 	return b.String()
 }
 
-func bigTable(t *testing.T, f *fixture) *relational.Table {
+func bigTable(t testing.TB, f *fixture) *relational.Table {
 	t.Helper()
 	for _, tt := range f.cat.Visible() {
 		if tt.Col(f.pred("http://b/a")) != nil {

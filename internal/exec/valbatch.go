@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"srdf/internal/dict"
+	"srdf/internal/sparql"
+)
+
+// VBatch is one vector of decoded result rows flowing through the query
+// head: a column of typed values per output name, at most BatchRows rows.
+// Where the BGP pipeline exchanges OID batches, the head operators
+// (Project, Aggregate, Distinct, Sort) exchange value batches, so
+// solution modifiers run inside the vectorized pipeline instead of over
+// a materialized result.
+type VBatch struct {
+	Vars []string
+	Cols [][]dict.Value
+}
+
+// NewVBatch allocates an empty value batch with capacity BatchRows.
+func NewVBatch(vars []string) *VBatch {
+	b := &VBatch{Vars: vars, Cols: make([][]dict.Value, len(vars))}
+	for i := range b.Cols {
+		b.Cols[i] = make([]dict.Value, 0, BatchRows)
+	}
+	return b
+}
+
+// Len returns the row count.
+func (b *VBatch) Len() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return len(b.Cols[0])
+}
+
+// Reset truncates the batch to zero rows, keeping capacity.
+func (b *VBatch) Reset() {
+	for i := range b.Cols {
+		b.Cols[i] = b.Cols[i][:0]
+	}
+}
+
+// AppendRow adds one row; vals must match Vars.
+func (b *VBatch) AppendRow(vals ...dict.Value) {
+	for i, v := range vals {
+		b.Cols[i] = append(b.Cols[i], v)
+	}
+}
+
+// Row copies row i into dst.
+func (b *VBatch) Row(i int, dst []dict.Value) []dict.Value {
+	dst = dst[:0]
+	for _, c := range b.Cols {
+		dst = append(dst, c[i])
+	}
+	return dst
+}
+
+// ValOperator is a pull-based operator over decoded value batches — the
+// head-side mirror of Operator. The contract is identical: Open prepares
+// state, Next fills the batch and reports whether it produced rows, and
+// Close releases resources and may arrive before exhaustion (LIMIT).
+type ValOperator interface {
+	// Vars lists the output columns, available before Open.
+	Vars() []string
+	Open(ctx *Ctx) error
+	Next(b *VBatch) bool
+	Close()
+}
+
+// vrowsCursor streams materialized value rows in batches.
+type vrowsCursor struct {
+	rows [][]dict.Value
+	off  int
+}
+
+func (c *vrowsCursor) fill(b *VBatch) bool {
+	n := len(c.rows) - c.off
+	if n <= 0 {
+		return false
+	}
+	room := BatchRows - b.Len()
+	if n > room {
+		n = room
+	}
+	for i := 0; i < n; i++ {
+		row := c.rows[c.off+i]
+		for ci := range b.Cols {
+			b.Cols[ci] = append(b.Cols[ci], row[ci])
+		}
+	}
+	c.off += n
+	return n > 0
+}
+
+// ProjectOp evaluates the query's select expressions over each input
+// batch, turning OID batches into decoded value batches — the streaming
+// projection at the boundary between the BGP pipeline and the head.
+type ProjectOp struct {
+	in    Operator
+	items []sparql.SelectItem
+	vars  []string
+	// budget caps the rows ever evaluated (-1 = unlimited). When the
+	// head is a bare projection under a LIMIT, only LIMIT+OFFSET rows
+	// are needed, so decoding the rest of a pulled batch is pure waste.
+	budget int
+
+	ctx     *Ctx
+	inBatch *Batch
+	env     *evalEnv
+}
+
+// NewProjectOp builds a streaming projection of items over in.
+func NewProjectOp(in Operator, items []sparql.SelectItem) *ProjectOp {
+	vars := make([]string, len(items))
+	for i := range items {
+		vars[i] = items[i].As
+	}
+	return &ProjectOp{in: in, items: items, vars: vars, budget: -1}
+}
+
+// SetRowBound caps the total rows the projection evaluates; only valid
+// when no downstream modifier needs more input rows than the bound.
+func (p *ProjectOp) SetRowBound(n int) { p.budget = n }
+
+// SelectItems resolves a query's projection list against the pipeline's
+// output variables, expanding SELECT *.
+func SelectItems(q *sparql.Query, vars []string) []sparql.SelectItem {
+	if !q.SelectAll {
+		return q.Select
+	}
+	items := make([]sparql.SelectItem, 0, len(vars))
+	for _, v := range vars {
+		items = append(items, sparql.SelectItem{Expr: &sparql.ExVar{Name: v}, As: v})
+	}
+	return items
+}
+
+func (p *ProjectOp) Vars() []string { return p.vars }
+
+func (p *ProjectOp) Open(ctx *Ctx) error {
+	p.ctx = ctx
+	p.inBatch = NewBatch(p.in.Vars())
+	return p.in.Open(ctx)
+}
+
+func (p *ProjectOp) Next(b *VBatch) bool {
+	if p.budget == 0 {
+		return false
+	}
+	p.inBatch.Reset()
+	if !p.in.Next(p.inBatch) {
+		return false
+	}
+	rel := p.inBatch.asRel()
+	if p.env == nil {
+		p.env = newEvalEnv(p.ctx, rel)
+	} else {
+		p.env.rel = rel
+	}
+	n := rel.Len()
+	if p.budget >= 0 && n > p.budget {
+		n = p.budget
+	}
+	if p.budget > 0 {
+		p.budget -= n
+	}
+	for i := 0; i < n; i++ {
+		p.env.row = i
+		for c := range p.items {
+			b.Cols[c] = append(b.Cols[c], p.env.evalValue(p.items[c].Expr))
+		}
+	}
+	return true
+}
+
+func (p *ProjectOp) Close() { p.in.Close() }
+
+// DistinctOp streams DISTINCT: a hash set of row keys filters each batch
+// as it flows past. Only the key set is retained — never the rows — so
+// memory is bounded by the number of distinct results, and a downstream
+// LIMIT still terminates the pipeline early.
+type DistinctOp struct {
+	in ValOperator
+
+	seen map[string]bool
+	inb  *VBatch
+	row  []dict.Value
+}
+
+// NewDistinctOp builds a streaming duplicate filter over in.
+func NewDistinctOp(in ValOperator) *DistinctOp { return &DistinctOp{in: in} }
+
+func (d *DistinctOp) Vars() []string { return d.in.Vars() }
+
+func (d *DistinctOp) Open(ctx *Ctx) error {
+	d.seen = make(map[string]bool)
+	d.inb = NewVBatch(d.in.Vars())
+	return d.in.Open(ctx)
+}
+
+func (d *DistinctOp) Next(b *VBatch) bool {
+	for {
+		d.inb.Reset()
+		if !d.in.Next(d.inb) {
+			return false
+		}
+		for i := 0; i < d.inb.Len(); i++ {
+			d.row = d.inb.Row(i, d.row)
+			k := distinctKey(d.row)
+			if d.seen[k] {
+				continue
+			}
+			d.seen[k] = true
+			b.AppendRow(d.row...)
+		}
+		if b.Len() > 0 {
+			return true
+		}
+	}
+}
+
+func (d *DistinctOp) Close() { d.in.Close() }

@@ -56,14 +56,17 @@ type StoreView struct {
 	LiteralsOrdered bool
 }
 
-// Plan is an executable query plan.
+// Plan is an executable query plan: the OID-level BGP tree (Root,
+// including residual filters) topped by the value-level head chain
+// (Head: aggregation/projection, DISTINCT, ORDER BY).
 type Plan struct {
 	Root  Node
+	Head  HeadNode
 	Query *sparql.Query
 	Opts  Options
 }
 
-// Explain renders the operator tree.
+// Explain renders the operator tree, head chain included.
 func (p *Plan) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Plan [%s", p.Opts.Mode)
@@ -71,7 +74,7 @@ func (p *Plan) Explain() string {
 		b.WriteString(" +zonemaps")
 	}
 	fmt.Fprintf(&b, "] joins=%d\n", p.Root.Joins())
-	p.Root.Explain(&b, 0)
+	p.Head.Explain(&b, 0)
 	return b.String()
 }
 
@@ -79,13 +82,19 @@ func (p *Plan) Explain() string {
 // batch-streaming pipeline: scans produce as the head pulls, and a
 // satisfied LIMIT stops the pull early.
 func (p *Plan) Execute(ctx *exec.Ctx) (*exec.Result, error) {
-	return exec.HeadStream(ctx, p.Root.Op(), p.Query)
+	it, err := p.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return it.Collect(), nil
 }
 
 // Stream runs the plan to a pull-based row iterator; the caller must
-// Close it (exhaustion closes it automatically).
+// Close it (exhaustion closes it automatically). Aggregation, DISTINCT
+// and ORDER BY run as batch operators inside the pipeline, so streaming
+// works for every query shape — no silent materialization fallback.
 func (p *Plan) Stream(ctx *exec.Ctx) (*exec.RowIter, error) {
-	return exec.Stream(ctx, p.Root.Op(), p.Query)
+	return exec.StreamVal(ctx, p.Head.ValOp(), p.Query.Limit, p.Query.Offset), nil
 }
 
 // Build plans a parsed query against a store view.
@@ -95,7 +104,16 @@ func Build(q *sparql.Query, sv *StoreView, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Root: root, Query: q, Opts: opts}, nil
+	// Residual filters become explicit plan nodes (pushdown only narrows
+	// access paths; the full predicates are re-checked here).
+	for _, f := range q.Filters {
+		root = &FilterNode{Input: root, Expr: f}
+	}
+	head, err := buildHead(root, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, Head: head, Query: q, Opts: opts}, nil
 }
 
 type builder struct {

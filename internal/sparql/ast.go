@@ -196,6 +196,27 @@ func (e *ExAgg) Vars(dst []string) []string {
 // String renders an expression.
 func ExprString(e Expr) string { return e.exprString() }
 
+// WalkExpr visits e and its sub-expressions in pre-order, stopping the
+// descent (and the walk) as soon as fn returns false.
+func WalkExpr(e Expr, fn func(Expr) bool) bool {
+	if e == nil {
+		return true
+	}
+	if !fn(e) {
+		return false
+	}
+	switch x := e.(type) {
+	case *ExBin:
+		return WalkExpr(x.L, fn) && WalkExpr(x.R, fn)
+	case *ExUn:
+		return WalkExpr(x.E, fn)
+	case *ExAgg:
+		return WalkExpr(x.Arg, fn)
+	default:
+		return true
+	}
+}
+
 // HasAgg reports whether the expression contains an aggregate.
 func HasAgg(e Expr) bool {
 	switch x := e.(type) {

@@ -65,8 +65,15 @@ type Options struct {
 	// PoolPages caps the simulated buffer pool (<=0: unlimited).
 	PoolPages int
 	// Parallelism sets the morsel-driven worker count for RDFscan
-	// table scans; <=1 scans sequentially. Results are row-identical
-	// to the sequential scan (workers merge in morsel order).
+	// table scans and for partial aggregation in the query head; <=1
+	// runs sequentially. Scans merge in morsel order and are
+	// row-identical to sequential execution. Aggregate workers' partial
+	// states merge deterministically with group output in global
+	// first-appearance order; COUNT, MIN, MAX, integer sums and AVG
+	// over integers are exactly identical to sequential execution,
+	// while SUM/AVG over floats re-associate the addition across
+	// partials and can differ from the sequential fold in the last few
+	// bits.
 	Parallelism int
 }
 
@@ -179,7 +186,10 @@ type Rows = core.Rows
 // QueryStream runs a SPARQL SELECT query with the default configuration
 // and returns a streaming row iterator: rows are produced batch by batch
 // as the consumer pulls them, LIMIT stops the underlying scans early,
-// and large results never materialize. The iterator holds the store's
+// and large results never materialize. Every query shape streams —
+// GROUP BY/aggregates fold into per-group states, DISTINCT keeps only a
+// key set, and ORDER BY + LIMIT k holds at most k rows of sort state —
+// so there is no materializing fallback. The iterator holds the store's
 // exclusive lock until Close (exhaustion closes it automatically):
 // always drain or Close it before issuing other store operations —
 // doing so from the same goroutine beforehand deadlocks.

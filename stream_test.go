@@ -109,6 +109,43 @@ func TestQueryStreamParityRDFH(t *testing.T) {
 	}
 }
 
+// rdfhModifierQueries exercises every head operator — DISTINCT, ORDER
+// BY, top-K, grouped and DISTINCT aggregates — over RDF-H data, beyond
+// the four benchmark queries.
+var rdfhModifierQueries = []string{
+	`PREFIX rdfh: <http://example.com/rdfh/> SELECT DISTINCT ?seg WHERE { ?c rdfh:customer_mktsegment ?seg . }`,
+	`PREFIX rdfh: <http://example.com/rdfh/> SELECT DISTINCT ?seg WHERE { ?c rdfh:customer_mktsegment ?seg . } ORDER BY ?seg`,
+	`PREFIX rdfh: <http://example.com/rdfh/> SELECT ?o ?od WHERE { ?o rdfh:order_orderdate ?od . } ORDER BY DESC(?od) ?o LIMIT 10`,
+	`PREFIX rdfh: <http://example.com/rdfh/> SELECT ?o ?od WHERE { ?o rdfh:order_orderdate ?od . } ORDER BY ?od LIMIT 7 OFFSET 4`,
+	`PREFIX rdfh: <http://example.com/rdfh/> SELECT (COUNT(DISTINCT ?seg) AS ?n) WHERE { ?c rdfh:customer_mktsegment ?seg . }`,
+	`PREFIX rdfh: <http://example.com/rdfh/> SELECT ?seg (COUNT(*) AS ?n) (MIN(?bal) AS ?lo) (MAX(?bal) AS ?hi) WHERE { ?c rdfh:customer_mktsegment ?seg . ?c rdfh:customer_acctbal ?bal . } GROUP BY ?seg ORDER BY ?seg`,
+	`PREFIX rdfh: <http://example.com/rdfh/> SELECT ?seg (COUNT(*) AS ?n) WHERE { ?c rdfh:customer_mktsegment ?seg . } GROUP BY ?seg ORDER BY DESC(?n) ?seg LIMIT 3`,
+	`PREFIX rdfh: <http://example.com/rdfh/> SELECT DISTINCT ?sp WHERE { ?o rdfh:order_shippriority ?sp . } LIMIT 2`,
+}
+
+// TestQueryStreamParityRDFHModifiers runs every aggregate / ORDER BY /
+// DISTINCT query shape through both APIs in every plan family and
+// demands row-identical output.
+func TestQueryStreamParityRDFHModifiers(t *testing.T) {
+	h, err := rdfh.NewHarness(0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range rdfhModifierQueries {
+		for ci, qo := range parityConfigs {
+			res, err := h.Clustered.Query(q, qo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := h.Clustered.QueryStream(q, qo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			linesEqual(t, streamLines(rows), resultLines(res), fmt.Sprintf("mod-q%d cfg%d", qi, ci))
+		}
+	}
+}
+
 // multiBlockStore builds a store whose main CS table spans several
 // zone-map blocks (n > colstore.BlockRows rows).
 func multiBlockStore(t testing.TB, n, parallelism int) *srdf.Store {
@@ -197,5 +234,38 @@ func TestParallelScanParity(t *testing.T) {
 			t.Fatal(err)
 		}
 		linesEqual(t, resultLines(b), resultLines(a), fmt.Sprintf("q%d", qi))
+	}
+}
+
+// TestParallelAggregateParity asserts parallel partial aggregation
+// (worker partials merged at the head) returns rows identical to the
+// sequential fold — values and group order — through the public API.
+func TestParallelAggregateParity(t *testing.T) {
+	seq := multiBlockStore(t, 12000, 0)
+	par := multiBlockStore(t, 12000, 4)
+	queries := []string{
+		`PREFIX e: <http://big/> SELECT ?y (COUNT(*) AS ?n) (SUM(?x) AS ?s) (MIN(?x) AS ?lo) (MAX(?x) AS ?hi) (AVG(?x) AS ?avg) WHERE { ?s e:a ?x . ?s e:b ?y . } GROUP BY ?y`,
+		`PREFIX e: <http://big/> SELECT ?y (COUNT(DISTINCT ?x) AS ?nd) WHERE { ?s e:a ?x . ?s e:b ?y . } GROUP BY ?y ORDER BY DESC(?nd) ?y`,
+		`PREFIX e: <http://big/> SELECT (SUM(?x) AS ?s) (COUNT(*) AS ?n) WHERE { ?s e:a ?x . ?s e:b ?y . }`,
+		`PREFIX e: <http://big/> SELECT ?y (SUM(?x) AS ?s) WHERE { ?s e:a ?x . ?s e:b ?y . } GROUP BY ?y ORDER BY DESC(?s) LIMIT 5`,
+		`PREFIX e: <http://big/> SELECT DISTINCT ?y WHERE { ?s e:a ?x . ?s e:b ?y . } ORDER BY ?y LIMIT 10`,
+	}
+	for qi, q := range queries {
+		want, err := seq.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linesEqual(t, resultLines(got), resultLines(want), fmt.Sprintf("agg-q%d", qi))
+
+		// and the streaming API agrees with itself under parallelism
+		rows, err := par.QueryStream(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linesEqual(t, streamLines(rows), resultLines(want), fmt.Sprintf("agg-q%d stream", qi))
 	}
 }
