@@ -1,6 +1,8 @@
 package colstore
 
 import (
+	"sort"
+
 	"srdf/internal/dict"
 )
 
@@ -9,9 +11,20 @@ import (
 // clustering: row i holds the property value of the CS's i-th subject
 // (paper §II-C — "for a whole stretch of subjects we get aligned
 // stretches of Objects"). dict.Nil encodes SQL NULL.
+//
+// A column has two lives. During build it is a mutable flat vector
+// (Vals) filled with Set. Seal freezes it into per-block compressed
+// segments (see segment.go): Vals is dropped, reads go through the
+// segment layer, and the scan-side predicate kernels (SelectEqBlock,
+// SelectRangeBlock, SelectNotNilBlock) evaluate on the compressed form.
+// Every accessor works on both representations, so untracked or
+// never-sealed columns (tests, scratch data) behave exactly as before.
 type Column struct {
 	Name string
 	Vals []dict.OID
+
+	segs []Segment // non-nil once sealed; one per BlockRows block
+	n    int       // row count after sealing (Vals is gone)
 
 	nullCount int
 	zm        *ZoneMap
@@ -31,10 +44,68 @@ func NewColumn(name string, n int, pool *BufferPool) *Column {
 }
 
 // Len returns the number of rows.
-func (c *Column) Len() int { return len(c.Vals) }
+func (c *Column) Len() int {
+	if c.segs != nil {
+		return c.n
+	}
+	return len(c.Vals)
+}
 
-// Set assigns row i.
+// Sealed reports whether the column has been frozen into compressed
+// segments.
+func (c *Column) Sealed() bool { return c.segs != nil }
+
+// Seal freezes the column into per-block compressed segments, builds its
+// zone map from the per-segment summaries, accounts the compressed size
+// against the buffer pool, and releases the flat vector. Set panics
+// after Seal; sealing an already-sealed column is a no-op.
+func (c *Column) Seal() {
+	if c.segs != nil {
+		return
+	}
+	n := len(c.Vals)
+	nb := (n + BlockRows - 1) / BlockRows
+	c.segs = make([]Segment, nb)
+	zm := &ZoneMap{Zones: make([]Zone, nb), Rows: n}
+	compressed := 0
+	for b := 0; b < nb; b++ {
+		lo := b * BlockRows
+		hi := lo + BlockRows
+		if hi > n {
+			hi = n
+		}
+		seg := EncodeBlock(c.Vals[lo:hi])
+		c.segs[b] = seg
+		zm.Zones[b] = seg.Zone()
+		compressed += seg.Bytes()
+	}
+	c.n = n
+	c.zm = zm
+	c.Vals = nil
+	if c.pool != nil {
+		c.pool.AddSegmentBytes(compressed, 8*n)
+	}
+}
+
+// seg returns the segment holding row i and i's block-relative index.
+func (c *Column) seg(i int) (Segment, int) {
+	return c.segs[i/BlockRows], i % BlockRows
+}
+
+// peek returns row i without accounting a page touch.
+func (c *Column) peek(i int) dict.OID {
+	if c.segs != nil {
+		s, k := c.seg(i)
+		return s.Get(k)
+	}
+	return c.Vals[i]
+}
+
+// Set assigns row i. Only valid before Seal.
 func (c *Column) Set(i int, v dict.OID) {
+	if c.segs != nil {
+		panic("colstore: Set on sealed column " + c.Name)
+	}
 	old := c.Vals[i]
 	if old == dict.Nil && v != dict.Nil {
 		c.nullCount--
@@ -48,11 +119,11 @@ func (c *Column) Set(i int, v dict.OID) {
 // Get returns row i, accounting the page touch.
 func (c *Column) Get(i int) dict.OID {
 	c.Touch(i, i+1)
-	return c.Vals[i]
+	return c.peek(i)
 }
 
 // IsNull reports whether row i is NULL.
-func (c *Column) IsNull(i int) bool { return c.Vals[i] == dict.Nil }
+func (c *Column) IsNull(i int) bool { return c.peek(i) == dict.Nil }
 
 // NullCount returns the number of NULL rows.
 func (c *Column) NullCount() int { return c.nullCount }
@@ -65,7 +136,9 @@ func (c *Column) Touch(lo, hi int) {
 	}
 }
 
-// Zones returns the column's zone map, building it on first use.
+// Zones returns the column's zone map, building it on first use. Sealed
+// columns carry the zone map assembled from segment summaries at Seal
+// time, so this never races even under concurrent scans.
 func (c *Column) Zones() *ZoneMap {
 	if c.zm == nil {
 		c.zm = BuildZoneMap(c.Vals)
@@ -75,6 +148,161 @@ func (c *Column) Zones() *ZoneMap {
 
 // Pool returns the buffer pool the column accounts against (may be nil).
 func (c *Column) Pool() *BufferPool { return c.pool }
+
+// NumBlocks returns the number of BlockRows-sized blocks.
+func (c *Column) NumBlocks() int {
+	return (c.Len() + BlockRows - 1) / BlockRows
+}
+
+// BlockEncoding returns the encoding of block b (EncPlain for unsealed
+// columns, which are raw vectors).
+func (c *Column) BlockEncoding(b int) Encoding {
+	if c.segs == nil {
+		return EncPlain
+	}
+	return c.segs[b].Encoding()
+}
+
+// Encodings tallies the column's segments per encoding.
+func (c *Column) Encodings() EncodingCounts {
+	var ec EncodingCounts
+	if c.segs == nil {
+		ec[EncPlain] = c.NumBlocks()
+		return ec
+	}
+	for _, s := range c.segs {
+		ec[s.Encoding()]++
+	}
+	return ec
+}
+
+// CompressedBytes returns the resident size of the sealed representation
+// (or the flat vector size when unsealed).
+func (c *Column) CompressedBytes() int {
+	if c.segs == nil {
+		return 8 * len(c.Vals)
+	}
+	n := 0
+	for _, s := range c.segs {
+		n += s.Bytes()
+	}
+	return n
+}
+
+// BlockValues returns the decoded values of block b, indexed
+// block-relatively. For plain blocks (sealed or not) the returned slice
+// aliases column storage — callers must treat it as read-only; other
+// encodings decode into buf. The caller is responsible for Touch.
+func (c *Column) BlockValues(b int, buf []dict.OID) []dict.OID {
+	lo := b * BlockRows
+	if c.segs == nil {
+		hi := lo + BlockRows
+		if hi > len(c.Vals) {
+			hi = len(c.Vals)
+		}
+		return c.Vals[lo:hi]
+	}
+	seg := c.segs[b]
+	if p, ok := seg.(*plainSegment); ok {
+		return p.view()
+	}
+	return seg.Decode(buf[:0])
+}
+
+// GatherBlock fills buf (a full-block scratch, indexed block-relatively)
+// with the values of block b at the selected positions only — the
+// sparse-selection alternative to a full BlockValues decode. Plain
+// blocks return their zero-copy view instead. The caller is responsible
+// for Touch.
+func (c *Column) GatherBlock(b int, sel []int32, buf []dict.OID) []dict.OID {
+	if c.segs == nil {
+		lo := b * BlockRows
+		hi := lo + BlockRows
+		if hi > len(c.Vals) {
+			hi = len(c.Vals)
+		}
+		return c.Vals[lo:hi]
+	}
+	seg := c.segs[b]
+	if p, ok := seg.(*plainSegment); ok {
+		return p.view()
+	}
+	for _, k := range sel {
+		buf[k] = seg.Get(int(k))
+	}
+	return buf
+}
+
+// SelectEqBlock appends base+i for the rows i (block-relative, within
+// [lo,hi)) of block b equal to v, evaluating on the compressed form.
+func (c *Column) SelectEqBlock(b, lo, hi int, v dict.OID, base int32, sel []int32) []int32 {
+	if c.segs != nil {
+		return c.segs[b].SelectEq(lo, hi, v, base, sel)
+	}
+	if v == dict.Nil {
+		return sel
+	}
+	off := b * BlockRows
+	for i := lo; i < hi; i++ {
+		if c.Vals[off+i] == v {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+// SelectRangeBlock appends base+i for the rows i of block b whose
+// non-NULL value lies in [vlo,vhi].
+func (c *Column) SelectRangeBlock(b, lo, hi int, vlo, vhi dict.OID, base int32, sel []int32) []int32 {
+	if c.segs != nil {
+		return c.segs[b].SelectRange(lo, hi, vlo, vhi, base, sel)
+	}
+	off := b * BlockRows
+	for i := lo; i < hi; i++ {
+		if v := c.Vals[off+i]; v != dict.Nil && v >= vlo && v <= vhi {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+// SelectNotNilBlock appends base+i for the non-NULL rows i of block b.
+func (c *Column) SelectNotNilBlock(b, lo, hi int, base int32, sel []int32) []int32 {
+	if c.segs != nil {
+		return c.segs[b].SelectNotNil(lo, hi, base, sel)
+	}
+	off := b * BlockRows
+	for i := lo; i < hi; i++ {
+		if c.Vals[off+i] != dict.Nil {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+// AscendingWindow returns the [lo,hi) row window whose values lie in
+// [vlo,vhi], for columns that are physically ascending with NULLs at the
+// tail (the sub-ordering layout of sort-key columns). It binary-searches
+// without accounting page touches — this is planner work, not a scan.
+func (c *Column) AscendingWindow(vlo, vhi dict.OID) (int, int) {
+	n := c.Len() - c.NullCount()
+	lo := sort.Search(n, func(i int) bool { return c.peek(i) >= vlo })
+	hi := sort.Search(n, func(i int) bool { return c.peek(i) > vhi })
+	return lo, hi
+}
+
+// Values decodes the whole column into a fresh slice, without touching
+// the buffer pool — a convenience for dumps, debugging and tests.
+func (c *Column) Values() []dict.OID {
+	if c.segs == nil {
+		return append([]dict.OID(nil), c.Vals...)
+	}
+	out := make([]dict.OID, 0, c.n)
+	for _, s := range c.segs {
+		out = s.Decode(out)
+	}
+	return out
+}
 
 // TrackedSlice registers an existing OID slice (such as one component of
 // a sorted projection) with a pool, so index scans over it can account

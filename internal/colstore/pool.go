@@ -41,6 +41,15 @@ type PoolStats struct {
 	Resident  int
 	// SimIO is the accumulated virtual I/O time (Misses × FetchCost).
 	SimIO time.Duration
+	// SegmentBytes is the resident size of all sealed column segments
+	// accounted against this pool; LogicalBytes is what the same data
+	// would occupy as flat 8-byte OID vectors.
+	SegmentBytes int64
+	LogicalBytes int64
+	// CompressionRatio is LogicalBytes/SegmentBytes (0 when nothing is
+	// sealed): 4.0 means sealed columns resident at a quarter of their
+	// flat size.
+	CompressionRatio float64
 }
 
 // BufferPool tracks which pages are resident, with LRU eviction.
@@ -52,6 +61,8 @@ type BufferPool struct {
 	lru       *list.List // of PageID, front = most recent
 	pages     map[PageID]*list.Element
 	stats     PoolStats
+	segBytes  int64
+	logBytes  int64
 	nextObj   uint32
 }
 
@@ -119,12 +130,27 @@ func (bp *BufferPool) AccessRange(obj uint32, lo, hi int) {
 	}
 }
 
+// AddSegmentBytes accounts one sealed column's resident segment size
+// (compressed) against the pool, alongside the flat size the same rows
+// would occupy (logical). Column.Seal calls this once per column.
+func (bp *BufferPool) AddSegmentBytes(compressed, logical int) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.segBytes += int64(compressed)
+	bp.logBytes += int64(logical)
+}
+
 // Stats returns a snapshot of the counters.
 func (bp *BufferPool) Stats() PoolStats {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	s := bp.stats
 	s.Resident = len(bp.pages)
+	s.SegmentBytes = bp.segBytes
+	s.LogicalBytes = bp.logBytes
+	if bp.segBytes > 0 {
+		s.CompressionRatio = float64(bp.logBytes) / float64(bp.segBytes)
+	}
 	return s
 }
 

@@ -1,0 +1,548 @@
+// Compressed columnar segments: each BlockRows-sized block of a sealed
+// column is stored under the lightest of four MonetDB/X100-style
+// encodings, chosen per block at build time. Predicate kernels evaluate
+// equality and range selections directly on the compressed form and emit
+// selection vectors, so a scan never decodes (or copies) rows that a
+// predicate rejects: RLE answers equality in O(runs), frame-of-reference
+// blocks prune via min/max before touching packed words, and block
+// dictionaries compare small codes instead of 8-byte OIDs.
+package colstore
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"srdf/internal/dict"
+)
+
+// Encoding names a segment's physical representation.
+type Encoding uint8
+
+const (
+	// EncPlain stores the raw OID vector.
+	EncPlain Encoding = iota
+	// EncRLE stores (value, run-end) pairs; ideal for sorted or
+	// low-cardinality clustered columns.
+	EncRLE
+	// EncFOR stores bit-packed deltas from the block minimum
+	// (frame-of-reference); ideal for narrow value ranges without NULLs.
+	EncFOR
+	// EncDict stores a per-block value dictionary plus bit-packed codes;
+	// ideal for low-cardinality blocks that do not run.
+	EncDict
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncRLE:
+		return "rle"
+	case EncFOR:
+		return "for"
+	case EncDict:
+		return "dict"
+	default:
+		return "plain"
+	}
+}
+
+// Segment is one immutable compressed block of a sealed column. Row
+// indexes are block-relative ([0,Len)). The Select* kernels append the
+// block-relative indexes (plus base) of matching rows to sel without
+// decompressing the block; dict.Nil cells never match any kernel.
+type Segment interface {
+	// Len returns the row count of the block.
+	Len() int
+	// Encoding identifies the physical representation.
+	Encoding() Encoding
+	// Bytes returns the resident size of the compressed form.
+	Bytes() int
+	// Zone returns the block's min/max/NULL summary.
+	Zone() Zone
+	// Get returns row i.
+	Get(i int) dict.OID
+	// Decode appends all rows to dst and returns it.
+	Decode(dst []dict.OID) []dict.OID
+	// SelectEq appends base+i for rows i in [lo,hi) equal to v.
+	SelectEq(lo, hi int, v dict.OID, base int32, sel []int32) []int32
+	// SelectRange appends base+i for rows i in [lo,hi) with a non-NULL
+	// value in [vlo,vhi].
+	SelectRange(lo, hi int, vlo, vhi dict.OID, base int32, sel []int32) []int32
+	// SelectNotNil appends base+i for rows i in [lo,hi) that are not NULL.
+	SelectNotNil(lo, hi int, base int32, sel []int32) []int32
+}
+
+// maxDictCard caps the per-block dictionary size; beyond it the chooser
+// falls back to FOR or plain.
+const maxDictCard = 256
+
+// EncodeBlock analyzes one block and returns it under the smallest
+// feasible encoding (ties prefer RLE, then FOR, then dict: cheaper
+// kernels win at equal size).
+func EncodeBlock(vals []dict.OID) Segment {
+	n := len(vals)
+	zone := Zone{AllNull: true}
+	runs := 0
+	distinct := make(map[dict.OID]struct{}, 17)
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			runs++
+		}
+		if len(distinct) <= maxDictCard {
+			distinct[v] = struct{}{}
+		}
+		if v == dict.Nil {
+			zone.HasNull = true
+			continue
+		}
+		if zone.AllNull {
+			zone.Min, zone.Max, zone.AllNull = v, v, false
+			continue
+		}
+		if v < zone.Min {
+			zone.Min = v
+		}
+		if v > zone.Max {
+			zone.Max = v
+		}
+	}
+
+	plainBytes := 8 * n
+	best := Encoding(EncPlain)
+	// A compressed form must save at least 1/8 of the plain size to be
+	// worth its decode cost; marginal wins stay plain (and zero-copy).
+	bestBytes := plainBytes - plainBytes/8
+
+	rleBytes := 12 * runs
+	if rleBytes < bestBytes {
+		best, bestBytes = EncRLE, rleBytes
+	}
+	forWidth := 0
+	if !zone.HasNull && !zone.AllNull {
+		forWidth = bits.Len64(uint64(zone.Max - zone.Min))
+		if forBytes := 16 + packedBytes(n, forWidth); forBytes < bestBytes {
+			best, bestBytes = EncFOR, forBytes
+		}
+	}
+	dictWidth := 0
+	if d := len(distinct); d <= maxDictCard {
+		dictWidth = bits.Len64(uint64(d - 1))
+		if dictBytes := 8*d + packedBytes(n, dictWidth); dictBytes < bestBytes {
+			best = EncDict
+		}
+	}
+
+	switch best {
+	case EncRLE:
+		return encodeRLE(vals, runs, zone)
+	case EncFOR:
+		return encodeFOR(vals, forWidth, zone)
+	case EncDict:
+		return encodeDict(vals, distinct, zone)
+	default:
+		seg := &plainSegment{vals: append([]dict.OID(nil), vals...), zone: zone}
+		return seg
+	}
+}
+
+func packedBytes(n, width int) int { return 8 * ((n*width + 63) / 64) }
+
+// --- bit packing -----------------------------------------------------
+
+// packBits stores n width-bit values (width in [0,64]) little-endian in
+// a []uint64.
+func packBits(deltas []uint64, width int) []uint64 {
+	if width == 0 {
+		return nil
+	}
+	out := make([]uint64, (len(deltas)*width+63)/64)
+	for i, d := range deltas {
+		bit := i * width
+		w, off := bit>>6, uint(bit&63)
+		out[w] |= d << off
+		if off+uint(width) > 64 {
+			out[w+1] |= d >> (64 - off)
+		}
+	}
+	return out
+}
+
+func unpackBit(packed []uint64, width int, i int) uint64 {
+	if width == 0 {
+		return 0
+	}
+	bit := i * width
+	w, off := bit>>6, uint(bit&63)
+	v := packed[w] >> off
+	if off+uint(width) > 64 {
+		v |= packed[w+1] << (64 - off)
+	}
+	return v & widthMask(width)
+}
+
+func widthMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
+}
+
+// --- plain -----------------------------------------------------------
+
+type plainSegment struct {
+	vals []dict.OID
+	zone Zone
+}
+
+func (s *plainSegment) Len() int           { return len(s.vals) }
+func (s *plainSegment) Encoding() Encoding { return EncPlain }
+func (s *plainSegment) Bytes() int         { return 8 * len(s.vals) }
+func (s *plainSegment) Zone() Zone         { return s.zone }
+func (s *plainSegment) Get(i int) dict.OID { return s.vals[i] }
+
+// view exposes the raw vector for zero-copy block reads.
+func (s *plainSegment) view() []dict.OID { return s.vals }
+
+func (s *plainSegment) Decode(dst []dict.OID) []dict.OID { return append(dst, s.vals...) }
+
+func (s *plainSegment) SelectEq(lo, hi int, v dict.OID, base int32, sel []int32) []int32 {
+	if v == dict.Nil {
+		return sel
+	}
+	for i := lo; i < hi; i++ {
+		if s.vals[i] == v {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+func (s *plainSegment) SelectRange(lo, hi int, vlo, vhi dict.OID, base int32, sel []int32) []int32 {
+	for i := lo; i < hi; i++ {
+		if v := s.vals[i]; v != dict.Nil && v >= vlo && v <= vhi {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+func (s *plainSegment) SelectNotNil(lo, hi int, base int32, sel []int32) []int32 {
+	for i := lo; i < hi; i++ {
+		if s.vals[i] != dict.Nil {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+// --- run-length ------------------------------------------------------
+
+type rleSegment struct {
+	vals []dict.OID // one per run
+	ends []int32    // cumulative exclusive end of each run
+	zone Zone
+}
+
+func encodeRLE(vals []dict.OID, runs int, zone Zone) *rleSegment {
+	s := &rleSegment{
+		vals: make([]dict.OID, 0, runs),
+		ends: make([]int32, 0, runs),
+		zone: zone,
+	}
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			s.vals = append(s.vals, v)
+			s.ends = append(s.ends, int32(i))
+		}
+		s.ends[len(s.ends)-1] = int32(i + 1)
+	}
+	return s
+}
+
+func (s *rleSegment) Len() int {
+	if len(s.ends) == 0 {
+		return 0
+	}
+	return int(s.ends[len(s.ends)-1])
+}
+func (s *rleSegment) Encoding() Encoding { return EncRLE }
+func (s *rleSegment) Bytes() int         { return 8*len(s.vals) + 4*len(s.ends) }
+func (s *rleSegment) Zone() Zone         { return s.zone }
+
+func (s *rleSegment) Get(i int) dict.OID {
+	r := sort.Search(len(s.ends), func(k int) bool { return s.ends[k] > int32(i) })
+	return s.vals[r]
+}
+
+func (s *rleSegment) Decode(dst []dict.OID) []dict.OID {
+	start := int32(0)
+	for r, v := range s.vals {
+		for ; start < s.ends[r]; start++ {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// runWindow appends the rows of run r clipped to [lo,hi).
+func (s *rleSegment) runWindow(r, lo, hi int, base int32, sel []int32) []int32 {
+	rlo := 0
+	if r > 0 {
+		rlo = int(s.ends[r-1])
+	}
+	rhi := int(s.ends[r])
+	if rlo < lo {
+		rlo = lo
+	}
+	if rhi > hi {
+		rhi = hi
+	}
+	for i := rlo; i < rhi; i++ {
+		sel = append(sel, base+int32(i))
+	}
+	return sel
+}
+
+func (s *rleSegment) SelectEq(lo, hi int, v dict.OID, base int32, sel []int32) []int32 {
+	if v == dict.Nil {
+		return sel
+	}
+	for r, rv := range s.vals {
+		if rv == v {
+			sel = s.runWindow(r, lo, hi, base, sel)
+		}
+	}
+	return sel
+}
+
+func (s *rleSegment) SelectRange(lo, hi int, vlo, vhi dict.OID, base int32, sel []int32) []int32 {
+	for r, rv := range s.vals {
+		if rv != dict.Nil && rv >= vlo && rv <= vhi {
+			sel = s.runWindow(r, lo, hi, base, sel)
+		}
+	}
+	return sel
+}
+
+func (s *rleSegment) SelectNotNil(lo, hi int, base int32, sel []int32) []int32 {
+	for r, rv := range s.vals {
+		if rv != dict.Nil {
+			sel = s.runWindow(r, lo, hi, base, sel)
+		}
+	}
+	return sel
+}
+
+// --- frame of reference ----------------------------------------------
+
+// forSegment stores v[i] = base + delta[i] with deltas bit-packed. Only
+// chosen for blocks without NULLs, so every row is a valid value.
+type forSegment struct {
+	base   dict.OID
+	width  int
+	n      int
+	packed []uint64
+	zone   Zone
+}
+
+func encodeFOR(vals []dict.OID, width int, zone Zone) *forSegment {
+	deltas := make([]uint64, len(vals))
+	for i, v := range vals {
+		deltas[i] = uint64(v - zone.Min)
+	}
+	return &forSegment{
+		base:   zone.Min,
+		width:  width,
+		n:      len(vals),
+		packed: packBits(deltas, width),
+		zone:   zone,
+	}
+}
+
+func (s *forSegment) Len() int           { return s.n }
+func (s *forSegment) Encoding() Encoding { return EncFOR }
+func (s *forSegment) Bytes() int         { return 16 + 8*len(s.packed) }
+func (s *forSegment) Zone() Zone         { return s.zone }
+func (s *forSegment) Get(i int) dict.OID {
+	return s.base + dict.OID(unpackBit(s.packed, s.width, i))
+}
+
+func (s *forSegment) Decode(dst []dict.OID) []dict.OID {
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, s.base+dict.OID(unpackBit(s.packed, s.width, i)))
+	}
+	return dst
+}
+
+func (s *forSegment) SelectEq(lo, hi int, v dict.OID, base int32, sel []int32) []int32 {
+	if v < s.zone.Min || v > s.zone.Max {
+		return sel // min/max prune: packed words never touched
+	}
+	want := uint64(v - s.base)
+	for i := lo; i < hi; i++ {
+		if unpackBit(s.packed, s.width, i) == want {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+func (s *forSegment) SelectRange(lo, hi int, vlo, vhi dict.OID, base int32, sel []int32) []int32 {
+	if vhi < s.zone.Min || vlo > s.zone.Max {
+		return sel // min/max prune
+	}
+	if vlo <= s.zone.Min && vhi >= s.zone.Max {
+		return s.SelectNotNil(lo, hi, base, sel) // whole block qualifies
+	}
+	dlo := uint64(0)
+	if vlo > s.base {
+		dlo = uint64(vlo - s.base)
+	}
+	dhi := uint64(vhi - s.base)
+	for i := lo; i < hi; i++ {
+		if d := unpackBit(s.packed, s.width, i); d >= dlo && d <= dhi {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+func (s *forSegment) SelectNotNil(lo, hi int, base int32, sel []int32) []int32 {
+	for i := lo; i < hi; i++ {
+		sel = append(sel, base+int32(i)) // FOR blocks are NULL-free
+	}
+	return sel
+}
+
+// --- block dictionary ------------------------------------------------
+
+// dictSegment stores the block's distinct values sorted ascending plus a
+// bit-packed code per row. dict.Nil, when present, is always code 0
+// (it is the smallest OID).
+type dictSegment struct {
+	dictVals []dict.OID
+	width    int
+	n        int
+	packed   []uint64
+	zone     Zone
+}
+
+func encodeDict(vals []dict.OID, distinct map[dict.OID]struct{}, zone Zone) *dictSegment {
+	dv := make([]dict.OID, 0, len(distinct))
+	for v := range distinct {
+		dv = append(dv, v)
+	}
+	sort.Slice(dv, func(i, j int) bool { return dv[i] < dv[j] })
+	code := make(map[dict.OID]uint64, len(dv))
+	for i, v := range dv {
+		code[v] = uint64(i)
+	}
+	width := bits.Len64(uint64(len(dv) - 1))
+	deltas := make([]uint64, len(vals))
+	for i, v := range vals {
+		deltas[i] = code[v]
+	}
+	return &dictSegment{
+		dictVals: dv,
+		width:    width,
+		n:        len(vals),
+		packed:   packBits(deltas, width),
+		zone:     zone,
+	}
+}
+
+func (s *dictSegment) Len() int           { return s.n }
+func (s *dictSegment) Encoding() Encoding { return EncDict }
+func (s *dictSegment) Bytes() int         { return 8*len(s.dictVals) + 8*len(s.packed) }
+func (s *dictSegment) Zone() Zone         { return s.zone }
+func (s *dictSegment) Get(i int) dict.OID {
+	return s.dictVals[unpackBit(s.packed, s.width, i)]
+}
+
+func (s *dictSegment) Decode(dst []dict.OID) []dict.OID {
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, s.dictVals[unpackBit(s.packed, s.width, i)])
+	}
+	return dst
+}
+
+// codeOf returns the code of v, or -1 when v is not in the block.
+func (s *dictSegment) codeOf(v dict.OID) int {
+	k := sort.Search(len(s.dictVals), func(i int) bool { return s.dictVals[i] >= v })
+	if k < len(s.dictVals) && s.dictVals[k] == v {
+		return k
+	}
+	return -1
+}
+
+func (s *dictSegment) SelectEq(lo, hi int, v dict.OID, base int32, sel []int32) []int32 {
+	if v == dict.Nil {
+		return sel
+	}
+	c := s.codeOf(v)
+	if c < 0 {
+		return sel // value absent: codes never touched
+	}
+	want := uint64(c)
+	for i := lo; i < hi; i++ {
+		if unpackBit(s.packed, s.width, i) == want {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+func (s *dictSegment) SelectRange(lo, hi int, vlo, vhi dict.OID, base int32, sel []int32) []int32 {
+	// the dictionary is sorted, so a value range is a code range
+	cLo := sort.Search(len(s.dictVals), func(i int) bool { return s.dictVals[i] >= vlo })
+	cHi := sort.Search(len(s.dictVals), func(i int) bool { return s.dictVals[i] > vhi })
+	if s.zone.HasNull && cLo == 0 && vlo == dict.Nil {
+		cLo = 1 // never select NULL cells
+	}
+	if cLo >= cHi {
+		return sel
+	}
+	lo64, hi64 := uint64(cLo), uint64(cHi-1)
+	for i := lo; i < hi; i++ {
+		if c := unpackBit(s.packed, s.width, i); c >= lo64 && c <= hi64 {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+func (s *dictSegment) SelectNotNil(lo, hi int, base int32, sel []int32) []int32 {
+	if !s.zone.HasNull {
+		for i := lo; i < hi; i++ {
+			sel = append(sel, base+int32(i))
+		}
+		return sel
+	}
+	// Nil is the smallest OID, so when present its code is 0.
+	for i := lo; i < hi; i++ {
+		if unpackBit(s.packed, s.width, i) != 0 {
+			sel = append(sel, base+int32(i))
+		}
+	}
+	return sel
+}
+
+// EncodingCounts tallies segments per encoding, for Explain and stats.
+type EncodingCounts [4]int
+
+func (ec EncodingCounts) String() string {
+	s := ""
+	for e, n := range ec {
+		if n == 0 {
+			continue
+		}
+		if s != "" {
+			s += "+"
+		}
+		s += fmt.Sprintf("%s×%d", Encoding(e), n)
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -477,8 +477,9 @@ func TestWorkloadDrivenSortKey(t *testing.T) {
 			continue
 		}
 		asc := true
+		sizeVals := col.Data.Values()
 		for i := 1; i < tab.Count; i++ {
-			if col.Data.Vals[i] < col.Data.Vals[i-1] {
+			if sizeVals[i] < sizeVals[i-1] {
 				asc = false
 				break
 			}

@@ -112,12 +112,8 @@ func (a *AggregateOp) runParallel(workers int) *aggTable {
 	b := NewBatch(inVars)
 	for seq := 0; a.in.Next(b); seq++ {
 		// the batch's arrays are reused by the next pull; hand the worker
-		// a copy
-		rel := NewRel(inVars...)
-		for i := range rel.Cols {
-			rel.Cols[i] = append([]dict.OID(nil), b.Cols[i]...)
-		}
-		chans[seq%workers] <- batchJob{rel: rel, seq: seq}
+		// a gathered copy
+		chans[seq%workers] <- batchJob{rel: b.CopyRel(), seq: seq}
 		b.Reset()
 	}
 	for _, ch := range chans {

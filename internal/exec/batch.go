@@ -14,48 +14,152 @@ const BatchRows = 1024
 // OIDs per variable, at most BatchRows rows. Batches are owned by the
 // consumer and refilled on every Next call, so their backing arrays are
 // reused across the whole pull.
+//
+// A producer fills a batch in one of two ways:
+//
+//   - appending rows (AppendRow / direct appends to Cols), the owned,
+//     materialized form, or
+//   - lending column views with SetViews — zero-copy slices of storage
+//     (decoded segment blocks, another batch's columns) plus an optional
+//     selection vector. Lent views stay valid until the consumer's next
+//     Reset+Next cycle, exactly the lifetime of an owned fill.
+//
+// When Sel is non-nil, the batch's logical rows are Cols[c][Sel[r]] for
+// r in [0,len(Sel)): filters and scan predicate kernels shrink Sel
+// instead of copying survivors, and consumers gather through Sel only at
+// true materialization points (Drain, hash build, aggregation).
 type Batch struct {
 	Vars []string
 	Cols [][]dict.OID
+	// Sel, when non-nil, is an ascending selection over the physical rows
+	// of Cols; logical row r is Cols[c][Sel[r]].
+	Sel []int32
+
+	// own holds the batch's backing arrays so Reset can reclaim them
+	// after a producer lent views.
+	own      [][]dict.OID
+	borrowed bool
 }
 
 // NewBatch allocates an empty batch with capacity BatchRows per column.
 func NewBatch(vars []string) *Batch {
-	b := &Batch{Vars: vars, Cols: make([][]dict.OID, len(vars))}
+	b := &Batch{Vars: vars, Cols: make([][]dict.OID, len(vars)), own: make([][]dict.OID, len(vars))}
 	for i := range b.Cols {
 		b.Cols[i] = make([]dict.OID, 0, BatchRows)
+		b.own[i] = b.Cols[i]
 	}
 	return b
 }
 
-// Len returns the row count.
+// Len returns the logical row count.
 func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
 	if len(b.Cols) == 0 {
 		return 0
 	}
 	return len(b.Cols[0])
 }
 
-// Reset truncates the batch to zero rows, keeping capacity.
-func (b *Batch) Reset() {
-	for i := range b.Cols {
-		b.Cols[i] = b.Cols[i][:0]
+// At returns logical row r of column c.
+func (b *Batch) At(c, r int) dict.OID {
+	if b.Sel != nil {
+		return b.Cols[c][b.Sel[r]]
 	}
+	return b.Cols[c][r]
+}
+
+// Reset truncates the batch to zero rows, keeping capacity and
+// reclaiming the owned arrays if a producer lent views.
+func (b *Batch) Reset() {
+	if b.borrowed {
+		for i := range b.own {
+			b.Cols[i] = b.own[i][:0]
+		}
+		b.borrowed = false
+	} else {
+		for i := range b.Cols {
+			b.Cols[i] = b.Cols[i][:0]
+			b.own[i] = b.Cols[i]
+		}
+	}
+	b.Sel = nil
+}
+
+// SetViews lends column views (with an optional selection vector) to the
+// batch in place of its owned arrays; they remain valid until the next
+// Reset. cols must match Vars positionally.
+func (b *Batch) SetViews(sel []int32, cols ...[]dict.OID) {
+	copy(b.Cols, cols)
+	b.Sel = sel
+	b.borrowed = true
 }
 
 // Full reports that the batch reached its target capacity.
 func (b *Batch) Full() bool { return b.Len() >= BatchRows }
 
-// AppendRow adds one row; vals must match Vars.
+// AppendRow adds one row; vals must match Vars. Only valid on owned
+// (non-view) fills.
 func (b *Batch) AppendRow(vals ...dict.OID) {
 	for i, v := range vals {
 		b.Cols[i] = append(b.Cols[i], v)
 	}
 }
 
-// asRel returns a Rel header over the batch's current columns (no copy).
+// gatherSel appends the selected rows of col to dst — the one gather
+// loop shared by every materialization point.
+func gatherSel(dst, col []dict.OID, sel []int32) []dict.OID {
+	for _, k := range sel {
+		dst = append(dst, col[k])
+	}
+	return dst
+}
+
+// AppendToCols gathers the batch's logical rows onto dst column-wise —
+// a bulk append per column when no selection is active. dst must have
+// the batch's arity.
+func (b *Batch) AppendToCols(dst [][]dict.OID) {
+	for i, col := range b.Cols {
+		if b.Sel == nil {
+			dst[i] = append(dst[i], col...)
+			continue
+		}
+		dst[i] = gatherSel(dst[i], col, b.Sel)
+	}
+}
+
+// CopyRel materializes the batch's logical rows into a fresh relation.
+func (b *Batch) CopyRel() *Rel {
+	out := NewRel(b.Vars...)
+	n := b.Len()
+	for i := range out.Cols {
+		out.Cols[i] = make([]dict.OID, 0, n)
+	}
+	b.AppendToCols(out.Cols)
+	return out
+}
+
+// Materialize gathers any active selection into the batch's owned
+// arrays, leaving it dense (Sel == nil).
+func (b *Batch) Materialize() {
+	if b.Sel == nil {
+		return
+	}
+	for i := range b.own {
+		out := gatherSel(b.own[i][:0], b.Cols[i], b.Sel)
+		b.own[i] = out
+		b.Cols[i] = out
+	}
+	b.Sel = nil
+	b.borrowed = false
+}
+
+// asRel returns a Rel header over the batch's logical rows, gathering
+// through Sel first when a selection is active (no copy otherwise).
 // Valid until the next Reset/append cycle.
 func (b *Batch) asRel() *Rel {
+	b.Materialize()
 	return &Rel{Vars: b.Vars, Cols: b.Cols}
 }
 
@@ -89,9 +193,7 @@ func Drain(ctx *Ctx, op Operator) *Rel {
 		if !op.Next(b) {
 			return out
 		}
-		for i := range out.Cols {
-			out.Cols[i] = append(out.Cols[i], b.Cols[i]...)
-		}
+		b.AppendToCols(out.Cols)
 	}
 }
 
@@ -207,11 +309,12 @@ type UnionOp struct {
 	vars     []string
 	children []Operator
 
-	ctx   *Ctx
-	i     int
-	open  bool
-	perm  []int
-	child *Batch
+	ctx      *Ctx
+	i        int
+	open     bool
+	perm     []int
+	identity bool
+	child    *Batch
 }
 
 // NewUnionOp builds a concatenating union with the given output schema.
@@ -233,6 +336,7 @@ func (u *UnionOp) Next(b *Batch) bool {
 			u.open = true
 			u.perm = make([]int, len(u.vars))
 			cv := c.Vars()
+			u.identity = len(cv) == len(u.vars)
 			for k, v := range u.vars {
 				u.perm[k] = -1
 				for ci, w := range cv {
@@ -240,6 +344,9 @@ func (u *UnionOp) Next(b *Batch) bool {
 						u.perm[k] = ci
 						break
 					}
+				}
+				if u.perm[k] != k {
+					u.identity = false
 				}
 			}
 			u.child = NewBatch(cv)
@@ -251,15 +358,26 @@ func (u *UnionOp) Next(b *Batch) bool {
 			u.i++
 			continue
 		}
+		if u.identity && b.Len() == 0 {
+			// Schema-aligned child: forward its views (and selection)
+			// without gathering — the common RDFscan-under-union shape.
+			b.SetViews(u.child.Sel, u.child.Cols...)
+			return true
+		}
 		n := u.child.Len()
 		for k, p := range u.perm {
 			if p < 0 {
 				for r := 0; r < n; r++ {
 					b.Cols[k] = append(b.Cols[k], dict.Nil)
 				}
-			} else {
-				b.Cols[k] = append(b.Cols[k], u.child.Cols[p]...)
+				continue
 			}
+			col := u.child.Cols[p]
+			if u.child.Sel == nil {
+				b.Cols[k] = append(b.Cols[k], col...)
+				continue
+			}
+			b.Cols[k] = gatherSel(b.Cols[k], col, u.child.Sel)
 		}
 		return true
 	}

@@ -3,8 +3,6 @@ package exec
 import (
 	"sync"
 	"sync/atomic"
-
-	"srdf/internal/dict"
 )
 
 // morselBlocks is the morsel granularity of the parallel scan: workers
@@ -60,7 +58,8 @@ func startMorselScan(ctx *Ctx, s *ScanOp, workers int) *morselScan {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer m.wg.Done()
-			row := make([]dict.OID, 0, len(vars)) // per-worker scratch
+			var sc scanScratch // per-worker selection + decode scratch
+			sc.init(&s.Star)
 			for {
 				idx := int(m.claim.Add(1)) - 1
 				if idx >= m.morsels {
@@ -78,7 +77,7 @@ func startMorselScan(ctx *Ctx, s *ScanOp, workers int) *morselScan {
 				}
 				rel := NewRel(vars...)
 				for b := lo; b <= hi; b++ {
-					row = s.scanBlock(b, row, rel)
+					s.appendBlock(b, rel, &sc)
 				}
 				select {
 				case m.results <- morselResult{idx: idx, rel: rel}:

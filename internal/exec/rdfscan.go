@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"srdf/internal/colstore"
 	"srdf/internal/dict"
 	"srdf/internal/relational"
 	"srdf/internal/triples"
@@ -14,66 +13,12 @@ import (
 // useZones is set; rowLo/rowHi (rowHi -1 = open) restrict the scan to a
 // row window, which the planner derives from range predicates on the
 // table's sort key.
+//
+// This is the materializing adapter over the streaming ScanOp: the same
+// compressed-segment predicate kernels and selection vectors run
+// underneath, and the result is gathered with bulk column copies.
 func RDFScan(ctx *Ctx, t *relational.Table, star Star, useZones bool, rowLo, rowHi int) *Rel {
-	if rowHi < 0 || rowHi > t.Count {
-		rowHi = t.Count
-	}
-	if rowLo < 0 {
-		rowLo = 0
-	}
-	cols := make([]*relational.Col, len(star.Props))
-	for i := range star.Props {
-		cols[i] = t.Col(star.Props[i].Pred)
-		if cols[i] == nil {
-			return NewRel(star.Vars()...) // planner error; empty result
-		}
-	}
-	rel := NewRel(star.Vars()...)
-	if rowHi <= rowLo {
-		return rel
-	}
-
-	firstBlock := rowLo / colstore.BlockRows
-	lastBlock := (rowHi - 1) / colstore.BlockRows
-	row := make([]dict.OID, 0, len(rel.Vars))
-	for b := firstBlock; b <= lastBlock; b++ {
-		blo := b * colstore.BlockRows
-		bhi := blo + colstore.BlockRows
-		if blo < rowLo {
-			blo = rowLo
-		}
-		if bhi > rowHi {
-			bhi = rowHi
-		}
-		if useZones && !blockMayMatch(cols, star.Props, b) {
-			continue // pruned: pages never touched
-		}
-		for i := range cols {
-			cols[i].Data.Touch(blo, bhi)
-		}
-		for r := blo; r < bhi; r++ {
-			ok := true
-			for i := range cols {
-				v := cols[i].Data.Vals[r]
-				if v == dict.Nil || !star.Props[i].matches(v) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			row = row[:0]
-			row = append(row, t.SubjectOID(r))
-			for i := range cols {
-				if star.Props[i].ObjVar != "" {
-					row = append(row, cols[i].Data.Vals[r])
-				}
-			}
-			rel.AppendRow(row...)
-		}
-	}
-	return rel
+	return Drain(ctx, NewScanOp(t, star, useZones, rowLo, rowHi))
 }
 
 func blockMayMatch(cols []*relational.Col, props []StarProp, b int) bool {
@@ -125,6 +70,7 @@ func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, f
 	}
 
 	buf := make([]dict.OID, 0, len(outVars))
+	vals := make([]dict.OID, 0, len(cols))
 	for i := 0; i < in.Len(); i++ {
 		s := in.Cols[ki][i]
 		row := t.RowOf(s)
@@ -158,9 +104,10 @@ func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, f
 			}
 		}
 		ok := true
+		vals = vals[:0]
 		for ci := range cols {
-			v := cols[ci].Data.Vals[row]
-			cols[ci].Data.Touch(row, row+1)
+			v := cols[ci].Data.Get(row)
+			vals = append(vals, v)
 			if v == dict.Nil || !star.Props[ci].matches(v) {
 				ok = false
 				break
@@ -172,7 +119,7 @@ func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, f
 		buf = in.Row(i, buf)
 		for ci := range cols {
 			if star.Props[ci].ObjVar != "" {
-				buf = append(buf, cols[ci].Data.Vals[row])
+				buf = append(buf, vals[ci])
 			}
 		}
 		out.AppendRow(buf...)
@@ -247,8 +194,7 @@ func ResidualStar(ctx *Ctx, star Star, covering []*relational.Table) *Rel {
 			if tab := cat.TableOf(s); tab != nil {
 				if col := tab.Col(p.Pred); col != nil {
 					if row := tab.RowOf(s); row >= 0 {
-						v := col.Data.Vals[row]
-						col.Data.Touch(row, row+1)
+						v := col.Data.Get(row)
 						if v != dict.Nil && p.matches(v) {
 							vs = append(vs, sourced{v, true})
 						}

@@ -11,7 +11,14 @@ import (
 // ScanOp is the streaming RDFScan: it walks one CS table block by block
 // (the zone-map granularity), pruning blocks and touching pages only as
 // the consumer pulls — so a satisfied LIMIT stops the scan before the
-// tail blocks are ever faulted in. With ctx.Parallelism > 1 the block
+// tail blocks are ever faulted in.
+//
+// Predicates are evaluated by the column predicate kernels directly on
+// the compressed segments (RLE answers equality in O(runs), FOR blocks
+// prune on min/max before touching packed words); the surviving rows
+// are emitted as a selection vector over zero-copy decoded block views,
+// so rejected rows are never copied — consumers gather through Batch.Sel
+// only at materialization points. With ctx.Parallelism > 1 the block
 // range is split into morsels and dispatched to a worker pool (see
 // parallel.go); the ordered merge keeps row order identical to the
 // sequential scan.
@@ -29,8 +36,37 @@ type ScanOp struct {
 	last  int // last block (inclusive)
 	lo    int // effective row window
 	hi    int
-	row   []dict.OID
+	sc    scanScratch
 	par   *morselScan
+}
+
+// scanScratch is the per-scanner (or per-morsel-worker) reusable state:
+// selection buffers, the subject view, and one decode buffer per output
+// column. Nothing here is shared between workers.
+type scanScratch struct {
+	sel, tmp []int32
+	subj     []dict.OID
+	objBufs  [][]dict.OID // one per output property
+	views    [][]dict.OID
+	touched  []bool
+}
+
+func (sc *scanScratch) init(star *Star) {
+	outCols := 0
+	for i := range star.Props {
+		if star.Props[i].ObjVar != "" {
+			outCols++
+		}
+	}
+	sc.sel = make([]int32, 0, colstore.BlockRows)
+	sc.tmp = make([]int32, 0, colstore.BlockRows)
+	sc.subj = make([]dict.OID, colstore.BlockRows)
+	sc.objBufs = make([][]dict.OID, outCols)
+	for i := range sc.objBufs {
+		sc.objBufs[i] = make([]dict.OID, colstore.BlockRows)
+	}
+	sc.views = make([][]dict.OID, 0, outCols+1)
+	sc.touched = make([]bool, len(star.Props))
 }
 
 // NewScanOp builds a streaming scan of star over one CS table.
@@ -63,73 +99,211 @@ func (s *ScanOp) Open(ctx *Ctx) error {
 	}
 	s.block = s.lo / colstore.BlockRows
 	s.last = (s.hi - 1) / colstore.BlockRows
-	s.row = make([]dict.OID, 0, len(s.Star.Vars()))
+	s.sc.init(&s.Star)
 	if ctx.Parallelism > 1 && s.last-s.block+1 >= 2*morselBlocks {
-		if s.UseZones {
-			// pre-build zone maps: lazily building them from concurrent
-			// workers would race
-			for _, c := range s.cols {
-				c.Data.Zones()
-			}
+		// pre-build zone maps (a no-op for sealed columns, which carry
+		// them from Seal): lazily building them from concurrent workers
+		// would race
+		for _, c := range s.cols {
+			c.Data.Zones()
 		}
 		s.par = startMorselScan(ctx, s, ctx.Parallelism)
 	}
 	return nil
 }
 
-// scanBlock appends block b's matching rows to dst, honoring the row
-// window. Shared by the sequential path and the morsel workers.
-func (s *ScanOp) scanBlock(b int, row []dict.OID, dst *Rel) []dict.OID {
-	blo := b * colstore.BlockRows
-	bhi := blo + colstore.BlockRows
-	if blo < s.lo {
-		blo = s.lo
+// selectBlock evaluates the star's predicates over block blk with the
+// column kernels and returns the surviving rows as a block-relative
+// selection vector (owned by sc). all=true means every row of the
+// [wlo,whi) window qualifies without any kernel having run; otherwise an
+// empty sel means the block produced nothing.
+func (s *ScanOp) selectBlock(blk int, sc *scanScratch) (sel []int32, all bool, wlo, whi int) {
+	bs := blk * colstore.BlockRows
+	wlo, whi = bs, bs+colstore.BlockRows
+	if wlo < s.lo {
+		wlo = s.lo
 	}
-	if bhi > s.hi {
-		bhi = s.hi
+	if whi > s.hi {
+		whi = s.hi
 	}
-	if s.UseZones && !blockMayMatch(s.cols, s.Star.Props, b) {
-		return row // pruned: pages never touched
+	if s.UseZones && !blockMayMatch(s.cols, s.Star.Props, blk) {
+		return nil, false, wlo, whi // pruned: pages never touched
 	}
+	rlo, rhi := wlo-bs, whi-bs
+	all = true
 	for i := range s.cols {
-		s.cols[i].Data.Touch(blo, bhi)
-	}
-	for r := blo; r < bhi; r++ {
-		ok := true
-		for i := range s.cols {
-			v := s.cols[i].Data.Vals[r]
-			if v == dict.Nil || !s.Star.Props[i].matches(v) {
-				ok = false
-				break
+		p := &s.Star.Props[i]
+		col := s.cols[i].Data
+		sc.touched[i] = false
+		var tmp []int32
+		switch {
+		case p.ObjConst != dict.Nil:
+			if p.HasRange && (p.ObjConst < p.Lo || p.ObjConst > p.Hi) {
+				return nil, false, wlo, whi // contradictory constraints
 			}
+			tmp = col.SelectEqBlock(blk, rlo, rhi, p.ObjConst, 0, sc.tmp[:0])
+		case p.HasRange:
+			tmp = col.SelectRangeBlock(blk, rlo, rhi, p.Lo, p.Hi, 0, sc.tmp[:0])
+		default:
+			// presence-only property: the kernel is skippable when the
+			// block provably has no NULLs
+			zm := col.Zones()
+			if blk < zm.NumBlocks() {
+				if z := zm.Zones[blk]; !z.HasNull && !z.AllNull {
+					continue
+				}
+			}
+			tmp = col.SelectNotNilBlock(blk, rlo, rhi, 0, sc.tmp[:0])
 		}
-		if !ok {
+		col.Touch(wlo, whi)
+		sc.touched[i] = true
+		if all {
+			sc.sel = append(sc.sel[:0], tmp...)
+			all = false
+		} else {
+			sc.sel = intersectSel(sc.sel, tmp)
+		}
+		if len(sc.sel) == 0 {
+			return nil, false, wlo, whi
+		}
+	}
+	if all {
+		return nil, true, wlo, whi
+	}
+	if len(sc.sel) == rhi-rlo {
+		return nil, true, wlo, whi // every row survived: emit dense
+	}
+	return sc.sel, false, wlo, whi
+}
+
+// intersectSel intersects two ascending selections in place into a.
+func intersectSel(a, b []int32) []int32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// blockView resolves output column oc (backed by prop pi) of block blk
+// for the given selection, touching its pages if the kernel pass did
+// not. Sparse selections gather single rows off the compressed form;
+// dense ones decode the block (zero-copy for plain blocks).
+func (s *ScanOp) blockView(sc *scanScratch, blk, pi, oc, wlo, whi int, sel []int32) []dict.OID {
+	col := s.cols[pi].Data
+	if !sc.touched[pi] {
+		col.Touch(wlo, whi)
+	}
+	if sel != nil && len(sel)*4 < whi-wlo {
+		return col.GatherBlock(blk, sel, sc.objBufs[oc])
+	}
+	return col.BlockValues(blk, sc.objBufs[oc])
+}
+
+// emitBlock lends block blk's surviving rows to the consumer batch as
+// views plus a selection vector — no row copies.
+func (s *ScanOp) emitBlock(b *Batch, blk int, sel []int32, wlo, whi int) {
+	bs := blk * colstore.BlockRows
+	sc := &s.sc
+	views := sc.views[:0]
+	if sel == nil {
+		// dense window: slice the views, no selection needed
+		n := whi - wlo
+		subj := sc.subj[:n]
+		for k := 0; k < n; k++ {
+			subj[k] = s.Table.SubjectOID(wlo + k)
+		}
+		views = append(views, subj)
+		oc := 0
+		for i := range s.cols {
+			if s.Star.Props[i].ObjVar == "" {
+				continue
+			}
+			view := s.blockView(sc, blk, i, oc, wlo, whi, nil)
+			views = append(views, view[wlo-bs:whi-bs])
+			oc++
+		}
+		b.SetViews(nil, views...)
+		return
+	}
+	subj := sc.subj[:colstore.BlockRows]
+	for _, k := range sel {
+		subj[k] = s.Table.SubjectOID(bs + int(k))
+	}
+	views = append(views, subj)
+	oc := 0
+	for i := range s.cols {
+		if s.Star.Props[i].ObjVar == "" {
 			continue
 		}
-		row = row[:0]
-		row = append(row, s.Table.SubjectOID(r))
-		for i := range s.cols {
-			if s.Star.Props[i].ObjVar != "" {
-				row = append(row, s.cols[i].Data.Vals[r])
-			}
-		}
-		dst.AppendRow(row...)
+		views = append(views, s.blockView(sc, blk, i, oc, wlo, whi, sel))
+		oc++
 	}
-	return row
+	b.SetViews(sel, views...)
+}
+
+// appendBlock materializes block blk's surviving rows onto dst with bulk
+// column copies — the morsel-worker path, where results cross a channel
+// and cannot lend scratch-backed views.
+func (s *ScanOp) appendBlock(blk int, dst *Rel, sc *scanScratch) {
+	sel, all, wlo, whi := s.selectBlock(blk, sc)
+	if !all && len(sel) == 0 {
+		return
+	}
+	bs := blk * colstore.BlockRows
+	subj := dst.Cols[0]
+	if all {
+		for r := wlo; r < whi; r++ {
+			subj = append(subj, s.Table.SubjectOID(r))
+		}
+	} else {
+		for _, k := range sel {
+			subj = append(subj, s.Table.SubjectOID(bs+int(k)))
+		}
+	}
+	dst.Cols[0] = subj
+	oc, dc := 0, 1
+	for i := range s.cols {
+		if s.Star.Props[i].ObjVar == "" {
+			continue
+		}
+		view := s.blockView(sc, blk, i, oc, wlo, whi, sel)
+		if all {
+			dst.Cols[dc] = append(dst.Cols[dc], view[wlo-bs:whi-bs]...)
+		} else {
+			dst.Cols[dc] = gatherSel(dst.Cols[dc], view, sel)
+		}
+		oc++
+		dc++
+	}
 }
 
 func (s *ScanOp) Next(b *Batch) bool {
 	if s.par != nil {
 		return s.par.next(b)
 	}
-	scratch := b.asRel()
 	for s.block <= s.last {
 		blk := s.block
 		s.block++
-		s.row = s.scanBlock(blk, s.row, scratch)
-		if b.Len() > 0 {
-			return true
+		sel, all, wlo, whi := s.selectBlock(blk, &s.sc)
+		if !all && len(sel) == 0 {
+			continue
 		}
+		if all {
+			sel = nil
+		}
+		s.emitBlock(b, blk, sel, wlo, whi)
+		return true
 	}
 	return false
 }
@@ -375,12 +549,74 @@ func (d *DefaultStarOp) Next(b *Batch) bool {
 
 func (d *DefaultStarOp) Close() {}
 
+// FilterOp streams FILTER evaluation as selection-vector refinement: it
+// evaluates the expression over each input batch's logical rows and
+// forwards the batch's column views with a shrunken selection instead of
+// copying the survivors — rejected rows cost no data movement, and a
+// filter over a scan composes two selections without materializing
+// either.
+type FilterOp struct {
+	in   Operator
+	expr sparql.Expr
+
+	ctx     *Ctx
+	inBatch *Batch
+	sel     []int32
+	physRel *Rel
+	env     *evalEnv
+}
+
 // NewFilterOp streams Filter over each input batch.
 func NewFilterOp(in Operator, expr sparql.Expr) Operator {
-	return NewMapOp(in, in.Vars(), func(ctx *Ctx, chunk *Rel) *Rel {
-		return Filter(ctx, chunk, expr)
-	})
+	return &FilterOp{in: in, expr: expr}
 }
+
+func (f *FilterOp) Vars() []string { return f.in.Vars() }
+
+func (f *FilterOp) Open(ctx *Ctx) error {
+	f.ctx = ctx
+	f.inBatch = NewBatch(f.in.Vars())
+	f.sel = make([]int32, 0, BatchRows)
+	return f.in.Open(ctx)
+}
+
+func (f *FilterOp) Next(b *Batch) bool {
+	for {
+		f.inBatch.Reset()
+		if !f.in.Next(f.inBatch) {
+			return false
+		}
+		if f.physRel == nil {
+			f.physRel = &Rel{Vars: f.inBatch.Vars}
+			f.env = newEvalEnv(f.ctx, f.physRel)
+		}
+		f.physRel.Cols = f.inBatch.Cols // physical rows; Sel indexes them
+		sel := f.sel[:0]
+		n := f.inBatch.Len()
+		for r := 0; r < n; r++ {
+			phys := r
+			if f.inBatch.Sel != nil {
+				phys = int(f.inBatch.Sel[r])
+			}
+			f.env.row = phys
+			if pass, ok := truth(f.env.evalValue(f.expr)); ok && pass {
+				sel = append(sel, int32(phys))
+			}
+		}
+		f.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) == n && f.inBatch.Sel == nil {
+			b.SetViews(nil, f.inBatch.Cols...) // nothing rejected: stay dense
+		} else {
+			b.SetViews(sel, f.inBatch.Cols...)
+		}
+		return true
+	}
+}
+
+func (f *FilterOp) Close() { f.in.Close() }
 
 // NewRDFJoinOp streams RDFJoin: candidate subjects arrive batch by
 // batch and each batch is extended positionally from the CS table.
@@ -498,7 +734,7 @@ func (h *HashJoinOp) Next(b *Batch) bool {
 		for j := 0; j < h.probeBatch.Len(); j++ {
 			kb = kb[:0]
 			for _, ci := range h.probeKey {
-				kb = appendOIDKey(kb, h.probeBatch.Cols[ci][j])
+				kb = appendOIDKey(kb, h.probeBatch.At(ci, j))
 			}
 			for _, i := range h.buildMap[string(kb)] {
 				for c := range h.vars {
@@ -506,7 +742,7 @@ func (h *HashJoinOp) Next(b *Batch) bool {
 					if bi := h.fromBuild[c]; bi >= 0 {
 						v = h.build.Cols[bi][i]
 					} else {
-						v = h.probeBatch.Cols[h.fromProbe[c]][j]
+						v = h.probeBatch.At(h.fromProbe[c], j)
 					}
 					out.Cols[c] = append(out.Cols[c], v)
 				}

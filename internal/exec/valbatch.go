@@ -152,13 +152,14 @@ func (p *ProjectOp) Next(b *VBatch) bool {
 	if !p.in.Next(p.inBatch) {
 		return false
 	}
-	rel := p.inBatch.asRel()
+	// Evaluate over the batch's physical columns through its selection
+	// vector — filtered-out rows are never decoded, and view batches are
+	// never gathered.
 	if p.env == nil {
-		p.env = newEvalEnv(p.ctx, rel)
-	} else {
-		p.env.rel = rel
+		p.env = newEvalEnv(p.ctx, &Rel{Vars: p.inBatch.Vars})
 	}
-	n := rel.Len()
+	p.env.rel.Cols = p.inBatch.Cols
+	n := p.inBatch.Len()
 	if p.budget >= 0 && n > p.budget {
 		n = p.budget
 	}
@@ -166,7 +167,11 @@ func (p *ProjectOp) Next(b *VBatch) bool {
 		p.budget -= n
 	}
 	for i := 0; i < n; i++ {
-		p.env.row = i
+		if p.inBatch.Sel != nil {
+			p.env.row = int(p.inBatch.Sel[i])
+		} else {
+			p.env.row = i
+		}
 		for c := range p.items {
 			b.Cols[c] = append(b.Cols[c], p.env.evalValue(p.items[c].Expr))
 		}

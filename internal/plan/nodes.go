@@ -145,8 +145,33 @@ func (n *RDFScanNode) Explain(b *strings.Builder, indent int) {
 		n.Star.SubjVar, strings.Join(names, ","), len(n.Star.Props), zones, n.est)
 	for i := range n.Star.Props {
 		pad(b, indent+1)
-		fmt.Fprintf(b, "col %s\n", propDesc(&n.Star.Props[i]))
+		fmt.Fprintf(b, "col %s%s\n", propDesc(&n.Star.Props[i]), n.colPhysDesc(&n.Star.Props[i]))
 	}
+}
+
+// colPhysDesc renders the physical side of one scanned column: its
+// per-block segment encodings and, for sargable predicates routed into
+// the scan kernels, the zone-map block selectivity (the fraction of
+// blocks the scan cannot prune).
+func (n *RDFScanNode) colPhysDesc(p *exec.StarProp) string {
+	if len(n.Tables) == 0 {
+		return ""
+	}
+	col := n.Tables[0].Col(p.Pred)
+	if col == nil {
+		return ""
+	}
+	s := " enc=" + col.Data.Encodings().String()
+	lo, hi := p.Lo, p.Hi
+	if p.ObjConst != dict.Nil {
+		lo, hi = p.ObjConst, p.ObjConst
+	} else if !p.HasRange {
+		return s
+	}
+	if n.UseZones {
+		s += fmt.Sprintf(" zsel=%.2f", col.Data.Zones().Selectivity(lo, hi))
+	}
+	return s
 }
 
 // RDFJoinNode extends candidate subjects flowing from Input with a star

@@ -275,40 +275,11 @@ func (b *builder) subjectWindow(st *star, t *relational.Table) (dict.OID, dict.O
 	if col == nil {
 		return 0, 0, false
 	}
-	vals := col.Data.Vals
 	// The column is ascending with NULLs at the tail (sub-ordering put
-	// keyed subjects first).
-	n := len(vals) - col.Data.NullCount()
-	rowLo := lowerBound(vals[:n], lo)
-	rowHi := upperBound(vals[:n], hi) // exclusive
+	// keyed subjects first); binary search the compressed segments.
+	rowLo, rowHi := col.Data.AscendingWindow(lo, hi)
 	if rowLo >= rowHi {
 		return 1, 0, true // provably empty window
 	}
 	return dict.ResourceOID(t.Base + uint64(rowLo)), dict.ResourceOID(t.Base + uint64(rowHi-1)), true
-}
-
-func lowerBound(vals []dict.OID, v dict.OID) int {
-	lo, hi := 0, len(vals)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if vals[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
-func upperBound(vals []dict.OID, v dict.OID) int {
-	lo, hi := 0, len(vals)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if vals[mid] <= v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }

@@ -248,7 +248,7 @@ func TestLineitemSubOrderedByShipdate(t *testing.T) {
 			continue
 		}
 		found = true
-		vals := col.Data.Vals
+		vals := col.Data.Values()
 		for i := 1; i < len(vals); i++ {
 			if vals[i] != dict.Nil && vals[i-1] != dict.Nil && vals[i] < vals[i-1] {
 				t.Fatalf("shipdate column not ascending at %d", i)

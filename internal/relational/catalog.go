@@ -261,6 +261,14 @@ func BuildCatalog(tb *triples.Table, d *dict.Dictionary, schema *cs.Schema, inf 
 		}
 	}
 	cat.foldAbsorbed(pool)
+	// Freeze every materialized column into compressed segments: from
+	// here on scans filter on the compressed form via selection-vector
+	// kernels, and the pool's stats reflect the real resident size.
+	for _, t := range cat.Tables {
+		for _, c := range t.Cols {
+			c.Data.Seal()
+		}
+	}
 	cat.IrregularIdx = triples.BuildAll(cat.Irregular)
 	return cat
 }
@@ -419,15 +427,20 @@ func (cat *Catalog) DumpCSV(t *Table, d *dict.Dictionary, limit int) string {
 	if limit > 0 && limit < n {
 		n = limit
 	}
+	// decode without touching the buffer pool: a debug dump must not
+	// perturb the page stats the pool exists to measure
+	cols := make([][]dict.OID, len(t.Cols))
+	for ci, c := range t.Cols {
+		cols[ci] = c.Data.Values()
+	}
 	for i := 0; i < n; i++ {
 		b.WriteString(csvCell(d, t.SubjectOID(i)))
-		for _, c := range t.Cols {
+		for _, vals := range cols {
 			b.WriteString(",")
-			v := c.Data.Vals[i]
-			if v == dict.Nil {
+			if vals[i] == dict.Nil {
 				continue
 			}
-			b.WriteString(csvCell(d, v))
+			b.WriteString(csvCell(d, vals[i]))
 		}
 		b.WriteString("\n")
 	}

@@ -66,8 +66,9 @@ func TestCatalogTablesAndCells(t *testing.T) {
 		t.Fatal("title column missing")
 	}
 	got := map[string]bool{}
+	titleVals := title.Data.Values()
 	for i := 0; i < inproc.Count; i++ {
-		v := title.Data.Vals[i]
+		v := titleVals[i]
 		if v == dict.Nil {
 			t.Errorf("title row %d NULL", i)
 			continue
@@ -93,8 +94,9 @@ func TestCatalogFKResolution(t *testing.T) {
 		t.Fatal("partof FK not resolved")
 	}
 	// every partOf value is a subject OID inside the FK table's range
+	partOfVals := partOf.Data.Values()
 	for i := 0; i < inproc.Count; i++ {
-		v := partOf.Data.Vals[i]
+		v := partOfVals[i]
 		if partOf.FKTable.RowOf(v) < 0 {
 			t.Errorf("row %d FK value %v outside target table", i, v)
 		}
@@ -184,9 +186,10 @@ func TestOneToOneFolding(t *testing.T) {
 	}
 	// row consistency: person n_i's street is s_i
 	name := persons.ColByName("name")
+	nameVals, streetVals := name.Data.Values(), street.Data.Values()
 	for i := 0; i < persons.Count; i++ {
-		nm, _ := d.Term(name.Data.Vals[i])
-		st, _ := d.Term(street.Data.Vals[i])
+		nm, _ := d.Term(nameVals[i])
+		st, _ := d.Term(streetVals[i])
 		if strings.TrimPrefix(nm.Value, "n") != strings.TrimPrefix(st.Value, "s") {
 			t.Errorf("row %d: name %q street %q misaligned", i, nm.Value, st.Value)
 		}
@@ -266,8 +269,9 @@ func TestZoneMapOnSortedColumn(t *testing.T) {
 	if dateCol == nil {
 		t.Fatal("odate column missing")
 	}
+	dateVals := dateCol.Data.Values()
 	for i := 1; i < tab.Count; i++ {
-		if dateCol.Data.Vals[i] < dateCol.Data.Vals[i-1] {
+		if dateVals[i] < dateVals[i-1] {
 			t.Fatalf("date column not ascending at %d", i)
 		}
 	}
