@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	match := flag.String("match", `^Benchmark(Stream|Scan)_`, "regexp of benchmark names the gate applies to")
+	match := flag.String("match", `^Benchmark(Stream|Scan|Compact)_`, "regexp of benchmark names the gate applies to")
 	threshold := flag.Float64("threshold", 1.20, "allowed new/old ns-per-op factor before failing")
 	flag.Parse()
 	if flag.NArg() != 2 {

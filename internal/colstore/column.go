@@ -87,6 +87,16 @@ func (c *Column) Seal() {
 	}
 }
 
+// Release un-accounts a sealed column's resident segment size from its
+// pool — the bookkeeping counterpart of Seal, used when a compaction
+// replaces the column with a freshly sealed successor. The data itself
+// stays readable (snapshots may still scan it).
+func (c *Column) Release() {
+	if c.segs != nil && c.pool != nil {
+		c.pool.AddSegmentBytes(-c.CompressedBytes(), -8*c.n)
+	}
+}
+
 // seg returns the segment holding row i and i's block-relative index.
 func (c *Column) seg(i int) (Segment, int) {
 	return c.segs[i/BlockRows], i % BlockRows

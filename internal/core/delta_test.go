@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"srdf/internal/dict"
+	"srdf/internal/nt"
+	"srdf/internal/plan"
+)
+
+// deltaGraph builds n subjects of one characteristic set.
+func deltaGraph(n int) string {
+	var b strings.Builder
+	b.WriteString("@prefix g: <http://g/> .\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "g:s%d g:name \"n%d\" ; g:val %d .\n", i, i, i)
+	}
+	return b.String()
+}
+
+func newDeltaStore(t *testing.T, n, threshold int) *Store {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.CS.MinSupport = 3
+	opts.CompactThreshold = threshold
+	s := NewStore(opts)
+	if _, err := s.LoadTurtle(strings.NewReader(deltaGraph(n))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func deltaTriple(i int) (nt.Triple, nt.Triple) {
+	return nt.Triple{S: dict.IRI(fmt.Sprintf("http://g/s%d", i)), P: dict.IRI("http://g/name"), O: dict.StringLit(fmt.Sprintf("n%d", i))},
+		nt.Triple{S: dict.IRI(fmt.Sprintf("http://g/s%d", i)), P: dict.IRI("http://g/val"), O: dict.IntLit(int64(i))}
+}
+
+const deltaQuery = `SELECT ?s ?n ?v WHERE { ?s <http://g/name> ?n . ?s <http://g/val> ?v }`
+
+func mustRows(t *testing.T, s *Store, mode plan.Mode) int {
+	t.Helper()
+	res, err := s.Query(deltaQuery, QueryOptions{Mode: mode, ZoneMaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Len()
+}
+
+// TestEpochAdvancesOnWrites checks that the snapshot version moves only
+// when writes are folded in.
+func TestEpochAdvancesOnWrites(t *testing.T) {
+	s := newDeltaStore(t, 10, -1)
+	e0 := s.Epoch()
+	if got := mustRows(t, s, plan.ModeRDFScan); got != 10 {
+		t.Fatalf("rows = %d", got)
+	}
+	if s.Epoch() != e0 {
+		t.Fatalf("read-only query advanced the epoch: %d -> %d", e0, s.Epoch())
+	}
+	a, b := deltaTriple(99)
+	s.Add(a)
+	s.Add(b)
+	if got := mustRows(t, s, plan.ModeRDFScan); got != 11 {
+		t.Fatalf("rows after add = %d", got)
+	}
+	if s.Epoch() <= e0 {
+		t.Fatalf("write did not advance the epoch")
+	}
+}
+
+// TestDeleteBeforeOrganize checks that the pending-delete path works on
+// an unorganized store too.
+func TestDeleteBeforeOrganize(t *testing.T) {
+	opts := DefaultOptions()
+	s := NewStore(opts)
+	a, b := deltaTriple(1)
+	s.Add(a)
+	s.Add(b)
+	s.Delete(b)
+	if n := s.NumTriples(); n != 1 {
+		t.Fatalf("NumTriples = %d, want 1", n)
+	}
+	if _, err := s.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`SELECT ?s ?n WHERE { ?s <http://g/name> ?n }`, QueryOptions{Mode: plan.ModeDefault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", res.Len())
+	}
+}
+
+// TestAutoCompactTriggers checks that the delta layer is folded into
+// sealed segments once it outgrows the configured threshold.
+func TestAutoCompactTriggers(t *testing.T) {
+	s := newDeltaStore(t, 12, 4)
+	for i := 100; i < 110; i++ {
+		a, b := deltaTriple(i)
+		s.Add(a)
+		s.Add(b)
+	}
+	if got := mustRows(t, s, plan.ModeRDFScan); got != 22 {
+		t.Fatalf("rows = %d, want 22", got)
+	}
+	st := s.Stats()
+	if st.DeltaRows >= 10 {
+		t.Fatalf("auto-compaction never fired: %d delta rows", st.DeltaRows)
+	}
+	// and results survive in both plan families
+	if got := mustRows(t, s, plan.ModeDefault); got != 22 {
+		t.Fatalf("default-mode rows = %d, want 22", got)
+	}
+}
+
+// TestDeleteWholeSubject removes every triple of a sealed subject and
+// checks it disappears from both plan families without a rebuild.
+func TestDeleteWholeSubject(t *testing.T) {
+	s := newDeltaStore(t, 10, -1)
+	a, b := deltaTriple(3)
+	s.Delete(a)
+	s.Delete(b)
+	for _, mode := range []plan.Mode{plan.ModeDefault, plan.ModeRDFScan} {
+		if got := mustRows(t, s, mode); got != 9 {
+			t.Fatalf("mode %v: rows = %d, want 9", mode, got)
+		}
+	}
+	st := s.Stats()
+	if st.Tombstones != 1 {
+		t.Fatalf("tombstones = %d, want 1", st.Tombstones)
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []plan.Mode{plan.ModeDefault, plan.ModeRDFScan} {
+		if got := mustRows(t, s, mode); got != 9 {
+			t.Fatalf("mode %v after compact: rows = %d, want 9", mode, got)
+		}
+	}
+	// the subject can come back, post-compact, as a fresh delta row
+	s.Add(a)
+	s.Add(b)
+	if got := mustRows(t, s, plan.ModeRDFScan); got != 10 {
+		t.Fatalf("after re-add: rows = %d, want 10", got)
+	}
+}
+
+// TestReAddAfterAppliedDelete covers the write-loss regression where
+// NumTriples applied a pending delete (leaving the index stale) and a
+// subsequent re-Add of the same triple was mistaken for a duplicate.
+func TestReAddAfterAppliedDelete(t *testing.T) {
+	s := newDeltaStore(t, 10, -1)
+	a, _ := deltaTriple(3)
+	s.Delete(a)
+	n := s.NumTriples() // applies the delete without rebuilding indexes
+	s.Add(a)            // must not be treated as a duplicate
+	if got := s.NumTriples(); got != n+1 {
+		t.Fatalf("re-add after applied delete: NumTriples %d, want %d", got, n+1)
+	}
+	if got := mustRows(t, s, plan.ModeRDFScan); got != 10 {
+		t.Fatalf("rows = %d, want 10", got)
+	}
+}
+
+// TestPreOrganizeDeleteThenReAdd covers the pre-Organize regression
+// where a re-Add after a pending Delete appended a second copy and the
+// batch delete then erased both.
+func TestPreOrganizeDeleteThenReAdd(t *testing.T) {
+	s := NewStore(DefaultOptions())
+	a, b := deltaTriple(1)
+	s.Add(a)
+	s.Add(b)
+	s.Delete(a)
+	s.Add(a) // net effect: both triples present
+	if n := s.NumTriples(); n != 2 {
+		t.Fatalf("NumTriples = %d, want 2", n)
+	}
+	if _, err := s.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`SELECT ?s ?n WHERE { ?s <http://g/name> ?n }`, QueryOptions{Mode: plan.ModeDefault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", res.Len())
+	}
+}
+
+// TestOrganizeAfterDeltas folds the whole delta layer into a fresh
+// clustering and restores a clean catalog.
+func TestOrganizeAfterDeltas(t *testing.T) {
+	s := newDeltaStore(t, 10, -1)
+	for i := 50; i < 55; i++ {
+		a, b := deltaTriple(i)
+		s.Add(a)
+		s.Add(b)
+	}
+	a, _ := deltaTriple(0)
+	s.Delete(a)
+	if _, err := s.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.DeltaRows != 0 || st.Tombstones != 0 {
+		t.Fatalf("organize left delta state: %+v", st)
+	}
+	// s0 lost its name, so the two-prop star excludes it: 14 rows
+	if got := mustRows(t, s, plan.ModeRDFScan); got != 14 {
+		t.Fatalf("rows = %d, want 14", got)
+	}
+}

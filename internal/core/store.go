@@ -5,13 +5,25 @@
 //
 // Lifecycle: load triples (bulk or trickle), call Organize to let the
 // store discover and materialize its emergent schema, then query in
-// either plan mode. Trickle inserts after Organize land in the irregular
-// delta and are answered exactly; the next Organize folds them in.
+// either plan mode. After Organize the store stays live: Add and Delete
+// land in a mutable delta layer (per-table delta rows behind the sealed
+// segments, tombstone bitmaps, and the irregular leftover store), each
+// changed subject is re-assigned to an existing CS table by incremental
+// characteristic-set matching, and Compact merges the delta back into
+// freshly sealed segments — so the schema keeps fitting the data without
+// a full rebuild.
+//
+// Concurrency: queries execute against an immutable epoch snapshot
+// (catalog version + index set) taken under the store mutex at plan
+// time, so readers never block writers and a stream started before an
+// Add/Delete/Compact keeps a consistent view. Only Organize — which
+// renumbers the dictionary — excludes readers, via a reader gate.
 package core
 
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"srdf/internal/cluster"
@@ -26,6 +38,10 @@ import (
 	"srdf/internal/triples"
 )
 
+// DefaultCompactThreshold is the delta size (delta rows + tombstones)
+// past which a refresh triggers an automatic Compact.
+const DefaultCompactThreshold = 4096
+
 // Options configures a Store.
 type Options struct {
 	// CS tunes schema discovery.
@@ -39,6 +55,10 @@ type Options struct {
 	// Parallelism is the morsel-scan worker count for RDFscan; <=1
 	// scans sequentially.
 	Parallelism int
+	// CompactThreshold is the delta size (delta rows + tombstones) that
+	// auto-triggers Compact during a refresh; 0 means
+	// DefaultCompactThreshold, negative disables auto-compaction.
+	CompactThreshold int
 }
 
 // DefaultOptions returns the standard configuration.
@@ -57,9 +77,43 @@ type QueryOptions struct {
 	ZoneMaps bool
 }
 
+// snapshot is the immutable state one query executes against: once
+// published it is never mutated — writers build replacements (indexes
+// are rebuilt wholesale, the catalog is cloned copy-on-write), so
+// concurrent readers keep a consistent epoch.
+type snapshot struct {
+	epoch           uint64
+	dict            *dict.Dictionary
+	idx             *triples.IndexSet
+	schema          *cs.Schema
+	cat             *relational.Catalog
+	organized       bool
+	literalsOrdered bool
+	ctx             *exec.Ctx
+}
+
+func (sn *snapshot) view() *plan.StoreView {
+	return &plan.StoreView{
+		Dict:            sn.dict,
+		Idx:             sn.idx,
+		Schema:          sn.schema,
+		Cat:             sn.cat,
+		Organized:       sn.organized,
+		LiteralsOrdered: sn.literalsOrdered,
+	}
+}
+
 // Store is the self-organizing RDF store.
 type Store struct {
-	mu   sync.Mutex
+	// mu guards all organizational state. Writers hold it briefly;
+	// queries hold it only through refresh + planning, then execute
+	// against the published snapshot without any store lock.
+	mu sync.Mutex
+	// gate holds queries (read side, for their full lifetime) apart from
+	// Organize (write side): Organize renumbers the shared dictionary in
+	// place, the one mutation snapshots cannot hide.
+	gate sync.RWMutex
+
 	opts Options
 
 	dict  *dict.Dictionary
@@ -76,8 +130,21 @@ type Store struct {
 	literalsOrdered bool
 
 	idxDirty bool
-	irrDirty bool
-	ctx      *exec.Ctx
+	// touched collects subjects whose residence must be re-resolved by
+	// the next refresh (post-Organize adds and deletes).
+	touched map[dict.OID]struct{}
+	// deltaSet tracks post-Organize adds not yet folded into the
+	// indexes, for duplicate suppression (RDF graphs are sets).
+	deltaSet map[triples.Triple]struct{}
+	// delPending holds requested deletions, applied in one batch pass.
+	delPending map[triples.Triple]struct{}
+	// deadSet tracks deletions already applied to the table but not yet
+	// reflected in the indexes (NumTriples applies deletes without the
+	// full refresh), so presence checks do not trust the stale index.
+	deadSet map[triples.Triple]struct{}
+
+	epoch uint64
+	snap  *snapshot
 
 	// workload counts, per predicate IRI, how often queries put a range
 	// or equality filter on that predicate's object — the signal the
@@ -90,36 +157,66 @@ type Store struct {
 // NewStore creates an empty store.
 func NewStore(opts Options) *Store {
 	return &Store{
-		opts:     opts,
-		dict:     dict.New(),
-		table:    triples.NewTable(0),
-		pool:     colstore.NewPool(opts.PoolPages),
-		workload: make(map[string]int),
+		opts:       opts,
+		dict:       dict.New(),
+		table:      triples.NewTable(0),
+		pool:       colstore.NewPool(opts.PoolPages),
+		touched:    make(map[dict.OID]struct{}),
+		deltaSet:   make(map[triples.Triple]struct{}),
+		delPending: make(map[triples.Triple]struct{}),
+		deadSet:    make(map[triples.Triple]struct{}),
+		workload:   make(map[string]int),
 	}
 }
 
-// Dict exposes the dictionary (read-mostly; shared with results).
+// Dict exposes the dictionary (internally synchronized; shared with
+// results).
 func (s *Store) Dict() *dict.Dictionary { return s.dict }
 
 // Pool exposes the simulated buffer pool for cold/hot control.
-func (s *Store) Pool() *colstore.BufferPool { return s.pool }
+func (s *Store) Pool() *colstore.BufferPool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool
+}
 
 // Schema returns the discovered schema (nil before Organize).
-func (s *Store) Schema() *cs.Schema { return s.schema }
+func (s *Store) Schema() *cs.Schema {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schema
+}
 
-// Catalog returns the materialized catalog (nil before Organize).
-func (s *Store) Catalog() *relational.Catalog { return s.cat }
+// Catalog returns the materialized catalog (nil before Organize). The
+// catalog is copy-on-write: the returned value is a consistent snapshot.
+func (s *Store) Catalog() *relational.Catalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cat
+}
 
-// NumTriples returns the store size including trickle inserts.
+// Epoch returns the snapshot version: it advances whenever a refresh
+// publishes new state (applied writes, Compact, Organize).
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// NumTriples returns the store size including trickle inserts and
+// pending deletions.
 func (s *Store) NumTriples() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.applyPendingDeletesLocked()
 	return s.table.Len()
 }
 
 // Add appends one triple (trickle load). Before Organize it is ordinary
-// bulk data; after, it lands in the irregular delta and remains exactly
-// queryable until the next Organize re-clusters it.
+// bulk data; after, it lands in the delta layer — assigned to an
+// existing CS table when its subject's property set matches one, or to
+// the irregular leftover store — and is answered exactly by the next
+// query without any rebuild.
 func (s *Store) Add(t nt.Triple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -131,15 +228,113 @@ func (s *Store) addLocked(t nt.Triple) {
 	so := s.dict.Intern(t.S)
 	po := s.dict.Intern(t.P)
 	oo := s.dict.Intern(t.O)
-	s.table.Append(so, po, oo)
-	s.idxDirty = true
+	tr := triples.Triple{S: so, P: po, O: oo}
 	if s.organized {
-		s.cat.Irregular.Append(so, po, oo)
-		s.irrDirty = true
+		if _, pending := s.delPending[tr]; pending {
+			// re-adding a pending-deleted triple cancels the deletion
+			delete(s.delPending, tr)
+			s.touched[so] = struct{}{}
+			return
+		}
+		if _, dup := s.deltaSet[tr]; dup {
+			return // RDF graphs are sets; the live path enforces it
+		}
+		if _, dead := s.deadSet[tr]; !dead && s.idxContainsLocked(tr) {
+			return // present in the (non-stale part of the) index
+		}
+		delete(s.deadSet, tr)
+		s.deltaSet[tr] = struct{}{}
+		s.touched[so] = struct{}{}
 		if s.dict.NumLiterals() != nl {
 			s.literalsOrdered = false
 		}
+	} else if _, pending := s.delPending[tr]; pending {
+		// pre-Organize delete-then-re-add: flush the committed deletions
+		// now (removing the earlier copies of tr), then fall through to
+		// append the fresh one — otherwise the batch delete applied later
+		// would erase this add too
+		s.applyPendingDeletesLocked()
 	}
+	s.table.Append(so, po, oo)
+	s.idxDirty = true
+}
+
+// Delete removes one triple. The deletion is queued and applied in a
+// batch at the next refresh: the subject's sealed row (if any) is
+// tombstoned and its surviving triples are re-routed through the delta
+// layer. Deleting an absent triple is a no-op.
+func (s *Store) Delete(t nt.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	so, ok := s.dict.Lookup(t.S)
+	if !ok {
+		return
+	}
+	po, ok := s.dict.Lookup(t.P)
+	if !ok {
+		return
+	}
+	oo, ok := s.dict.Lookup(t.O)
+	if !ok {
+		return
+	}
+	tr := triples.Triple{S: so, P: po, O: oo}
+	if s.organized {
+		_, added := s.deltaSet[tr]
+		_, dead := s.deadSet[tr]
+		if !added && (dead || !s.idxContainsLocked(tr)) {
+			return // absent: nothing to delete
+		}
+		s.delPending[tr] = struct{}{}
+		s.touched[so] = struct{}{}
+		return
+	}
+	s.delPending[tr] = struct{}{}
+}
+
+// idxContainsLocked reports whether the triple is present in the base
+// indexes (which reflect the table as of the last refresh; callers
+// additionally consult deltaSet/delPending for in-flight writes).
+func (s *Store) idxContainsLocked(tr triples.Triple) bool {
+	if s.idx == nil {
+		return false
+	}
+	return s.idx.Get(triples.SPO).Contains(tr)
+}
+
+// applyPendingDeletesLocked filters the queued deletions out of the base
+// table in one pass. Returns the number of triples removed.
+func (s *Store) applyPendingDeletesLocked() int {
+	if len(s.delPending) == 0 {
+		return 0
+	}
+	w, n := 0, s.table.Len()
+	for i := 0; i < n; i++ {
+		tr := s.table.At(i)
+		if _, dead := s.delPending[tr]; dead {
+			continue
+		}
+		s.table.S[w], s.table.P[w], s.table.O[w] = tr.S, tr.P, tr.O
+		w++
+	}
+	removed := n - w
+	s.table.S = s.table.S[:w]
+	s.table.P = s.table.P[:w]
+	s.table.O = s.table.O[:w]
+	// The deleted triples are gone from the table but may linger in the
+	// stale index (rebuilt lazily) and in the pending-add set; record
+	// them dead so a re-Add is not mistaken for a duplicate.
+	for tr := range s.delPending {
+		delete(s.deltaSet, tr)
+		if s.organized {
+			s.deadSet[tr] = struct{}{}
+		}
+	}
+	s.delPending = make(map[triples.Triple]struct{})
+	if removed > 0 {
+		s.idxDirty = true
+	}
+	return removed
 }
 
 // LoadNTriples bulk-loads N-Triples. When lenient, malformed lines are
@@ -202,12 +397,18 @@ func (r OrganizeReport) String() string {
 // Organize runs the self-organization pipeline: discover characteristic
 // sets, cluster subjects (renumbering the whole OID space), materialize
 // the relational catalog with zone maps, and rebuild the six
-// projections. It can be called again after trickle inserts to fold the
-// delta into the schema.
+// projections. It can be called again after live updates to fold the
+// delta layer into a fresh clustering; because it renumbers the shared
+// dictionary it waits for all in-flight queries to finish (close every
+// Rows iterator first — calling Organize with a stream open on the same
+// goroutine deadlocks).
 func (s *Store) Organize() (OrganizeReport, error) {
+	s.gate.Lock()
+	defer s.gate.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var rep OrganizeReport
+	s.applyPendingDeletesLocked()
 	if s.opts.Dedup {
 		rep.DuplicatesDropped = s.table.Dedup()
 	}
@@ -227,8 +428,11 @@ func (s *Store) Organize() (OrganizeReport, error) {
 	s.organized = true
 	s.literalsOrdered = !s.opts.Cluster.KeepLiteralOrder
 	s.idxDirty = false
-	s.irrDirty = false
-	s.rebuildCtxLocked()
+	s.touched = make(map[dict.OID]struct{})
+	s.deltaSet = make(map[triples.Triple]struct{})
+	s.deadSet = make(map[triples.Triple]struct{})
+	s.epoch++
+	s.publishSnapshotLocked()
 
 	rep.RawCSs = s.schema.RawCSCount
 	rep.CSs = len(s.schema.CSs)
@@ -239,6 +443,62 @@ func (s *Store) Organize() (OrganizeReport, error) {
 	rep.Coverage = s.schema.Coverage
 	rep.IrregularTriples = st.IrregularTriples
 	return rep, nil
+}
+
+// CompactReport summarizes a Compact run.
+type CompactReport struct {
+	// Tables is the number of CS tables whose segments were rebuilt.
+	Tables int
+	// MergedRows is the number of delta rows merged into sealed
+	// segments.
+	MergedRows int
+	// DroppedTombstones counts delete-bitmap entries folded into the new
+	// segments.
+	DroppedTombstones int
+	// Epoch is the snapshot version after the compaction.
+	Epoch uint64
+}
+
+func (r CompactReport) String() string {
+	return fmt.Sprintf("compacted %d tables: %d delta rows merged, %d tombstones dropped (epoch %d)",
+		r.Tables, r.MergedRows, r.DroppedTombstones, r.Epoch)
+}
+
+// Compact merges the delta layer into freshly sealed segments:
+// tombstoned rows become permanent holes, delta rows are re-sealed
+// behind their table's clustered region, and CS statistics are refreshed
+// for the affected tables only — equivalent to, but much cheaper than, a
+// full re-Organize (which it does not replace: only Organize re-clusters
+// subject OIDs and restores sort-key pushdown). It is also triggered
+// automatically when the delta grows past Options.CompactThreshold.
+// Readers are unaffected: compaction happens on a catalog clone and
+// in-flight snapshots keep scanning the old segments.
+func (s *Store) Compact() (CompactReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	st := s.compactLocked()
+	if st.Tables > 0 {
+		s.epoch++
+		s.publishSnapshotLocked()
+	}
+	return CompactReport{
+		Tables:            st.Tables,
+		MergedRows:        st.MergedRows,
+		DroppedTombstones: st.DroppedTombstones,
+		Epoch:             s.epoch,
+	}, nil
+}
+
+// compactLocked compacts on a catalog clone; the caller publishes.
+func (s *Store) compactLocked() relational.CompactStats {
+	if s.cat == nil || !s.cat.HasDeltas() {
+		return relational.CompactStats{}
+	}
+	cat := s.cat.CloneForWrite()
+	st := cat.Compact(s.pool)
+	s.cat = cat
+	return st
 }
 
 // workloadSortKeysLocked derives per-table sort keys from the observed
@@ -284,68 +544,134 @@ func (s *Store) recordWorkloadLocked(q *sparql.Query) {
 	}
 }
 
-func (s *Store) rebuildCtxLocked() {
-	s.ctx = &exec.Ctx{
+// publishSnapshotLocked builds and publishes the immutable epoch
+// snapshot queries execute against.
+func (s *Store) publishSnapshotLocked() {
+	ctx := &exec.Ctx{
 		Dict:        s.dict,
 		Idx:         s.idx,
 		Cat:         s.cat,
 		Pool:        s.pool,
 		Parallelism: s.opts.Parallelism,
 	}
-	s.ctx.TrackProjections(s.idx)
+	ctx.TrackProjections(s.idx)
 	if s.cat != nil {
-		s.ctx.TrackProjections(s.cat.IrregularIdx)
+		ctx.TrackProjections(s.cat.IrregularIdx)
+	}
+	s.snap = &snapshot{
+		epoch:           s.epoch,
+		dict:            s.dict,
+		idx:             s.idx,
+		schema:          s.schema,
+		cat:             s.cat,
+		organized:       s.organized,
+		literalsOrdered: s.literalsOrdered,
+		ctx:             ctx,
 	}
 }
 
-// refreshLocked rebuilds dirty indexes before a query.
+// refreshLocked folds pending writes into a fresh snapshot: batch-apply
+// deletions, rebuild the six projections, incrementally re-assign every
+// touched subject through the delta layer, auto-compact past the
+// threshold, and publish the next epoch.
 func (s *Store) refreshLocked() {
+	changed := false
+	if s.applyPendingDeletesLocked() > 0 {
+		changed = true
+	}
 	if s.idx == nil || s.idxDirty {
 		s.idx = triples.BuildAll(s.table)
 		s.idxDirty = false
-		s.rebuildCtxLocked()
+		s.deadSet = make(map[triples.Triple]struct{}) // index is current again
+		changed = true
 	}
-	if s.irrDirty && s.cat != nil {
-		s.cat.IrregularIdx = triples.BuildAll(s.cat.Irregular)
-		s.irrDirty = false
-		s.rebuildCtxLocked()
+	if s.organized && len(s.touched) > 0 {
+		subs := make([]dict.OID, 0, len(s.touched))
+		for o := range s.touched {
+			subs = append(subs, o)
+		}
+		sort.Slice(subs, func(i, j int) bool { return subs[i] < subs[j] })
+		cat := s.cat.CloneForWrite()
+		cat.ReassignSubjects(subs, s.idx.Get(triples.SPO), s.schema)
+		s.cat = cat
+		s.touched = make(map[dict.OID]struct{})
+		s.deltaSet = make(map[triples.Triple]struct{})
+		changed = true
+		thr := s.opts.CompactThreshold
+		if thr == 0 {
+			thr = DefaultCompactThreshold
+		}
+		if thr > 0 && cat.DeltaRowCount()+cat.TombstoneCount() >= thr {
+			// cat is this refresh's private clone (unpublished until
+			// below), so compact it in place — no second deep copy
+			cat.Compact(s.pool)
+		}
+	}
+	if changed || s.snap == nil {
+		s.epoch++
+		s.publishSnapshotLocked()
 	}
 }
 
-func (s *Store) view() *plan.StoreView {
-	return &plan.StoreView{
-		Dict:            s.dict,
-		Idx:             s.idx,
-		Schema:          s.schema,
-		Cat:             s.cat,
-		Organized:       s.organized,
-		LiteralsOrdered: s.literalsOrdered,
+// planLocked refreshes, plans q against the current snapshot, and
+// returns both. Callers execute against the snapshot without any lock.
+func (s *Store) planLocked(q *sparql.Query, qopts QueryOptions, record bool) (*plan.Plan, *snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if record {
+		s.recordWorkloadLocked(q)
 	}
+	s.refreshLocked()
+	snap := s.snap
+	p, err := plan.Build(q, snap.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, snap, nil
 }
 
-// Query parses, plans and executes a SPARQL query.
+// Query parses, plans and executes a SPARQL query against the current
+// epoch snapshot. Concurrent Add/Delete/Compact calls do not affect a
+// query once planned.
 func (s *Store) Query(src string, qopts QueryOptions) (*exec.Result, error) {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.recordWorkloadLocked(q)
-	s.refreshLocked()
-	p, err := plan.Build(q, s.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	p, snap, err := s.planLocked(q, qopts, true)
 	if err != nil {
 		return nil, err
 	}
-	return p.Execute(s.ctx)
+	return p.Execute(snap.ctx)
+}
+
+// QueryReference executes a query through the materializing reference
+// path: the BGP tree is drained operator-at-a-time and topped with the
+// PR-1 materializing head. It exists for differential testing — the
+// streaming pipeline must stay row-identical to it.
+func (s *Store) QueryReference(src string, qopts QueryOptions) (*exec.Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	p, snap, err := s.planLocked(q, qopts, false)
+	if err != nil {
+		return nil, err
+	}
+	rel := plan.Exec(p.Root, snap.ctx)
+	return exec.Head(snap.ctx, rel, q)
 }
 
 // Rows is a streaming query result: rows are produced by the vectorized
 // pipeline as the consumer pulls, so LIMIT queries stop scanning early
-// and large results never materialize. The store's (exclusive) mutex is
-// held for the lifetime of the iterator — call Close (or drain it)
-// promptly; calling any other store method before then blocks, and
-// doing so from the same goroutine deadlocks.
+// and large results never materialize. The iterator reads an immutable
+// epoch snapshot: concurrent Add/Delete/Compact (and other queries) are
+// safe while it is open and never affect its rows. Only Organize waits
+// for open iterators — close (or drain) them before calling it.
 type Rows struct {
 	s    *Store
 	it   *exec.RowIter
@@ -355,8 +681,8 @@ type Rows struct {
 // Vars lists the output column names.
 func (r *Rows) Vars() []string { return r.it.Vars() }
 
-// Next advances to the next row, closing the iterator (and releasing
-// the store) at the end of the stream.
+// Next advances to the next row, closing the iterator at the end of the
+// stream.
 func (r *Rows) Next() bool {
 	if r.done {
 		return false
@@ -372,34 +698,33 @@ func (r *Rows) Next() bool {
 // Next; copy values to retain them.
 func (r *Rows) Row() []dict.Value { return r.it.Row() }
 
-// Close stops the pipeline and releases the store; idempotent.
+// Close stops the pipeline and releases the reader gate; idempotent.
 func (r *Rows) Close() {
 	if r.done {
 		return
 	}
 	r.done = true
 	r.it.Close()
-	r.s.mu.Unlock()
+	r.s.gate.RUnlock()
 }
 
 // QueryStream parses, plans and starts a SPARQL query, returning a
-// streaming row iterator instead of a materialized result.
+// streaming row iterator over the current epoch snapshot instead of a
+// materialized result.
 func (s *Store) QueryStream(src string, qopts QueryOptions) (*Rows, error) {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.recordWorkloadLocked(q)
-	s.refreshLocked()
-	p, err := plan.Build(q, s.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
+	s.gate.RLock()
+	p, snap, err := s.planLocked(q, qopts, true)
 	if err != nil {
-		s.mu.Unlock()
+		s.gate.RUnlock()
 		return nil, err
 	}
-	it, err := p.Stream(s.ctx)
+	it, err := p.Stream(snap.ctx)
 	if err != nil {
-		s.mu.Unlock()
+		s.gate.RUnlock()
 		return nil, err
 	}
 	return &Rows{s: s, it: it}, nil
@@ -411,10 +736,7 @@ func (s *Store) Explain(src string, qopts QueryOptions) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.refreshLocked()
-	p, err := plan.Build(q, s.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
+	p, _, err := s.planLocked(q, qopts, false)
 	if err != nil {
 		return "", err
 	}
@@ -429,6 +751,7 @@ func (s *Store) SQLSchema() string {
 	if s.cat == nil {
 		return "-- store not organized yet; call Organize()\n"
 	}
+	s.refreshLocked()
 	return s.cat.DDL(s.dict)
 }
 
@@ -442,23 +765,32 @@ type Stats struct {
 	Irregular int
 	Coverage  float64
 	Pool      colstore.PoolStats
+	// Epoch is the published snapshot version; DeltaRows and Tombstones
+	// size the live-update delta layer awaiting Compact.
+	Epoch      uint64
+	DeltaRows  int
+	Tombstones int
 }
 
-// Stats returns store-level counters.
+// Stats returns store-level counters, folding pending writes in first.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.refreshLocked()
 	st := Stats{
 		Triples:   s.table.Len(),
 		Resources: s.dict.NumResources(),
 		Literals:  s.dict.NumLiterals(),
 		Organized: s.organized,
 		Pool:      s.pool.Stats(),
+		Epoch:     s.epoch,
 	}
 	if s.cat != nil {
 		cst := s.cat.Stats()
 		st.Tables = cst.Tables
 		st.Irregular = cst.IrregularTriples
+		st.DeltaRows = cst.DeltaRows
+		st.Tombstones = cst.Tombstones
 	}
 	if s.schema != nil {
 		st.Coverage = s.schema.Coverage

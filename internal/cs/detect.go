@@ -237,14 +237,19 @@ func (b *builder) generalize(raw []*cluster) []*cluster {
 		best := -1
 		bestScore := -1.0
 		seen := make(map[int]bool)
-		for p := range r.props {
+		// Candidates are scanned in sorted-predicate order with an
+		// explicit index tie-break: map-iteration order here would make
+		// score ties — and with them the whole emergent clustering and
+		// OID assignment — nondeterministic across identical builds,
+		// which the differential harness forbids.
+		for _, p := range r.sortedPreds() {
 			for _, ci := range byProp[p] {
 				if seen[ci] {
 					continue
 				}
 				seen[ci] = true
 				score, ok := b.mergeScore(accepted[ci], r)
-				if ok && score > bestScore {
+				if ok && (score > bestScore || (score == bestScore && ci < best)) {
 					best, bestScore = ci, score
 				}
 			}

@@ -1,0 +1,55 @@
+package cs
+
+import "srdf/internal/dict"
+
+// MatchDelta is the incremental characteristic-set match for the live
+// update path: given the current predicate set of one (new or mutated)
+// subject, it picks the retained CS the subject should join without
+// re-running discovery. The rule mirrors generalization: the subject may
+// carry noise properties (they spill to the irregular store) but at
+// least half of its predicates must be properties of the CS, and the
+// best match wins by (matched predicates, support, id). Returns the CS
+// id, or -1 when no table fits — the subject then spills entirely to
+// the leftover triple store.
+func (s *Schema) MatchDelta(preds []dict.OID) int {
+	best, bestScore, bestSupport := -1, 0, 0
+	for _, c := range s.CSs {
+		if !c.Retained || c.AbsorbedInto >= 0 {
+			continue
+		}
+		score := 0
+		for _, p := range preds {
+			if c.Prop(p) != nil {
+				score++
+			}
+		}
+		if score == 0 || 2*score < len(preds) {
+			continue
+		}
+		better := score > bestScore ||
+			(score == bestScore && c.Support > bestSupport) ||
+			(score == bestScore && c.Support == bestSupport && best >= 0 && c.ID < best)
+		if better {
+			best, bestScore, bestSupport = c.ID, score, c.Support
+		}
+	}
+	return best
+}
+
+// RefreshTableStats is the per-table CS refinement run by Compact: it
+// re-derives the support and per-property null statistics of one CS from
+// its freshly compacted table, so nullability and schema summaries keep
+// tracking the data without a full re-discovery. nonNull maps predicate
+// to its non-NULL row count; liveRows is the table's live row count.
+func RefreshTableStats(c *CS, nonNull map[dict.OID]int, liveRows int) {
+	c.Support = liveRows
+	for i := range c.Props {
+		ps := &c.Props[i]
+		n, ok := nonNull[ps.Pred]
+		if !ok {
+			continue
+		}
+		ps.NonNull = n
+		ps.Nullable = n < liveRows
+	}
+}

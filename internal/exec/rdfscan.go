@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sort"
+
 	"srdf/internal/dict"
 	"srdf/internal/relational"
 	"srdf/internal/triples"
@@ -60,9 +62,9 @@ func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, f
 	if ki < 0 {
 		return out
 	}
-	cols := make([]*relational.Col, len(star.Props))
+	colIdx := make([]int, len(star.Props))
 	for i := range star.Props {
-		cols[i] = t.Col(star.Props[i].Pred)
+		colIdx[i] = t.ColIndex(star.Props[i].Pred)
 	}
 	var irrSPO *triples.Projection
 	if ctx.Cat != nil && ctx.Cat.Irregular.Len() > 0 {
@@ -70,11 +72,13 @@ func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, f
 	}
 
 	buf := make([]dict.OID, 0, len(outVars))
-	vals := make([]dict.OID, 0, len(cols))
+	vals := make([]dict.OID, 0, len(colIdx))
 	for i := 0; i < in.Len(); i++ {
 		s := in.Cols[ki][i]
+		// RowOf resolves delta rows and compacted-in extras too, and
+		// rejects tombstoned sealed rows (their subject moved or died).
 		row := t.RowOf(s)
-		if row < 0 || anyNilCol(cols) {
+		if row < 0 || anyNegIdx(colIdx) {
 			// Fallback: point star lookup over the full index.
 			sub := LookupStarSubject(ctx, fullIdx, s, star)
 			for r := 0; r < sub.Len(); r++ {
@@ -105,8 +109,8 @@ func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, f
 		}
 		ok := true
 		vals = vals[:0]
-		for ci := range cols {
-			v := cols[ci].Data.Get(row)
+		for ci := range colIdx {
+			v := t.Value(colIdx[ci], row)
 			vals = append(vals, v)
 			if v == dict.Nil || !star.Props[ci].matches(v) {
 				ok = false
@@ -117,7 +121,7 @@ func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, f
 			continue
 		}
 		buf = in.Row(i, buf)
-		for ci := range cols {
+		for ci := range colIdx {
 			if star.Props[ci].ObjVar != "" {
 				buf = append(buf, vals[ci])
 			}
@@ -127,9 +131,9 @@ func RDFJoin(ctx *Ctx, in *Rel, keyVar string, t *relational.Table, star Star, f
 	return out
 }
 
-func anyNilCol(cols []*relational.Col) bool {
-	for _, c := range cols {
-		if c == nil {
+func anyNegIdx(idx []int) bool {
+	for _, i := range idx {
+		if i < 0 {
 			return true
 		}
 	}
@@ -138,20 +142,36 @@ func anyNilCol(cols []*relational.Col) bool {
 
 // ResidualStar answers the part of a star pattern the covering tables
 // cannot: subjects with matching triples in the irregular store (noise
-// properties, overflow values, subjects of dropped CSs). Rows entirely
-// answerable by a covering table are suppressed to avoid duplicating
-// RDFScan output.
+// properties, overflow values, subjects of dropped CSs) or in link
+// tables (split-off multi-valued properties of other CSs, which no
+// RDFscan reads). Rows entirely answerable by a covering table are
+// suppressed to avoid duplicating RDFScan output.
 func ResidualStar(ctx *Ctx, star Star, covering []*relational.Table) *Rel {
 	rel := NewRel(star.Vars()...)
 	cat := ctx.Cat
-	if cat == nil || cat.Irregular.Len() == 0 {
+	if cat == nil {
+		return rel
+	}
+	// Link tables carrying one of the star's predicates contribute both
+	// candidates and values.
+	links := make([][]*relational.LinkTable, len(star.Props))
+	anyLink := false
+	for i := range star.Props {
+		for _, lt := range cat.Links {
+			if lt.Pred == star.Props[i].Pred && len(lt.Subj) > 0 {
+				links[i] = append(links[i], lt)
+				anyLink = true
+			}
+		}
+	}
+	if cat.Irregular.Len() == 0 && !anyLink {
 		return rel
 	}
 	irrPSO := cat.IrregularIdx.Get(triples.PSO)
 	irrSPO := cat.IrregularIdx.Get(triples.SPO)
 
-	// Candidate subjects: any subject with an irregular triple for one of
-	// the star's predicates.
+	// Candidate subjects: any subject with an irregular or link-table
+	// triple for one of the star's predicates.
 	cand := map[dict.OID]bool{}
 	for i := range star.Props {
 		lo, hi := irrPSO.Range1(star.Props[i].Pred)
@@ -159,10 +179,32 @@ func ResidualStar(ctx *Ctx, star Star, covering []*relational.Table) *Rel {
 		for k := lo; k < hi; k++ {
 			cand[irrPSO.B[k]] = true
 		}
+		for _, lt := range links[i] {
+			// Subj is subject-sorted: check each distinct subject once.
+			// Link entries speak for a subject only while its build-time
+			// dense row is live; vacated subjects' link values were
+			// re-routed through the delta layer.
+			for k := 0; k < len(lt.Subj); {
+				s := lt.Subj[k]
+				if lt.Parent.DenseLiveRow(s) >= 0 {
+					cand[s] = true
+				}
+				for k < len(lt.Subj) && lt.Subj[k] == s {
+					k++
+				}
+			}
+		}
 	}
 	if len(cand) == 0 {
 		return rel
 	}
+	// Deterministic emission order: map iteration order would otherwise
+	// differ between two executions of the very same plan.
+	subjects := make([]dict.OID, 0, len(cand))
+	for s := range cand {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
 	inCovering := func(s dict.OID) bool {
 		for _, t := range covering {
 			if t.RowOf(s) >= 0 {
@@ -175,7 +217,7 @@ func ResidualStar(ctx *Ctx, star Star, covering []*relational.Table) *Rel {
 		v     dict.OID
 		fromT bool // value came from a table column
 	}
-	for s := range cand {
+	for _, s := range subjects {
 		covered := inCovering(s)
 		// collect values per prop from the irregular store and, when the
 		// subject sits in some table, from its columns.
@@ -191,10 +233,21 @@ func ResidualStar(ctx *Ctx, star Star, covering []*relational.Table) *Rel {
 					vs = append(vs, sourced{irrSPO.C[k], false})
 				}
 			}
+			for _, lt := range links[i] {
+				if lt.Parent.DenseLiveRow(s) < 0 {
+					continue // stale entries of a vacated subject
+				}
+				llo := sort.Search(len(lt.Subj), func(k int) bool { return lt.Subj[k] >= s })
+				for k := llo; k < len(lt.Subj) && lt.Subj[k] == s; k++ {
+					if p.matches(lt.Val[k]) {
+						vs = append(vs, sourced{lt.Val[k], false})
+					}
+				}
+			}
 			if tab := cat.TableOf(s); tab != nil {
-				if col := tab.Col(p.Pred); col != nil {
+				if ci := tab.ColIndex(p.Pred); ci >= 0 {
 					if row := tab.RowOf(s); row >= 0 {
-						v := col.Data.Get(row)
+						v := tab.Value(ci, row)
 						if v != dict.Nil && p.matches(v) {
 							vs = append(vs, sourced{v, true})
 						}

@@ -30,14 +30,20 @@ type ScanOp struct {
 	// the planner's sort-key range pushdown path.
 	RowLo, RowHi int
 
-	ctx   *Ctx
-	cols  []*relational.Col
-	block int // next block to scan
-	last  int // last block (inclusive)
-	lo    int // effective row window
-	hi    int
-	sc    scanScratch
-	par   *morselScan
+	ctx    *Ctx
+	cols   []*relational.Col
+	colIdx []int // column index in Table.Cols, for delta-tail access
+	block  int   // next block to scan
+	last   int   // last block (inclusive)
+	lo     int   // effective row window
+	hi     int
+	sc     scanScratch
+	par    *morselScan
+	// delta-tail cursor: after the sealed blocks the scan walks the
+	// table's unsealed delta rows (dOn false when the star is
+	// unanswerable and the whole scan is empty).
+	dOn  bool
+	dCur int
 }
 
 // scanScratch is the per-scanner (or per-morsel-worker) reusable state:
@@ -79,22 +85,33 @@ func (s *ScanOp) Vars() []string { return s.Star.Vars() }
 func (s *ScanOp) Open(ctx *Ctx) error {
 	s.ctx = ctx
 	s.last = -1 // empty unless a valid block range is established below
+	s.dOn = false
+	s.dCur = 0
 	s.lo, s.hi = s.RowLo, s.RowHi
-	if s.hi < 0 || s.hi > s.Table.Count {
-		s.hi = s.Table.Count
+	if s.hi < 0 || s.hi > s.Table.SealedRows() {
+		s.hi = s.Table.SealedRows()
 	}
 	if s.lo < 0 {
 		s.lo = 0
 	}
 	s.cols = make([]*relational.Col, len(s.Star.Props))
+	s.colIdx = make([]int, len(s.Star.Props))
 	for i := range s.Star.Props {
-		s.cols[i] = s.Table.Col(s.Star.Props[i].Pred)
-		if s.cols[i] == nil {
+		s.colIdx[i] = s.Table.ColIndex(s.Star.Props[i].Pred)
+		if s.colIdx[i] < 0 {
 			s.hi = s.lo // planner error; empty result
 			return nil
 		}
+		s.cols[i] = s.Table.Cols[s.colIdx[i]]
 	}
+	// The row window restricts the sealed region only; the unsealed
+	// delta tail is always scanned (its rows carry arbitrary subjects
+	// and evaluate every predicate in full).
+	s.dOn = s.Table.DeltaLen() > 0
 	if s.hi <= s.lo {
+		if s.dOn {
+			s.sc.init(&s.Star)
+		}
 		return nil
 	}
 	s.block = s.lo / colstore.BlockRows
@@ -163,6 +180,27 @@ func (s *ScanOp) selectBlock(blk int, sc *scanScratch) (sel []int32, all bool, w
 		} else {
 			sc.sel = intersectSel(sc.sel, tmp)
 		}
+		if len(sc.sel) == 0 {
+			return nil, false, wlo, whi
+		}
+	}
+	// Mask tombstoned rows (deleted or migrated to the delta tail): the
+	// sealed segments are immutable, so deletion is a scan-time filter.
+	if del := s.Table.Del; del.AnyInRange(wlo, whi) {
+		if all {
+			sc.sel = sc.sel[:0]
+			for i := rlo; i < rhi; i++ {
+				sc.sel = append(sc.sel, int32(i))
+			}
+			all = false
+		}
+		out := sc.sel[:0]
+		for _, k := range sc.sel {
+			if !del.Get(bs + int(k)) {
+				out = append(out, k)
+			}
+		}
+		sc.sel = out
 		if len(sc.sel) == 0 {
 			return nil, false, wlo, whi
 		}
@@ -290,7 +328,14 @@ func (s *ScanOp) appendBlock(blk int, dst *Rel, sc *scanScratch) {
 
 func (s *ScanOp) Next(b *Batch) bool {
 	if s.par != nil {
-		return s.par.next(b)
+		if s.par.next(b) {
+			return true
+		}
+		// sealed blocks exhausted (the workers covered the whole block
+		// range); the delta tail streams sequentially
+		s.par.stop()
+		s.par = nil
+		s.block = s.last + 1
 	}
 	for s.block <= s.last {
 		blk := s.block
@@ -303,6 +348,63 @@ func (s *ScanOp) Next(b *Batch) bool {
 			sel = nil
 		}
 		s.emitBlock(b, blk, sel, wlo, whi)
+		return true
+	}
+	return s.nextDelta(b)
+}
+
+// nextDelta streams the table's unsealed delta tail after the sealed
+// blocks: each chunk evaluates the star's predicates row-at-a-time over
+// the delta columns (they are memory-resident flat vectors — no
+// compressed kernels, no page accounting) and lends the delta column
+// slices to the batch as zero-copy views under a selection vector.
+func (s *ScanOp) nextDelta(b *Batch) bool {
+	if !s.dOn {
+		return false
+	}
+	d := s.Table.Delta
+	n := d.Len()
+	sc := &s.sc
+	for s.dCur < n {
+		lo := s.dCur
+		hi := lo + colstore.BlockRows
+		if hi > n {
+			hi = n
+		}
+		s.dCur = hi
+		sel := sc.sel[:0]
+		for r := lo; r < hi; r++ {
+			ok := true
+			for i := range s.colIdx {
+				p := &s.Star.Props[i]
+				v := d.Cols[s.colIdx[i]][r]
+				if v == dict.Nil || !p.matches(v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sel = append(sel, int32(r-lo))
+			}
+		}
+		sc.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		views := sc.views[:0]
+		views = append(views, d.Subj[lo:hi])
+		for i := range s.colIdx {
+			if s.Star.Props[i].ObjVar == "" {
+				continue
+			}
+			views = append(views, d.Cols[s.colIdx[i]][lo:hi])
+		}
+		sc.views = views
+		if len(sel) == hi-lo {
+			b.SetViews(nil, views...)
+		} else {
+			b.SetViews(sel, views...)
+		}
 		return true
 	}
 	return false

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"srdf/internal/core"
+	"srdf/internal/cs"
+	"srdf/internal/dict"
+	"srdf/internal/nt"
+	"srdf/internal/plan"
+)
+
+// TestConcurrentReadWrite runs writers (Add/Delete/Compact, plus an
+// occasional full Organize) against concurrent snapshot readers under
+// the race detector. Consistency oracle: every subject carries two star
+// properties whose values the writers keep equal, updating them
+// delete-both-then-add-both — so at every refresh point a subject
+// either exposes a matched (v,v) pair or no complete pair at all. A row
+// with a ≠ b means a reader's snapshot tore across epochs.
+func TestConcurrentReadWrite(t *testing.T) {
+	const (
+		nSubjects = 64
+		nWriters  = 2
+		nReaders  = 4
+		writerOps = 150
+	)
+	pa, pb := NS+"pa", NS+"pb"
+	subj := func(i int) dict.Term { return dict.IRI(fmt.Sprintf("%sc%d", NS, i)) }
+	pair := func(i, v int) (nt.Triple, nt.Triple) {
+		return nt.Triple{S: subj(i), P: dict.IRI(pa), O: dict.IntLit(int64(v))},
+			nt.Triple{S: subj(i), P: dict.IRI(pb), O: dict.IntLit(int64(v))}
+	}
+
+	opts := core.DefaultOptions()
+	opts.CS.MinSupport = 3
+	opts.CompactThreshold = 32 // auto-compact under load too
+	st := core.NewStore(opts)
+	// versions[i] is the value currently (or last) written for subject i;
+	// writers own disjoint subject ranges so pairs stay well-formed.
+	versions := make([]atomic.Int64, nSubjects)
+	for i := 0; i < nSubjects; i++ {
+		a, b := pair(i, 0)
+		st.Add(a)
+		st.Add(b)
+	}
+	if _, err := st.Organize(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := fmt.Sprintf("SELECT ?s ?a ?b WHERE { ?s <%s> ?a . ?s <%s> ?b }", pa, pb)
+	qo := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nWriters+nReaders)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	for w := 0; w < nWriters; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo := w * (nSubjects / nWriters)
+			hi := lo + nSubjects/nWriters
+			for op := 0; op < writerOps; op++ {
+				i := lo + (op*7)%(hi-lo)
+				old := int(versions[i].Load())
+				next := old + 1
+				oa, ob := pair(i, old)
+				na, nb := pair(i, next)
+				// delete both, then add both: no intermediate state
+				// exposes a mixed pair
+				st.Delete(oa)
+				st.Delete(ob)
+				st.Add(na)
+				st.Add(nb)
+				versions[i].Store(int64(next))
+				if op%25 == 24 {
+					if _, err := st.Compact(); err != nil {
+						fail("writer %d: Compact: %v", w, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// One reorganizer thread: Organize must serialize with the open
+	// streams via the reader gate, never crash them.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 3; k++ {
+			if _, err := st.Organize(); err != nil {
+				fail("organize: %v", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < nReaders; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 40; it++ {
+				rows, err := st.QueryStream(q, qo)
+				if err != nil {
+					fail("reader %d: %v", r, err)
+					return
+				}
+				n := 0
+				for rows.Next() {
+					row := rows.Row()
+					if len(row) != 3 {
+						fail("reader %d: torn row arity %d", r, len(row))
+						rows.Close()
+						return
+					}
+					a, b := row[1], row[2]
+					if a.Kind != dict.VInt || b.Kind != dict.VInt || a.Int != b.Int {
+						fail("reader %d: torn row: a=%s b=%s (subject %s)", r, a.Lexical(), b.Lexical(), row[0].Lexical())
+						rows.Close()
+						return
+					}
+					n++
+				}
+				if n == 0 {
+					fail("reader %d: snapshot lost all %d subjects", r, nSubjects)
+					return
+				}
+				// materialized API interleaved with streams
+				if it%8 == 0 {
+					if _, err := st.Query(q, qo); err != nil {
+						fail("reader %d: Query: %v", r, err)
+						return
+					}
+				}
+				// lock-free schema readers: published schemas must never
+				// be mutated by the delta path (SubjectCS, CS stats)
+				if it%5 == 0 {
+					if sc := st.Schema(); sc != nil {
+						_ = sc.Summarize(cs.SummaryOptions{MinSupport: 1})
+						_ = sc.String()
+					}
+					_ = st.SQLSchema()
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesced store must agree with the versions the writers left.
+	res, err := st.Query(q, qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != nSubjects {
+		t.Fatalf("after quiesce: %d rows, want %d", res.Len(), nSubjects)
+	}
+	for _, row := range res.Rows {
+		if row[1].Int != row[2].Int {
+			t.Fatalf("after quiesce: mismatched pair %v", row)
+		}
+	}
+}

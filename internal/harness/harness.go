@@ -1,0 +1,492 @@
+// Package harness is the differential fuzz/property harness for the
+// live-update store: it generates random structured triple sets, random
+// update scripts (adds, deletes, duplicate re-adds), and random queries,
+// then asserts that
+//
+//   - within one store, Query ≡ QueryStream ≡ the materializing
+//     reference head (QueryReference) for every plan configuration,
+//   - a store mutated through the delta layer (and optionally
+//     Compact()ed) is row-identical to a fresh store fully Organized on
+//     the same final triples, and
+//   - Parallelism 1 and 4 produce identical row sequences.
+//
+// The generators are deterministic in their seeds, so every fuzz finding
+// replays exactly.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"srdf/internal/core"
+	"srdf/internal/dict"
+	"srdf/internal/exec"
+	"srdf/internal/nt"
+	"srdf/internal/plan"
+)
+
+// NS is the IRI namespace of generated resources.
+const NS = "http://h/"
+
+// predKind classifies a generated predicate's object values.
+type predKind int
+
+const (
+	kindInt predKind = iota
+	kindStr
+	kindRef
+)
+
+// pred is one predicate of the generated universe.
+type pred struct {
+	iri  string
+	kind predKind
+}
+
+// Op is one live-update operation.
+type Op struct {
+	Del bool
+	T   nt.Triple
+}
+
+// Script is a deterministic workload: an initial graph, an update
+// script to run after Organize, and a query set.
+type Script struct {
+	Initial []nt.Triple
+	Ops     []Op
+	Queries []Query
+
+	preds []pred
+	nSubj int
+}
+
+// Query is one generated query; CrossStore marks queries whose result
+// set is deterministic (no LIMIT), so it may be compared across stores
+// and plan configurations.
+type Query struct {
+	Text       string
+	CrossStore bool
+}
+
+func subjIRI(i int) string { return fmt.Sprintf("%ss%d", NS, i) }
+
+func iri(s string) dict.Term { return dict.IRI(s) }
+
+// GenScript builds a deterministic workload from seeds: nSubj subjects
+// over a few emergent classes, nOps update operations, and a query set
+// exercising scans, stars, joins, filters, aggregation and modifiers.
+func GenScript(seed int64, nSubj, nOps int) *Script {
+	rnd := rand.New(rand.NewSource(seed))
+	sc := &Script{nSubj: nSubj}
+
+	nPreds := 6 + rnd.Intn(4)
+	for i := 0; i < nPreds; i++ {
+		sc.preds = append(sc.preds, pred{
+			iri:  fmt.Sprintf("%sp%d", NS, i),
+			kind: predKind(rnd.Intn(3)),
+		})
+	}
+	nClasses := 2 + rnd.Intn(3)
+	classProps := make([][]int, nClasses)
+	for c := range classProps {
+		n := 2 + rnd.Intn(3)
+		seen := map[int]bool{}
+		for len(classProps[c]) < n {
+			p := rnd.Intn(nPreds)
+			if !seen[p] {
+				seen[p] = true
+				classProps[c] = append(classProps[c], p)
+			}
+		}
+		sort.Ints(classProps[c])
+	}
+
+	value := func(p pred) dict.Term {
+		switch p.kind {
+		case kindInt:
+			return dict.IntLit(int64(rnd.Intn(40)))
+		case kindStr:
+			return dict.StringLit(fmt.Sprintf("v%d", rnd.Intn(20)))
+		default:
+			return iri(subjIRI(rnd.Intn(nSubj)))
+		}
+	}
+
+	// Initial graph: subjects follow their class's property vector with
+	// some nulls, plus a sprinkle of noise triples.
+	for i := 0; i < nSubj; i++ {
+		c := i % nClasses
+		for _, pi := range classProps[c] {
+			if rnd.Float64() < 0.85 {
+				sc.Initial = append(sc.Initial, nt.Triple{S: iri(subjIRI(i)), P: iri(sc.preds[pi].iri), O: value(sc.preds[pi])})
+			}
+		}
+	}
+	for i := 0; i < nSubj/10+1; i++ {
+		p := sc.preds[rnd.Intn(nPreds)]
+		sc.Initial = append(sc.Initial, nt.Triple{S: iri(subjIRI(rnd.Intn(nSubj))), P: iri(p.iri), O: value(p)})
+	}
+
+	// Update script. live tracks the current set so deletes hit real
+	// triples and duplicate re-adds are generated on purpose.
+	live := append([]nt.Triple(nil), dedup(sc.Initial)...)
+	var deleted []nt.Triple
+	newSubj := nSubj
+	for len(sc.Ops) < nOps && len(live) > 0 {
+		switch r := rnd.Float64(); {
+		case r < 0.35: // delete an existing triple
+			k := rnd.Intn(len(live))
+			sc.Ops = append(sc.Ops, Op{Del: true, T: live[k]})
+			deleted = append(deleted, live[k])
+			live = append(live[:k], live[k+1:]...)
+		case r < 0.42: // duplicate re-add (must be a no-op: RDF is a set)
+			k := rnd.Intn(len(live))
+			sc.Ops = append(sc.Ops, Op{T: live[k]})
+		case r < 0.47 && len(deleted) > 0: // resurrect a deleted triple
+			k := rnd.Intn(len(deleted))
+			t := deleted[k]
+			deleted = append(deleted[:k], deleted[k+1:]...)
+			sc.Ops = append(sc.Ops, Op{T: t})
+			live = append(live, t)
+		case r < 0.75: // new subject with a class-shaped property vector
+			c := rnd.Intn(nClasses)
+			s := iri(subjIRI(newSubj))
+			newSubj++
+			for _, pi := range classProps[c] {
+				if rnd.Float64() < 0.9 {
+					t := nt.Triple{S: s, P: iri(sc.preds[pi].iri), O: value(sc.preds[pi])}
+					sc.Ops = append(sc.Ops, Op{T: t})
+					live = append(live, t)
+				}
+			}
+		default: // extra triple on an existing subject (may not fit its CS)
+			k := rnd.Intn(len(live))
+			p := sc.preds[rnd.Intn(nPreds)]
+			t := nt.Triple{S: live[k].S, P: iri(p.iri), O: value(p)}
+			sc.Ops = append(sc.Ops, Op{T: t})
+			live = append(live, t)
+		}
+	}
+
+	sc.genQueries(rnd, classProps)
+	return sc
+}
+
+func dedup(ts []nt.Triple) []nt.Triple {
+	seen := make(map[nt.Triple]bool, len(ts))
+	out := ts[:0:0]
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (sc *Script) genQueries(rnd *rand.Rand, classProps [][]int) {
+	pick := func(k predKind) (pred, bool) {
+		perm := rnd.Perm(len(sc.preds))
+		for _, i := range perm {
+			if sc.preds[i].kind == k {
+				return sc.preds[i], true
+			}
+		}
+		return pred{}, false
+	}
+	anyPred := func() pred { return sc.preds[rnd.Intn(len(sc.preds))] }
+	add := func(cross bool, format string, args ...any) {
+		sc.Queries = append(sc.Queries, Query{Text: fmt.Sprintf(format, args...), CrossStore: cross})
+	}
+
+	// One- and two-property scans.
+	p1, p2 := anyPred(), anyPred()
+	add(true, "SELECT ?s ?a WHERE { ?s <%s> ?a }", p1.iri)
+	add(true, "SELECT ?s ?a ?b WHERE { ?s <%s> ?a . ?s <%s> ?b }", p1.iri, p2.iri)
+
+	// A class-shaped star (likely fully covered by one CS table).
+	c := classProps[rnd.Intn(len(classProps))]
+	var pat strings.Builder
+	vars := []string{"?s"}
+	for i, pi := range c {
+		fmt.Fprintf(&pat, " ?s <%s> ?v%d .", sc.preds[pi].iri, i)
+		vars = append(vars, fmt.Sprintf("?v%d", i))
+	}
+	add(true, "SELECT %s WHERE {%s }", strings.Join(vars, " "), pat.String())
+
+	// Range filter on an int predicate.
+	if p, ok := pick(kindInt); ok {
+		lo := rnd.Intn(20)
+		add(true, "SELECT ?s ?v WHERE { ?s <%s> ?v . FILTER (?v >= %d && ?v <= %d) }", p.iri, lo, lo+10+rnd.Intn(10))
+	}
+	// Bound object on a ref predicate, and a subject-to-subject join.
+	if p, ok := pick(kindRef); ok {
+		add(true, "SELECT ?s WHERE { ?s <%s> <%s> }", p.iri, subjIRI(rnd.Intn(sc.nSubj)))
+		add(true, "SELECT ?s ?t ?v WHERE { ?s <%s> ?t . ?t <%s> ?v }", p.iri, anyPred().iri)
+	}
+	// String equality filter.
+	if p, ok := pick(kindStr); ok {
+		add(true, `SELECT ?s ?v WHERE { ?s <%s> ?v . FILTER (?v = "v%d") }`, p.iri, rnd.Intn(20))
+	}
+	// DISTINCT, aggregation, ORDER BY, LIMIT.
+	add(true, "SELECT DISTINCT ?a WHERE { ?s <%s> ?a }", p1.iri)
+	add(true, "SELECT (COUNT(*) AS ?n) WHERE { ?s <%s> ?a }", p2.iri)
+	add(true, "SELECT ?a (COUNT(*) AS ?n) WHERE { ?s <%s> ?a } GROUP BY ?a ORDER BY ?a", p1.iri)
+	// LIMIT picks an arbitrary subset: deterministic within one store
+	// and across Parallelism, but not across stores — CrossStore=false.
+	add(false, "SELECT ?s ?a WHERE { ?s <%s> ?a } LIMIT 5", p1.iri)
+}
+
+// Final returns the triple set after applying the script's operations to
+// the initial graph with set semantics.
+func (sc *Script) Final() []nt.Triple {
+	set := make(map[nt.Triple]bool)
+	var order []nt.Triple
+	for _, t := range sc.Initial {
+		if !set[t] {
+			set[t] = true
+			order = append(order, t)
+		}
+	}
+	for _, op := range sc.Ops {
+		if op.Del {
+			set[op.T] = false
+			continue
+		}
+		if !set[op.T] {
+			set[op.T] = true
+			order = append(order, op.T)
+		}
+	}
+	var out []nt.Triple
+	for _, t := range order {
+		if set[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Config is one plan configuration of the equivalence matrix.
+type Config struct {
+	Mode  plan.Mode
+	Zones bool
+}
+
+func (c Config) String() string {
+	s := c.Mode.String()
+	if c.Zones {
+		s += "+zm"
+	}
+	return s
+}
+
+// Configs is the plan-configuration axis of the differential matrix.
+var Configs = []Config{
+	{Mode: plan.ModeDefault},
+	{Mode: plan.ModeRDFScan},
+	{Mode: plan.ModeRDFScan, Zones: true},
+}
+
+// renderRow encodes one decoded row for comparison (kind-tagged so an
+// integer 5 and a string "5" stay distinct).
+func renderRow(row []dict.Value) string {
+	var b strings.Builder
+	for i, v := range row {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d:%s", v.Kind, v.Lexical())
+	}
+	return b.String()
+}
+
+func renderResult(r *exec.Result) []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, renderRow(row))
+	}
+	return out
+}
+
+func sorted(rows []string) []string {
+	out := append([]string(nil), rows...)
+	sort.Strings(out)
+	return out
+}
+
+func eqSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalQuery runs one query on one store under every plan configuration,
+// asserting Query ≡ QueryStream (row-identical) and ≡ the materialized
+// reference head (same multiset). It returns the per-config row
+// sequences.
+func EvalQuery(st *core.Store, q string) (map[Config][]string, error) {
+	out := make(map[Config][]string, len(Configs))
+	for _, cfg := range Configs {
+		qo := core.QueryOptions{Mode: cfg.Mode, ZoneMaps: cfg.Zones}
+		res, err := st.Query(q, qo)
+		if err != nil {
+			return nil, fmt.Errorf("%v Query: %w\nquery: %s", cfg, err, q)
+		}
+		rows := renderResult(res)
+
+		it, err := st.QueryStream(q, qo)
+		if err != nil {
+			return nil, fmt.Errorf("%v QueryStream: %w\nquery: %s", cfg, err, q)
+		}
+		var srows []string
+		for it.Next() {
+			srows = append(srows, renderRow(it.Row()))
+		}
+		if !eqSeq(rows, srows) {
+			return nil, fmt.Errorf("%v: Query and QueryStream disagree (%d vs %d rows)\nquery: %s\nquery result: %v\nstream result: %v",
+				cfg, len(rows), len(srows), q, rows, srows)
+		}
+
+		ref, err := st.QueryReference(q, qo)
+		if err != nil {
+			return nil, fmt.Errorf("%v QueryReference: %w\nquery: %s", cfg, err, q)
+		}
+		if rrows := renderResult(ref); !eqSeq(sorted(rows), sorted(rrows)) {
+			return nil, fmt.Errorf("%v: streaming head and materialized reference disagree (%d vs %d rows)\nquery: %s\nstream: %v\nreference: %v",
+				cfg, len(rows), len(rrows), q, rows, rrows)
+		}
+		out[cfg] = rows
+	}
+	return out, nil
+}
+
+// newStore builds a harness store: low support so the small graphs grow
+// tables, auto-compaction off so the pre-Compact delta state is what
+// gets tested.
+func newStore(parallelism int) *core.Store {
+	opts := core.DefaultOptions()
+	opts.CS.MinSupport = 3
+	opts.Parallelism = parallelism
+	opts.CompactThreshold = -1
+	return core.NewStore(opts)
+}
+
+// autoStore is newStore with auto-compaction enabled at a threshold.
+func autoStore(parallelism, threshold int) *core.Store {
+	opts := core.DefaultOptions()
+	opts.CS.MinSupport = 3
+	opts.Parallelism = parallelism
+	opts.CompactThreshold = threshold
+	return core.NewStore(opts)
+}
+
+// coreQO is the default query configuration (the paper's fastest).
+func coreQO() core.QueryOptions {
+	return core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}
+}
+
+func loadAll(st *core.Store, ts []nt.Triple) {
+	for _, t := range ts {
+		st.Add(t)
+	}
+}
+
+// BuildStores materializes the script three ways: mutated through the
+// delta layer at Parallelism 1 and 4, and a fresh store fully Organized
+// on the final triples.
+func BuildStores(sc *Script) (mut1, mut4, fresh *core.Store, err error) {
+	mut1, mut4 = newStore(1), newStore(4)
+	for _, st := range []*core.Store{mut1, mut4} {
+		loadAll(st, sc.Initial)
+		if _, err := st.Organize(); err != nil {
+			return nil, nil, nil, err
+		}
+		for _, op := range sc.Ops {
+			if op.Del {
+				st.Delete(op.T)
+			} else {
+				st.Add(op.T)
+			}
+		}
+	}
+	fresh = newStore(1)
+	loadAll(fresh, sc.Final())
+	if _, err := fresh.Organize(); err != nil {
+		return nil, nil, nil, err
+	}
+	return mut1, mut4, fresh, nil
+}
+
+// CheckEquivalence runs the full differential matrix over the script's
+// queries: API parity within each store, Parallelism 1 ≡ 4 row
+// sequences, and (for deterministic queries) identical row multisets
+// between the mutated stores and the fresh re-organized store across
+// every plan configuration.
+func CheckEquivalence(mut1, mut4, fresh *core.Store, queries []Query) error {
+	for _, q := range queries {
+		m1, err := EvalQuery(mut1, q.Text)
+		if err != nil {
+			return fmt.Errorf("mutated(par=1): %w", err)
+		}
+		m4, err := EvalQuery(mut4, q.Text)
+		if err != nil {
+			return fmt.Errorf("mutated(par=4): %w", err)
+		}
+		for _, cfg := range Configs {
+			if !eqSeq(m1[cfg], m4[cfg]) {
+				return fmt.Errorf("%v: parallelism 1 vs 4 disagree\nquery: %s\npar1: %v\npar4: %v", cfg, q.Text, m1[cfg], m4[cfg])
+			}
+		}
+		if !q.CrossStore {
+			continue
+		}
+		f, err := EvalQuery(fresh, q.Text)
+		if err != nil {
+			return fmt.Errorf("fresh: %w", err)
+		}
+		want := sorted(f[Configs[0]])
+		for _, cfg := range Configs {
+			if !eqSeq(sorted(f[cfg]), want) {
+				return fmt.Errorf("fresh store: %v disagrees with %v\nquery: %s", cfg, Configs[0], q.Text)
+			}
+			if !eqSeq(sorted(m1[cfg]), want) {
+				return fmt.Errorf("mutated store %v != fresh store\nquery: %s\nmutated: %v\nfresh: %v",
+					cfg, q.Text, sorted(m1[cfg]), want)
+			}
+		}
+	}
+	return nil
+}
+
+// RunDifferential is the whole property: generate a workload from the
+// seeds, mutate stores through the delta layer, and require equivalence
+// with a fresh re-organized store — before Compact, and again after.
+func RunDifferential(seed int64, nSubj, nOps int) error {
+	sc := GenScript(seed, nSubj, nOps)
+	mut1, mut4, fresh, err := BuildStores(sc)
+	if err != nil {
+		return err
+	}
+	if err := CheckEquivalence(mut1, mut4, fresh, sc.Queries); err != nil {
+		return fmt.Errorf("pre-compact: %w", err)
+	}
+	if _, err := mut1.Compact(); err != nil {
+		return err
+	}
+	if _, err := mut4.Compact(); err != nil {
+		return err
+	}
+	if err := CheckEquivalence(mut1, mut4, fresh, sc.Queries); err != nil {
+		return fmt.Errorf("post-compact: %w", err)
+	}
+	return nil
+}

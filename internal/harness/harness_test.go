@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestDifferentialSeeds is the deterministic slice of the property: a
+// handful of seeds covering small and mid-size graphs with mixed
+// add/delete scripts.
+func TestDifferentialSeeds(t *testing.T) {
+	cases := []struct {
+		seed  int64
+		nSubj int
+		nOps  int
+	}{
+		{seed: 1, nSubj: 40, nOps: 30},
+		{seed: 2, nSubj: 60, nOps: 50},
+		{seed: 3, nSubj: 25, nOps: 60},
+		{seed: 7, nSubj: 80, nOps: 20},
+		{seed: 11, nSubj: 50, nOps: 45},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			if err := RunDifferential(c.seed, c.nSubj, c.nOps); err != nil {
+				t.Fatalf("seed=%d nSubj=%d nOps=%d: %v", c.seed, c.nSubj, c.nOps, err)
+			}
+		})
+	}
+}
+
+// TestDifferentialDeleteOnly drives a script that deletes a large
+// fraction of the graph, exercising tombstones without new delta rows.
+func TestDifferentialDeleteOnly(t *testing.T) {
+	sc := GenScript(5, 50, 0)
+	// rewrite the op tape: delete every third initial triple
+	for i, tr := range dedup(sc.Initial) {
+		if i%3 == 0 {
+			sc.Ops = append(sc.Ops, Op{Del: true, T: tr})
+		}
+	}
+	mut1, mut4, fresh, err := BuildStores(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEquivalence(mut1, mut4, fresh, sc.Queries); err != nil {
+		t.Fatalf("pre-compact: %v", err)
+	}
+	if _, err := mut1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mut4.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEquivalence(mut1, mut4, fresh, sc.Queries); err != nil {
+		t.Fatalf("post-compact: %v", err)
+	}
+}
+
+// TestAutoCompactEquivalence re-runs a script with a tiny
+// CompactThreshold so compaction triggers mid-script, interleaved with
+// the updates — results must still match the fresh store.
+func TestAutoCompactEquivalence(t *testing.T) {
+	sc := GenScript(9, 50, 60)
+	st := autoStore(1, 8)
+	loadAll(st, sc.Initial)
+	if _, err := st.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range sc.Ops {
+		if op.Del {
+			st.Delete(op.T)
+		} else {
+			st.Add(op.T)
+		}
+		if i%7 == 0 {
+			// interleave queries so refreshes (and auto-compactions)
+			// happen mid-script
+			if _, err := st.Query(sc.Queries[0].Text, coreQO()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fresh := newStore(1)
+	loadAll(fresh, sc.Final())
+	if _, err := fresh.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range sc.Queries {
+		if !q.CrossStore {
+			continue
+		}
+		a, err := EvalQuery(st, q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EvalQuery(fresh, q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range Configs {
+			if !eqSeq(sorted(a[cfg]), sorted(b[cfg])) {
+				t.Fatalf("%v: auto-compacted store != fresh store\nquery: %s\ngot:  %v\nwant: %v",
+					cfg, q.Text, sorted(a[cfg]), sorted(b[cfg]))
+			}
+		}
+	}
+	if st.Stats().DeltaRows > 8+16 {
+		t.Fatalf("auto-compaction did not bound the delta: %d rows", st.Stats().DeltaRows)
+	}
+}

@@ -141,8 +141,20 @@ func (n *RDFScanNode) Explain(b *strings.Builder, indent int) {
 	if n.UseZones {
 		zones = " +zonemaps"
 	}
-	fmt.Fprintf(b, "RDFscan ?%s over %s [%d props, 0 self-joins]%s est=%.0f\n",
-		n.Star.SubjVar, strings.Join(names, ","), len(n.Star.Props), zones, n.est)
+	live := ""
+	delta, dead := 0, 0
+	for _, t := range n.Tables {
+		delta += t.DeltaLen()
+		dead += t.Del.Count()
+	}
+	if delta > 0 {
+		live += fmt.Sprintf(" delta=%d", delta)
+	}
+	if dead > 0 {
+		live += fmt.Sprintf(" dead=%d", dead)
+	}
+	fmt.Fprintf(b, "RDFscan ?%s over %s [%d props, 0 self-joins]%s%s est=%.0f\n",
+		n.Star.SubjVar, strings.Join(names, ","), len(n.Star.Props), zones, live, n.est)
 	for i := range n.Star.Props {
 		pad(b, indent+1)
 		fmt.Fprintf(b, "col %s%s\n", propDesc(&n.Star.Props[i]), n.colPhysDesc(&n.Star.Props[i]))

@@ -235,8 +235,16 @@ func (b *builder) crossTablePushdown(stars []*star) {
 }
 
 // residualFree reports that none of the star's predicates occur in the
-// irregular store, so table rows are the complete answer set.
+// irregular store or in a link table, so table rows are the complete
+// answer set.
 func (b *builder) residualFree(st *star) bool {
+	for i := range st.props {
+		for _, lt := range b.sv.Cat.Links {
+			if lt.Pred == st.props[i].Pred && len(lt.Subj) > 0 {
+				return false
+			}
+		}
+	}
 	if b.sv.Cat.Irregular.Len() == 0 {
 		return true
 	}
@@ -254,6 +262,14 @@ func (b *builder) residualFree(st *star) bool {
 // restricted=false when the star has no such constraint.
 func (b *builder) subjectWindow(st *star, t *relational.Table) (dict.OID, dict.OID, bool) {
 	if t.SortPred == dict.Nil {
+		return 0, 0, false
+	}
+	// Live updates break the window's completeness: unsealed delta rows
+	// carry subject OIDs outside the dense range, and a compacted table
+	// (extra rows appended, holes punched) no longer keeps its sort-key
+	// column ascending. Tombstones alone are fine — stale sealed entries
+	// only widen the window.
+	if t.SortDisturbed || t.DeltaLen() > 0 {
 		return 0, 0, false
 	}
 	var rangeProp *exec.StarProp

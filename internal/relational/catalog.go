@@ -31,7 +31,10 @@ type Col struct {
 	Folded bool
 }
 
-// Table is a materialized CS.
+// Table is a materialized CS. Beyond the clustered dense region it can
+// carry a live-update delta layer: Extra subjects sealed in by Compact
+// past the dense range, a tombstone bitmap over sealed rows, and an
+// unsealed columnar delta tail (see delta.go).
 type Table struct {
 	CS   *cs.CS
 	Name string
@@ -46,6 +49,23 @@ type Table struct {
 	Cols     []*Col
 	// Hidden tables (absorbed 1-1 CSs) are materialized but not exported.
 	Hidden bool
+
+	// Extra holds the subject OIDs of sealed rows past the dense range
+	// (delta rows merged by Compact): row Count+i belongs to Extra[i].
+	Extra    []dict.OID
+	extraRow map[dict.OID]int
+	// Del tombstones sealed rows ([0,SealedRows)) whose subject was
+	// deleted or migrated to a delta row; scans filter it out.
+	Del *Bitmap
+	// Delta is the unsealed delta tail (nil when empty).
+	Delta *DeltaRows
+	// holes marks permanent all-NULL rows left by Compact folding
+	// tombstones in. Scans need no filter (every cell is NULL), but
+	// RowOf must not resolve a moved subject to its old hole.
+	holes *Bitmap
+	// SortDisturbed is set once extra rows or holes break the sort-key
+	// column's ascending invariant; range pushdown skips such tables.
+	SortDisturbed bool
 }
 
 // Col returns the column for a predicate, or nil.
@@ -68,18 +88,34 @@ func (t *Table) ColByName(name string) *Col {
 	return nil
 }
 
-// SubjectOID returns the subject OID of row i.
+// SubjectOID returns the subject OID of physical row i — dense rows by
+// OID arithmetic, extra and delta rows from their subject columns.
 func (t *Table) SubjectOID(i int) dict.OID {
-	return dict.ResourceOID(t.Base + uint64(i))
+	if i < t.Count {
+		return dict.ResourceOID(t.Base + uint64(i))
+	}
+	if sr := t.SealedRows(); i >= sr {
+		return t.Delta.Subj[i-sr]
+	}
+	return t.Extra[i-t.Count]
 }
 
-// RowOf returns the row of a subject OID, or -1.
+// RowOf returns the physical row currently holding subject s's data —
+// delta rows first, then compacted-in extra rows, then the dense range —
+// or -1. Tombstoned dense rows do not resolve: the subject either moved
+// to the delta layer or was deleted.
 func (t *Table) RowOf(s dict.OID) int {
-	p := s.Payload()
-	if !s.IsResource() || p < t.Base || p >= t.Base+uint64(t.Count) {
-		return -1
+	if t.Delta != nil {
+		if i, ok := t.Delta.rowOf[s]; ok {
+			return t.SealedRows() + i
+		}
 	}
-	return int(p - t.Base)
+	if t.extraRow != nil {
+		if i, ok := t.extraRow[s]; ok {
+			return t.Count + i
+		}
+	}
+	return t.DenseLiveRow(s)
 }
 
 // LinkTable stores a multi-valued property split off from its CS
@@ -105,30 +141,30 @@ type Catalog struct {
 
 	byName map[string]*Table
 	byCS   map[int]*Table
+	// deltaOf / extraOf resolve delta-resident and compacted-in subjects
+	// whose OIDs lie outside every dense range.
+	deltaOf map[dict.OID]*Table
+	extraOf map[dict.OID]*Table
 }
 
-// TableOf returns the table (hidden ones included) whose clustered
-// subject range contains s, or nil. Ranges are contiguous and in
-// catalog order, so this is a binary search.
+// TableOf returns the table (hidden ones included) currently holding s,
+// or nil: the delta and extra maps first, then a binary search over the
+// contiguous clustered ranges. Subjects whose dense row is tombstoned
+// resolve to nil — their data moved to a delta row or was deleted.
 func (cat *Catalog) TableOf(s dict.OID) *Table {
-	if !s.IsResource() {
-		return nil
+	if t := cat.deltaOf[s]; t != nil {
+		return t
 	}
-	p := s.Payload()
-	lo, hi := 0, len(cat.Tables)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		t := cat.Tables[mid]
-		switch {
-		case p < t.Base:
-			hi = mid
-		case p >= t.Base+uint64(t.Count):
-			lo = mid + 1
-		default:
-			return t
+	if t := cat.extraOf[s]; t != nil {
+		return t
+	}
+	t := cat.denseTableOf(s)
+	if t != nil {
+		if r := int(s.Payload() - t.Base); t.Del.Get(r) || t.holes.Get(r) {
+			return nil
 		}
 	}
-	return nil
+	return t
 }
 
 // ByName returns a visible table by name.
@@ -337,7 +373,7 @@ func (cat *Catalog) DDL(d *dict.Dictionary) string {
 	var b strings.Builder
 	for _, t := range cat.Visible() {
 		fmt.Fprintf(&b, "CREATE TABLE %s (\n", t.Name)
-		lines := []string{fmt.Sprintf("id VARCHAR PRIMARY KEY -- subject (%d rows)", t.Count)}
+		lines := []string{fmt.Sprintf("id VARCHAR PRIMARY KEY -- subject (%d rows)", t.LiveCount())}
 		for _, c := range t.Cols {
 			if c.Folded && c.FKTable != nil && c.FKTable.Hidden {
 				continue // FK into an absorbed table: unified away
@@ -398,6 +434,10 @@ type Stats struct {
 	Rows             int
 	Columns          int
 	IrregularTriples int
+	// DeltaRows counts unsealed delta rows awaiting Compact; Tombstones
+	// counts sealed rows masked by the delete bitmaps.
+	DeltaRows  int
+	Tombstones int
 }
 
 // Stats returns catalog-level counters.
@@ -405,11 +445,13 @@ func (cat *Catalog) Stats() Stats {
 	var s Stats
 	for _, t := range cat.Visible() {
 		s.Tables++
-		s.Rows += t.Count
+		s.Rows += t.LiveCount()
 		s.Columns += len(t.Cols)
 	}
 	s.LinkTables = len(cat.Links)
 	s.IrregularTriples = cat.Irregular.Len()
+	s.DeltaRows = cat.DeltaRowCount()
+	s.Tombstones = cat.TombstoneCount()
 	return s
 }
 

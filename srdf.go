@@ -75,6 +75,12 @@ type Options struct {
 	// partials and can differ from the sequential fold in the last few
 	// bits.
 	Parallelism int
+	// CompactThreshold is the delta-layer size (delta rows plus
+	// tombstones) past which the store automatically compacts deltas
+	// into freshly sealed segments; 0 uses the built-in default,
+	// negative disables auto-compaction (Compact can still be called
+	// explicitly).
+	CompactThreshold int
 }
 
 // Defaults returns the standard configuration.
@@ -110,6 +116,7 @@ func New(o Options) *Store {
 	copts.Cluster.SortKeys = o.SortKeys
 	copts.PoolPages = o.PoolPages
 	copts.Parallelism = o.Parallelism
+	copts.CompactThreshold = o.CompactThreshold
 	return &Store{inner: core.NewStore(copts)}
 }
 
@@ -160,14 +167,36 @@ func (s *Store) MustLoadTurtle(src string) int {
 }
 
 // Add trickle-inserts one triple. After Organize the triple lands in the
-// irregular delta and stays exactly queryable; the next Organize folds
-// it into the schema.
+// mutable delta layer: its subject is matched against the existing
+// characteristic sets and either gets a delta row behind one table's
+// sealed segments or spills to the irregular leftover store — exactly
+// queryable either way, with no rebuild. The live path treats the graph
+// as a set: adding an already-present triple is a no-op.
 func (s *Store) Add(t Triple) { s.inner.Add(t) }
 
+// Delete removes one triple. After Organize the subject's sealed row is
+// tombstoned and its surviving values are re-routed through the delta
+// layer at the next query; deleting an absent triple is a no-op.
+func (s *Store) Delete(t Triple) { s.inner.Delete(t) }
+
 // Organize discovers the schema, clusters subjects, and materializes the
-// relational catalog. Call it after bulk loading and periodically after
-// trickle inserts.
+// relational catalog. Call it after bulk loading, and occasionally after
+// heavy update traffic to re-cluster from scratch; day-to-day deltas are
+// folded in incrementally by queries and Compact instead. Organize
+// renumbers the dictionary, so it waits for open Rows iterators — close
+// them first (same-goroutine calls with an open stream deadlock).
 func (s *Store) Organize() (Report, error) { return s.inner.Organize() }
+
+// CompactReport summarizes a Compact run.
+type CompactReport = core.CompactReport
+
+// Compact merges the delta layer (delta rows, tombstones) into freshly
+// sealed compressed segments and refreshes the affected tables' CS
+// statistics — the incremental, much cheaper alternative to a full
+// re-Organize. It also runs automatically once the delta outgrows
+// Options.CompactThreshold. Concurrent readers are unaffected: they
+// keep their snapshot until their next query.
+func (s *Store) Compact() (CompactReport, error) { return s.inner.Compact() }
 
 // Query runs a SPARQL SELECT query with the default configuration
 // (RDFscan plans with zone maps — the paper's fastest).
@@ -189,10 +218,11 @@ type Rows = core.Rows
 // and large results never materialize. Every query shape streams —
 // GROUP BY/aggregates fold into per-group states, DISTINCT keeps only a
 // key set, and ORDER BY + LIMIT k holds at most k rows of sort state —
-// so there is no materializing fallback. The iterator holds the store's
-// exclusive lock until Close (exhaustion closes it automatically):
-// always drain or Close it before issuing other store operations —
-// doing so from the same goroutine beforehand deadlocks.
+// so there is no materializing fallback. The iterator reads an immutable
+// epoch snapshot: Add, Delete, Compact and other queries may run
+// concurrently while it is open and never affect its rows. Only
+// Organize blocks until every open iterator is closed (exhaustion
+// closes automatically).
 func (s *Store) QueryStream(q string) (*Rows, error) {
 	return s.inner.QueryStream(q, core.QueryOptions{Mode: RDFScan, ZoneMaps: true})
 }
