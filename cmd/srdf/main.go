@@ -1,15 +1,20 @@
 // Command srdf is the CLI for the self-organizing RDF store: it loads an
-// N-Triples (or Turtle) file, discovers the emergent relational schema,
-// and answers SPARQL queries with either plan family.
+// N-Triples (or Turtle) file — or a binary snapshot built with `srdf
+// build` — discovers the emergent relational schema, and answers SPARQL
+// queries with either plan family.
 //
 // Usage:
 //
-//	srdf schema  [-minsupport N] [-summary kw1,kw2] data.nt
-//	srdf query   [-mode default|rdfscan] [-zonemaps] [-explain] -q 'SELECT ...' data.nt
-//	srdf stats   data.nt
-//	srdf dump    [-table name] [-limit N] data.nt
+//	srdf build   [-minsupport N] [-o data.srdf] data.nt
+//	srdf schema  [-minsupport N] [-summary kw1,kw2] data.nt|data.srdf
+//	srdf query   [-mode default|rdfscan] [-zonemaps] [-explain] -q 'SELECT ...' data.nt|data.srdf
+//	srdf stats   data.nt|data.srdf
+//	srdf dump    [-table name] [-limit N] data.nt|data.srdf
 //
-// The store is in-memory; each invocation loads, organizes, and answers.
+// A `.nt`/`.ttl` input is parsed and organized on every invocation; a
+// `.srdf` snapshot opens directly — the expensive characteristic-set
+// pipeline already ran at build time and sealed segments load lazily, so
+// startup is near-instant regardless of store size.
 package main
 
 import (
@@ -31,6 +36,8 @@ func main() {
 	args := os.Args[2:]
 	var err error
 	switch cmd {
+	case "build":
+		err = cmdBuild(args)
 	case "schema":
 		err = cmdSchema(args)
 	case "query":
@@ -50,47 +57,99 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: srdf <schema|query|stats|dump> [flags] data.nt
+	fmt.Fprintln(os.Stderr, `usage: srdf <build|schema|query|stats|dump> [flags] data.nt|data.srdf
+  build    organize a triple file into a binary snapshot (-o out.srdf)
   schema   discover and print the emergent SQL schema
   query    run a SPARQL query (-q '...' or -f query.rq)
   stats    print store statistics after organization
-  dump     print a discovered table as CSV`)
+  dump     print a discovered table as CSV
+
+A .srdf snapshot (written by build) is accepted wherever a .nt/.ttl file
+is: it opens directly, skipping parse and re-organization.`)
 }
 
-func loadStore(path string, minSupport int) (*srdf.Store, error) {
+// loadStore loads a triple file or opens a snapshot. The organized flag
+// reports whether organization already happened (snapshot fast path).
+func loadStore(path string, minSupport int) (*srdf.Store, bool, error) {
 	opts := srdf.Defaults()
 	if minSupport > 0 {
 		opts.MinSupport = minSupport
 	}
+	if strings.HasSuffix(path, ".srdf") {
+		st, err := srdf.Open(path, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		// a snapshot can also hold an un-organized store (dictionary +
+		// triples only); those still need the Organize pass
+		return st, st.Organized(), nil
+	}
 	st := srdf.New(opts)
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".ttl") {
 		if _, err := st.LoadTurtle(f); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	} else {
 		n, errs, err := st.LoadNTriples(f, true)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if len(errs) > 0 {
 			fmt.Fprintf(os.Stderr, "srdf: skipped %d malformed lines\n", len(errs))
 		}
 		_ = n
 	}
-	return st, nil
+	return st, false, nil
 }
 
-func organize(st *srdf.Store) error {
+// organize runs Organize unless the store came from a snapshot, where
+// the pipeline already ran at build time.
+func organize(st *srdf.Store, organized bool) error {
+	if organized {
+		return nil
+	}
 	rep, err := st.Organize()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, rep)
+	return nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "", "output snapshot path (default: input with .srdf extension)")
+	minSupport := fs.Int("minsupport", 0, "minimum CS support")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("build: need one data file")
+	}
+	in := fs.Arg(0)
+	if strings.HasSuffix(in, ".srdf") {
+		return fmt.Errorf("build: %s is already a snapshot", in)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(strings.TrimSuffix(in, ".nt"), ".ttl") + ".srdf"
+	}
+	st, _, err := loadStore(in, *minSupport)
+	if err != nil {
+		return err
+	}
+	if err := organize(st, false); err != nil {
+		return err
+	}
+	if err := st.Save(path); err != nil {
+		return err
+	}
+	if info, err := os.Stat(path); err == nil {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", path, info.Size())
+	}
 	return nil
 }
 
@@ -102,11 +161,11 @@ func cmdSchema(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("schema: need one data file")
 	}
-	st, err := loadStore(fs.Arg(0), *minSupport)
+	st, organized, err := loadStore(fs.Arg(0), *minSupport)
 	if err != nil {
 		return err
 	}
-	if err := organize(st); err != nil {
+	if err := organize(st, organized); err != nil {
 		return err
 	}
 	if *summary != "" {
@@ -140,12 +199,12 @@ func cmdQuery(args []string) error {
 		}
 		*qtext = string(b)
 	}
-	st, err := loadStore(fs.Arg(0), *minSupport)
+	st, organized, err := loadStore(fs.Arg(0), *minSupport)
 	if err != nil {
 		return err
 	}
 	if !*noOrganize {
-		if err := organize(st); err != nil {
+		if err := organize(st, organized); err != nil {
 			return err
 		}
 	}
@@ -179,11 +238,11 @@ func cmdStats(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("stats: need one data file")
 	}
-	st, err := loadStore(fs.Arg(0), *minSupport)
+	st, organized, err := loadStore(fs.Arg(0), *minSupport)
 	if err != nil {
 		return err
 	}
-	if err := organize(st); err != nil {
+	if err := organize(st, organized); err != nil {
 		return err
 	}
 	s := st.Stats()
@@ -201,11 +260,11 @@ func cmdDump(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("dump: need one data file")
 	}
-	st, err := loadStore(fs.Arg(0), *minSupport)
+	st, organized, err := loadStore(fs.Arg(0), *minSupport)
 	if err != nil {
 		return err
 	}
-	if err := organize(st); err != nil {
+	if err := organize(st, organized); err != nil {
 		return err
 	}
 	cat := st.Internal().Catalog()

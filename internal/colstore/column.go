@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"sort"
+	"sync"
 
 	"srdf/internal/dict"
 )
@@ -31,6 +32,40 @@ type Column struct {
 
 	pool *BufferPool
 	obj  uint32
+
+	// accMu guards the pool account. Eager Seal accounts the whole
+	// column at once; snapshot-restored columns account block by block
+	// as lazy segments fault in, so Release must subtract exactly what
+	// was added — these counters, not the theoretical total. released
+	// marks the account closed: blocks faulting in afterwards (in-flight
+	// snapshot readers racing a Compact) decode but no longer account,
+	// so neither the pool's resident bytes nor its lazy/decoded tallies
+	// drift. lazyLeft counts this column's not-yet-decoded lazy blocks;
+	// Release hands the remainder back to the pool's SegmentsLazy.
+	accMu    sync.Mutex
+	accComp  int64
+	accLog   int64
+	lazyLeft int
+	released bool
+}
+
+// accountSegment adds one decoded block (or, for Seal, the whole
+// column) to the pool account, unless the account was already closed by
+// Release. It reports whether the bytes were accepted (and must
+// therefore reach the pool). lazy marks a lazy-block fault, which also
+// consumes one pending-decode slot.
+func (c *Column) accountSegment(comp, log int, lazy bool) bool {
+	c.accMu.Lock()
+	defer c.accMu.Unlock()
+	if c.released {
+		return false
+	}
+	c.accComp += int64(comp)
+	c.accLog += int64(log)
+	if lazy {
+		c.lazyLeft--
+	}
+	return true
 }
 
 // NewColumn allocates an n-row column of NULLs registered with pool
@@ -82,7 +117,7 @@ func (c *Column) Seal() {
 	c.n = n
 	c.zm = zm
 	c.Vals = nil
-	if c.pool != nil {
+	if c.accountSegment(compressed, 8*n, false) && c.pool != nil {
 		c.pool.AddSegmentBytes(compressed, 8*n)
 	}
 }
@@ -92,8 +127,19 @@ func (c *Column) Seal() {
 // replaces the column with a freshly sealed successor. The data itself
 // stays readable (snapshots may still scan it).
 func (c *Column) Release() {
-	if c.segs != nil && c.pool != nil {
-		c.pool.AddSegmentBytes(-c.CompressedBytes(), -8*c.n)
+	if c.segs == nil {
+		return
+	}
+	c.accMu.Lock()
+	comp, log, left := c.accComp, c.accLog, c.lazyLeft
+	c.accComp, c.accLog, c.lazyLeft = 0, 0, 0
+	c.released = true
+	c.accMu.Unlock()
+	if c.pool != nil {
+		c.pool.AddSegmentBytes(int(-comp), int(-log))
+		// never-decoded blocks of a released column are no longer
+		// pending anything
+		c.pool.dropLazySegments(left)
 	}
 }
 
@@ -213,7 +259,7 @@ func (c *Column) BlockValues(b int, buf []dict.OID) []dict.OID {
 		return c.Vals[lo:hi]
 	}
 	seg := c.segs[b]
-	if p, ok := seg.(*plainSegment); ok {
+	if p, ok := asPlain(seg); ok {
 		return p.view()
 	}
 	return seg.Decode(buf[:0])
@@ -234,7 +280,7 @@ func (c *Column) GatherBlock(b int, sel []int32, buf []dict.OID) []dict.OID {
 		return c.Vals[lo:hi]
 	}
 	seg := c.segs[b]
-	if p, ok := seg.(*plainSegment); ok {
+	if p, ok := asPlain(seg); ok {
 		return p.view()
 	}
 	for _, k := range sel {

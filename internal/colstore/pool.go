@@ -50,20 +50,28 @@ type PoolStats struct {
 	// sealed): 4.0 means sealed columns resident at a quarter of their
 	// flat size.
 	CompressionRatio float64
+	// SegmentsLazy counts sealed blocks restored from a snapshot whose
+	// payload has not been decoded yet; SegmentsDecoded counts blocks
+	// faulted in so far. Opening a snapshot must leave SegmentsDecoded
+	// (and SegmentBytes) at zero — payloads decode on first touch.
+	SegmentsLazy    int64
+	SegmentsDecoded int64
 }
 
 // BufferPool tracks which pages are resident, with LRU eviction.
 // The zero value is not usable; create with NewPool.
 type BufferPool struct {
-	mu        sync.Mutex
-	capacity  int // max resident pages; <=0 means unlimited
-	fetchCost time.Duration
-	lru       *list.List // of PageID, front = most recent
-	pages     map[PageID]*list.Element
-	stats     PoolStats
-	segBytes  int64
-	logBytes  int64
-	nextObj   uint32
+	mu          sync.Mutex
+	capacity    int // max resident pages; <=0 means unlimited
+	fetchCost   time.Duration
+	lru         *list.List // of PageID, front = most recent
+	pages       map[PageID]*list.Element
+	stats       PoolStats
+	segBytes    int64
+	logBytes    int64
+	lazySegs    int64
+	decodedSegs int64
+	nextObj     uint32
 }
 
 // NewPool returns a pool holding at most capacity pages (<=0: unlimited)
@@ -140,6 +148,31 @@ func (bp *BufferPool) AddSegmentBytes(compressed, logical int) {
 	bp.logBytes += int64(logical)
 }
 
+// addLazySegments accounts blocks restored from a snapshot in undecoded
+// form; each later decode moves one to the decoded tally.
+func (bp *BufferPool) addLazySegments(n int) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lazySegs += int64(n)
+}
+
+// segmentDecoded records one lazy block faulting in. The byte accounting
+// goes through AddSegmentBytes separately.
+func (bp *BufferPool) segmentDecoded() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lazySegs--
+	bp.decodedSegs++
+}
+
+// dropLazySegments removes a released column's never-decoded blocks from
+// the pending tally.
+func (bp *BufferPool) dropLazySegments(n int) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lazySegs -= int64(n)
+}
+
 // Stats returns a snapshot of the counters.
 func (bp *BufferPool) Stats() PoolStats {
 	bp.mu.Lock()
@@ -151,6 +184,8 @@ func (bp *BufferPool) Stats() PoolStats {
 	if bp.segBytes > 0 {
 		s.CompressionRatio = float64(bp.logBytes) / float64(bp.segBytes)
 	}
+	s.SegmentsLazy = bp.lazySegs
+	s.SegmentsDecoded = bp.decodedSegs
 	return s
 }
 

@@ -1,0 +1,462 @@
+// Segment serialization: the on-disk representation of a sealed column
+// is exactly its in-memory compressed form — the RLE / frame-of-reference
+// / block-dictionary / plain encodings of segment.go, framed per block.
+// A restored column holds lazy segments: the encoded payload bytes stay
+// resident (the snapshot is read and checksummed once at open) but are
+// not decoded until a scan first touches the block, at which point the
+// decode is accounted against the buffer pool — so opening a large store
+// does no per-value work and cold queries fault in only the columns they
+// read.
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"srdf/internal/dict"
+)
+
+// AppendOID appends o in the snapshot varint form: the literal tag bit is
+// rotated down so literal OIDs stay as short as resource OIDs.
+func AppendOID(dst []byte, o dict.OID) []byte {
+	return binary.AppendUvarint(dst, bits.RotateLeft64(uint64(o), 1))
+}
+
+// DecodeOID reads one AppendOID-encoded OID, returning the bytes
+// consumed (<= 0 on malformed input, like binary.Uvarint).
+func DecodeOID(b []byte) (dict.OID, int) {
+	u, n := binary.Uvarint(b)
+	return dict.OID(bits.RotateLeft64(u, 63)), n
+}
+
+// BlockMeta describes one sealed block of a serialized column: everything
+// a reader needs for zone maps and planning without touching the payload.
+type BlockMeta struct {
+	Enc  Encoding
+	Rows int
+	Zone Zone
+	Len  int // encoded payload length in bytes
+}
+
+// MarshalBlocks appends the sealed column's per-block payloads to dst and
+// returns the matching metadata. Lazy blocks that were never decoded are
+// copied verbatim, so re-saving a snapshot-opened store neither decodes
+// nor re-encodes anything and is byte-stable.
+func (c *Column) MarshalBlocks(dst []byte) ([]byte, []BlockMeta, error) {
+	if c.segs == nil {
+		return nil, nil, fmt.Errorf("colstore: column %s is not sealed", c.Name)
+	}
+	metas := make([]BlockMeta, len(c.segs))
+	for i, seg := range c.segs {
+		start := len(dst)
+		if lz, ok := seg.(*lazySegment); ok {
+			dst = append(dst, lz.blob...)
+			metas[i] = BlockMeta{Enc: lz.enc, Rows: lz.rows, Zone: lz.zone, Len: len(dst) - start}
+			continue
+		}
+		var err error
+		dst, err = appendSegmentPayload(dst, seg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("colstore: column %s block %d: %w", c.Name, i, err)
+		}
+		metas[i] = BlockMeta{Enc: seg.Encoding(), Rows: seg.Len(), Zone: seg.Zone(), Len: len(dst) - start}
+	}
+	return dst, metas, nil
+}
+
+// RestoreSealed rebuilds a sealed column from serialized block metadata
+// and the concatenated payload bytes (which it slices, not copies).
+// Payloads are structurally validated now — lengths, widths, run bounds —
+// but decoded only on first touch; the pool tracks the pending blocks via
+// SegmentsLazy/SegmentsDecoded.
+func RestoreSealed(name string, nullCount int, metas []BlockMeta, blob []byte, pool *BufferPool) (*Column, error) {
+	c := &Column{Name: name, nullCount: nullCount, pool: pool}
+	if pool != nil {
+		c.obj = pool.NewObject()
+	}
+	c.segs = make([]Segment, len(metas))
+	zm := &ZoneMap{Zones: make([]Zone, len(metas))}
+	off, n := 0, 0
+	for i, m := range metas {
+		if m.Rows <= 0 || m.Rows > BlockRows {
+			return nil, fmt.Errorf("colstore: column %s block %d: bad row count %d", name, i, m.Rows)
+		}
+		if i < len(metas)-1 && m.Rows != BlockRows {
+			return nil, fmt.Errorf("colstore: column %s block %d: interior block has %d rows", name, i, m.Rows)
+		}
+		if m.Len < 0 || off+m.Len > len(blob) {
+			return nil, fmt.Errorf("colstore: column %s block %d: payload overruns segment data", name, i)
+		}
+		payload := blob[off : off+m.Len : off+m.Len]
+		if err := validateSegmentPayload(m.Enc, m.Rows, payload); err != nil {
+			return nil, fmt.Errorf("colstore: column %s block %d: %w", name, i, err)
+		}
+		c.segs[i] = &lazySegment{blob: payload, enc: m.Enc, rows: m.Rows, zone: m.Zone, col: c}
+		zm.Zones[i] = m.Zone
+		off += m.Len
+		n += m.Rows
+	}
+	if off != len(blob) {
+		return nil, fmt.Errorf("colstore: column %s: %d trailing segment bytes", name, len(blob)-off)
+	}
+	c.n = n
+	zm.Rows = n
+	c.zm = zm
+	c.lazyLeft = len(metas)
+	if pool != nil {
+		pool.addLazySegments(len(metas))
+	}
+	return c, nil
+}
+
+// lazySegment defers decoding of one snapshot block. The encoded payload
+// is kept after decode, so MarshalBlocks can always copy it verbatim.
+// Concurrent scans may race a block's first touch, so the decoded form is
+// published through an atomic.
+type lazySegment struct {
+	blob []byte
+	enc  Encoding
+	rows int
+	zone Zone
+	col  *Column
+	once sync.Once
+	seg  atomic.Value // Segment
+}
+
+// load decodes the payload on first use and accounts the fault against
+// the column's pool. Payloads are validated at restore time, so a decode
+// failure here means the bytes changed underneath us — an invariant
+// violation, not an input error.
+func (s *lazySegment) load() Segment {
+	if v := s.seg.Load(); v != nil {
+		return v.(Segment)
+	}
+	s.once.Do(func() {
+		seg, err := decodeSegmentPayload(s.enc, s.rows, s.zone, s.blob)
+		if err != nil {
+			panic(fmt.Sprintf("colstore: segment of %s corrupted after open: %v", s.col.Name, err))
+		}
+		// A fault counts only while the column's account is open: a block
+		// faulting in after Release (an in-flight snapshot reader
+		// outliving a Compact) must inflate neither the pool's resident
+		// bytes nor its lazy/decoded tallies — Release already settled
+		// both for this column.
+		if s.col.accountSegment(seg.Bytes(), 8*s.rows, true) && s.col.pool != nil {
+			s.col.pool.AddSegmentBytes(seg.Bytes(), 8*s.rows)
+			s.col.pool.segmentDecoded()
+		}
+		s.seg.Store(seg)
+	})
+	return s.seg.Load().(Segment)
+}
+
+func (s *lazySegment) Len() int           { return s.rows }
+func (s *lazySegment) Encoding() Encoding { return s.enc }
+func (s *lazySegment) Zone() Zone         { return s.zone }
+
+// Bytes reports the resident size: the undecoded payload until the block
+// faults in, the decoded segment after.
+func (s *lazySegment) Bytes() int {
+	if v := s.seg.Load(); v != nil {
+		return v.(Segment).Bytes()
+	}
+	return len(s.blob)
+}
+
+func (s *lazySegment) Get(i int) dict.OID { return s.load().Get(i) }
+
+func (s *lazySegment) Decode(dst []dict.OID) []dict.OID { return s.load().Decode(dst) }
+
+func (s *lazySegment) SelectEq(lo, hi int, v dict.OID, base int32, sel []int32) []int32 {
+	return s.load().SelectEq(lo, hi, v, base, sel)
+}
+
+func (s *lazySegment) SelectRange(lo, hi int, vlo, vhi dict.OID, base int32, sel []int32) []int32 {
+	return s.load().SelectRange(lo, hi, vlo, vhi, base, sel)
+}
+
+func (s *lazySegment) SelectNotNil(lo, hi int, base int32, sel []int32) []int32 {
+	return s.load().SelectNotNil(lo, hi, base, sel)
+}
+
+// asPlain unwraps a (possibly lazy) segment to its plain form for
+// zero-copy block views, faulting lazy blocks in.
+func asPlain(seg Segment) (*plainSegment, bool) {
+	if lz, ok := seg.(*lazySegment); ok {
+		seg = lz.load()
+	}
+	p, ok := seg.(*plainSegment)
+	return p, ok
+}
+
+// appendWords writes packed bit words as fixed 8-byte little-endian.
+func appendWords(dst []byte, words []uint64) []byte {
+	for _, w := range words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// appendSegmentPayload serializes one decoded segment. The frame (enc,
+// rows, zone, length) lives in BlockMeta; the payload is just the body.
+func appendSegmentPayload(dst []byte, seg Segment) ([]byte, error) {
+	switch s := seg.(type) {
+	case *plainSegment:
+		for _, v := range s.vals {
+			dst = AppendOID(dst, v)
+		}
+	case *rleSegment:
+		dst = binary.AppendUvarint(dst, uint64(len(s.vals)))
+		prev := int32(0)
+		for i, v := range s.vals {
+			dst = AppendOID(dst, v)
+			dst = binary.AppendUvarint(dst, uint64(s.ends[i]-prev))
+			prev = s.ends[i]
+		}
+	case *forSegment:
+		dst = AppendOID(dst, s.base)
+		dst = append(dst, byte(s.width))
+		dst = appendWords(dst, s.packed)
+	case *dictSegment:
+		dst = binary.AppendUvarint(dst, uint64(len(s.dictVals)))
+		var prev dict.OID
+		for i, v := range s.dictVals {
+			if i == 0 {
+				dst = AppendOID(dst, v)
+			} else {
+				// sorted ascending: delta-encode
+				dst = binary.AppendUvarint(dst, uint64(v-prev))
+			}
+			prev = v
+		}
+		dst = append(dst, byte(s.width))
+		dst = appendWords(dst, s.packed)
+	default:
+		return nil, fmt.Errorf("unknown segment type %T", seg)
+	}
+	return dst, nil
+}
+
+// segReader is a bounds-checked cursor over one payload.
+type segReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *segReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *segReader) oid() dict.OID {
+	v, n := DecodeOID(r.b[r.off:])
+	if n <= 0 {
+		r.bad = true
+		return dict.Nil
+	}
+	r.off += n
+	return v
+}
+
+func (r *segReader) byte() byte {
+	if r.off >= len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *segReader) words(n int) []uint64 {
+	if n < 0 || r.off+8*n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(r.b[r.off:])
+		r.off += 8
+	}
+	return out
+}
+
+func (r *segReader) done() bool { return !r.bad && r.off == len(r.b) }
+
+// decodeSegmentPayload rebuilds one segment; rows and zone come from the
+// block metadata. It never panics on malformed input.
+func decodeSegmentPayload(enc Encoding, rows int, zone Zone, b []byte) (Segment, error) {
+	r := &segReader{b: b}
+	switch enc {
+	case EncPlain:
+		vals := make([]dict.OID, rows)
+		for i := range vals {
+			vals[i] = r.oid()
+		}
+		if !r.done() {
+			return nil, fmt.Errorf("malformed plain payload")
+		}
+		return &plainSegment{vals: vals, zone: zone}, nil
+	case EncRLE:
+		runs := r.uvarint()
+		if r.bad || runs == 0 || runs > uint64(rows) {
+			return nil, fmt.Errorf("malformed rle payload: %d runs over %d rows", runs, rows)
+		}
+		s := &rleSegment{
+			vals: make([]dict.OID, runs),
+			ends: make([]int32, runs),
+			zone: zone,
+		}
+		end := int32(0)
+		for i := range s.vals {
+			s.vals[i] = r.oid()
+			d := r.uvarint()
+			if r.bad || d == 0 || uint64(end)+d > uint64(rows) {
+				return nil, fmt.Errorf("malformed rle payload: bad run length")
+			}
+			end += int32(d)
+			s.ends[i] = end
+		}
+		if !r.done() || int(end) != rows {
+			return nil, fmt.Errorf("malformed rle payload: runs cover %d of %d rows", end, rows)
+		}
+		return s, nil
+	case EncFOR:
+		base := r.oid()
+		width := int(r.byte())
+		if r.bad || width > 64 {
+			return nil, fmt.Errorf("malformed for payload: width %d", width)
+		}
+		packed := r.words((rows*width + 63) / 64)
+		if !r.done() {
+			return nil, fmt.Errorf("malformed for payload")
+		}
+		return &forSegment{base: base, width: width, n: rows, packed: packed, zone: zone}, nil
+	case EncDict:
+		card := r.uvarint()
+		if r.bad || card == 0 || card > uint64(rows) || card > maxDictCard+1 {
+			return nil, fmt.Errorf("malformed dict payload: cardinality %d", card)
+		}
+		dv := make([]dict.OID, card)
+		dv[0] = r.oid()
+		for i := 1; i < int(card); i++ {
+			d := r.uvarint()
+			if r.bad || d == 0 {
+				return nil, fmt.Errorf("malformed dict payload: values not ascending")
+			}
+			dv[i] = dv[i-1] + dict.OID(d)
+		}
+		width := int(r.byte())
+		if r.bad || width != bits.Len64(card-1) {
+			return nil, fmt.Errorf("malformed dict payload: width %d for cardinality %d", width, card)
+		}
+		packed := r.words((rows*width + 63) / 64)
+		if !r.done() {
+			return nil, fmt.Errorf("malformed dict payload")
+		}
+		// every code must index the dictionary
+		for i := 0; i < rows; i++ {
+			if unpackBit(packed, width, i) >= card {
+				return nil, fmt.Errorf("malformed dict payload: code out of range at row %d", i)
+			}
+		}
+		return &dictSegment{dictVals: dv, width: width, n: rows, packed: packed, zone: zone}, nil
+	default:
+		return nil, fmt.Errorf("unknown encoding %d", enc)
+	}
+}
+
+// validateSegmentPayload structurally checks a payload — frame lengths,
+// bit widths, run and code bounds — without materializing any values, so
+// lazy faults after a validated open cannot fail. This is the cheap half
+// of decodeSegmentPayload: no allocation, no per-value reconstruction.
+func validateSegmentPayload(enc Encoding, rows int, b []byte) error {
+	r := &segReader{b: b}
+	switch enc {
+	case EncPlain:
+		for i := 0; i < rows; i++ {
+			r.oid()
+		}
+		if !r.done() {
+			return fmt.Errorf("malformed plain payload")
+		}
+	case EncRLE:
+		runs := r.uvarint()
+		if r.bad || runs == 0 || runs > uint64(rows) {
+			return fmt.Errorf("malformed rle payload: %d runs over %d rows", runs, rows)
+		}
+		covered := uint64(0)
+		for i := uint64(0); i < runs; i++ {
+			r.oid()
+			d := r.uvarint()
+			if r.bad || d == 0 || covered+d > uint64(rows) {
+				return fmt.Errorf("malformed rle payload: bad run length")
+			}
+			covered += d
+		}
+		if !r.done() || covered != uint64(rows) {
+			return fmt.Errorf("malformed rle payload: runs cover %d of %d rows", covered, rows)
+		}
+	case EncFOR:
+		r.oid()
+		width := int(r.byte())
+		if r.bad || width > 64 {
+			return fmt.Errorf("malformed for payload: width %d", width)
+		}
+		if r.off+8*((rows*width+63)/64) != len(b) {
+			return fmt.Errorf("malformed for payload")
+		}
+	case EncDict:
+		card := r.uvarint()
+		if r.bad || card == 0 || card > uint64(rows) || card > maxDictCard+1 {
+			return fmt.Errorf("malformed dict payload: cardinality %d", card)
+		}
+		r.oid()
+		for i := uint64(1); i < card; i++ {
+			if d := r.uvarint(); r.bad || d == 0 {
+				return fmt.Errorf("malformed dict payload: values not ascending")
+			}
+		}
+		width := int(r.byte())
+		if r.bad || width != bits.Len64(card-1) {
+			return fmt.Errorf("malformed dict payload: width %d for cardinality %d", width, card)
+		}
+		nWords := (rows*width + 63) / 64
+		if r.off+8*nWords != len(b) {
+			return fmt.Errorf("malformed dict payload")
+		}
+		packed := b[r.off:]
+		for i := 0; i < rows; i++ {
+			if unpackBitBytes(packed, width, i) >= card {
+				return fmt.Errorf("malformed dict payload: code out of range at row %d", i)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown encoding %d", enc)
+	}
+	return nil
+}
+
+// unpackBitBytes is unpackBit over raw little-endian word bytes, for
+// validation before any []uint64 is materialized.
+func unpackBitBytes(packed []byte, width, i int) uint64 {
+	if width == 0 {
+		return 0
+	}
+	bit := i * width
+	w, off := bit>>6, uint(bit&63)
+	v := binary.LittleEndian.Uint64(packed[8*w:]) >> off
+	if off+uint(width) > 64 {
+		v |= binary.LittleEndian.Uint64(packed[8*w+8:]) << (64 - off)
+	}
+	return v & widthMask(width)
+}

@@ -35,6 +35,7 @@ import (
 	"srdf/internal/plan"
 	"srdf/internal/relational"
 	"srdf/internal/sparql"
+	"srdf/internal/storage"
 	"srdf/internal/triples"
 )
 
@@ -59,6 +60,13 @@ type Options struct {
 	// auto-triggers Compact during a refresh; 0 means
 	// DefaultCompactThreshold, negative disables auto-compaction.
 	CompactThreshold int
+	// WALPath attaches a write-ahead log: every trickle Add/Delete is
+	// recorded lexically and fsynced at batch boundaries (before a
+	// refresh publishes, at checkpoints, and on Close), so the delta
+	// layer survives crashes. Existing records are replayed through the
+	// ordinary update path when the store is created or opened. Bulk
+	// loads are not logged — checkpoint them with Save.
+	WALPath string
 }
 
 // DefaultOptions returns the standard configuration.
@@ -146,6 +154,20 @@ type Store struct {
 	epoch uint64
 	snap  *snapshot
 
+	// snapshotPath is the checkpoint target: once set (by Save or
+	// OpenStore), Organize and Compact write a fresh snapshot there and
+	// truncate the WAL. wal is nil when no log is attached. walErr
+	// latches a sync failure (Add/Delete cannot return errors): queries
+	// fail-stop on it, the pending batch stays buffered, and the next
+	// successful sync or checkpoint clears it. walLost latches a record
+	// that could not be logged at all; only a successful snapshot
+	// checkpoint — which captures the in-memory state the log missed —
+	// clears that one.
+	snapshotPath string
+	wal          *storage.WAL
+	walErr       error
+	walLost      error
+
 	// workload counts, per predicate IRI, how often queries put a range
 	// or equality filter on that predicate's object — the signal the
 	// next Organize uses to choose subject-clustering sort keys
@@ -154,8 +176,19 @@ type Store struct {
 	workload map[string]int
 }
 
-// NewStore creates an empty store.
+// NewStore creates an empty store. With Options.WALPath set, an existing
+// log is replayed into the new store and subsequent trickle writes are
+// recorded; a log that cannot be opened latches an error surfaced by the
+// first Save, Close, or checkpoint.
 func NewStore(opts Options) *Store {
+	s := newBareStore(opts)
+	if opts.WALPath != "" {
+		s.attachWALLocked(opts.WALPath)
+	}
+	return s
+}
+
+func newBareStore(opts Options) *Store {
 	return &Store{
 		opts:       opts,
 		dict:       dict.New(),
@@ -167,6 +200,163 @@ func NewStore(opts Options) *Store {
 		deadSet:    make(map[triples.Triple]struct{}),
 		workload:   make(map[string]int),
 	}
+}
+
+// OpenStore loads a snapshot written by Save and attaches it as the
+// store's checkpoint target. Opening is cheap: sealed segment payloads
+// are checksummed but not decoded (they fault in on first scan, visible
+// in PoolStats.SegmentsLazy/SegmentsDecoded), and the six projections
+// are not rebuilt until the first query or update needs the store's
+// indexes — Open itself never pays the sort. With
+// Options.WALPath set, the log's surviving records are replayed through
+// the ordinary delta path before the store is returned — crash recovery
+// is exactly "load latest snapshot, re-apply the logged tail".
+func OpenStore(path string, opts Options) (*Store, error) {
+	s := newBareStore(opts)
+	snap, err := storage.ReadFile(path, s.pool)
+	if err != nil {
+		return nil, err
+	}
+	s.dict = snap.Dict
+	s.table = snap.Triples
+	s.schema = snap.Schema
+	s.cat = snap.Catalog
+	s.organized = snap.Organized
+	s.literalsOrdered = snap.LiteralsOrdered
+	s.snapshotPath = path
+	if opts.WALPath != "" {
+		s.attachWALLocked(opts.WALPath)
+		if s.walErr != nil {
+			return nil, s.walErr
+		}
+	}
+	return s, nil
+}
+
+// attachWALLocked opens (or creates) the log, replays its records
+// through the ordinary update path, and starts recording. Errors latch
+// into walErr.
+func (s *Store) attachWALLocked(path string) {
+	w, ops, err := storage.OpenWAL(path)
+	if err != nil {
+		s.walErr = fmt.Errorf("core: wal: %w", err)
+		return
+	}
+	// s.wal is still nil during replay, so the replayed operations are
+	// not re-appended to the log they came from.
+	for _, op := range ops {
+		if op.Del {
+			s.deleteLocked(op.T)
+		} else {
+			s.addLocked(op.T)
+		}
+	}
+	s.wal = w
+}
+
+// logLocked records one applied trickle operation. An operation the log
+// cannot hold latches walLost: the write is live in memory but has no
+// durable copy until a snapshot checkpoint captures it.
+func (s *Store) logLocked(del bool, t nt.Triple) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.Append(storage.Op{Del: del, T: t}); err != nil && s.walLost == nil {
+		s.walLost = fmt.Errorf("core: wal append: %w", err)
+	}
+}
+
+// syncWALLocked flushes the pending batch. A failure latches into
+// walErr — which fails queries until durability is restored — but is
+// transient: the pending records stay buffered, the next sync retries
+// them, and success clears the latch.
+func (s *Store) syncWALLocked() {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.walErr = fmt.Errorf("core: wal sync: %w", err)
+		return
+	}
+	s.walErr = nil
+}
+
+// checkpointLocked makes the current state durable: with a snapshot path
+// attached it writes a fresh snapshot (atomically) and truncates the WAL
+// — the logged operations are folded into the snapshot, and replaying
+// any tail that survives a badly timed crash is idempotent because the
+// graph is a set. With only a WAL attached it syncs the pending batch.
+// A successful checkpoint clears a latched sync failure (the records the
+// failed sync owed are in the snapshot now), so transient disk trouble
+// never wedges the store permanently.
+func (s *Store) checkpointLocked() error {
+	if s.wal == nil && s.walErr != nil {
+		// the WAL never attached; Close clears this to proceed without one
+		return s.walErr
+	}
+	if s.snapshotPath == "" {
+		if s.wal != nil {
+			s.syncWALLocked()
+			return s.walErr
+		}
+		return nil
+	}
+	snap := &storage.Snapshot{
+		Organized:       s.organized,
+		LiteralsOrdered: s.literalsOrdered,
+		Dict:            s.dict,
+		Triples:         s.table,
+		Schema:          s.schema,
+		Catalog:         s.cat,
+	}
+	if err := storage.WriteFile(s.snapshotPath, snap); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.Truncate(); err != nil {
+			s.walErr = fmt.Errorf("core: wal truncate: %w", err)
+			return s.walErr
+		}
+		s.walErr = nil
+	}
+	// the snapshot holds everything the log failed to, un-logged records
+	// included
+	s.walLost = nil
+	return nil
+}
+
+// Save checkpoints the store to path: pending writes are folded in, the
+// whole state is written as an atomic snapshot, and the WAL (if any) is
+// truncated. path becomes the target for future Organize/Compact
+// checkpoints.
+func (s *Store) Save(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	s.snapshotPath = path
+	return s.checkpointLocked()
+}
+
+// Close flushes and closes the WAL. The store itself is in-memory and
+// remains usable, but no further operations are logged.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.walLost
+	if err == nil {
+		err = s.walErr
+	}
+	if s.wal != nil {
+		if e := s.wal.Close(); e != nil && err == nil {
+			err = e
+		}
+		s.wal = nil
+	}
+	// the latched durability failures have been reported; the store
+	// continues as a purely in-memory one
+	s.walErr = nil
+	s.walLost = nil
+	return err
 }
 
 // Dict exposes the dictionary (internally synchronized; shared with
@@ -195,6 +385,16 @@ func (s *Store) Catalog() *relational.Catalog {
 	return s.cat
 }
 
+// Organized reports whether the store has a materialized schema —
+// either from Organize or from an opened snapshot. Unlike Stats it does
+// not refresh, so it is safe on the snapshot fast path before the
+// deferred index build.
+func (s *Store) Organized() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.organized
+}
+
 // Epoch returns the snapshot version: it advances whenever a refresh
 // publishes new state (applied writes, Compact, Organize).
 func (s *Store) Epoch() uint64 {
@@ -220,10 +420,14 @@ func (s *Store) NumTriples() int {
 func (s *Store) Add(t nt.Triple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.addLocked(t)
+	if s.addLocked(t) {
+		s.logLocked(false, t)
+	}
 }
 
-func (s *Store) addLocked(t nt.Triple) {
+// addLocked applies one insertion and reports whether it changed state
+// (false for set-semantics no-ops) — the signal for WAL logging.
+func (s *Store) addLocked(t nt.Triple) bool {
 	nl := s.dict.NumLiterals()
 	so := s.dict.Intern(t.S)
 	po := s.dict.Intern(t.P)
@@ -234,13 +438,13 @@ func (s *Store) addLocked(t nt.Triple) {
 			// re-adding a pending-deleted triple cancels the deletion
 			delete(s.delPending, tr)
 			s.touched[so] = struct{}{}
-			return
+			return true
 		}
 		if _, dup := s.deltaSet[tr]; dup {
-			return // RDF graphs are sets; the live path enforces it
+			return false // RDF graphs are sets; the live path enforces it
 		}
 		if _, dead := s.deadSet[tr]; !dead && s.idxContainsLocked(tr) {
-			return // present in the (non-stale part of the) index
+			return false // present in the (non-stale part of the) index
 		}
 		delete(s.deadSet, tr)
 		s.deltaSet[tr] = struct{}{}
@@ -257,6 +461,7 @@ func (s *Store) addLocked(t nt.Triple) {
 	}
 	s.table.Append(so, po, oo)
 	s.idxDirty = true
+	return true
 }
 
 // Delete removes one triple. The deletion is queued and applied in a
@@ -266,38 +471,59 @@ func (s *Store) addLocked(t nt.Triple) {
 func (s *Store) Delete(t nt.Triple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.deleteLocked(t) {
+		s.logLocked(true, t)
+	}
+}
+
+// deleteLocked queues one deletion and reports whether it changed state
+// (false when the triple is absent) — the signal for WAL logging.
+func (s *Store) deleteLocked(t nt.Triple) bool {
 	so, ok := s.dict.Lookup(t.S)
 	if !ok {
-		return
+		return false
 	}
 	po, ok := s.dict.Lookup(t.P)
 	if !ok {
-		return
+		return false
 	}
 	oo, ok := s.dict.Lookup(t.O)
 	if !ok {
-		return
+		return false
 	}
 	tr := triples.Triple{S: so, P: po, O: oo}
+	if _, pending := s.delPending[tr]; pending {
+		return false // already queued: a repeat delete is a no-op
+	}
 	if s.organized {
 		_, added := s.deltaSet[tr]
 		_, dead := s.deadSet[tr]
 		if !added && (dead || !s.idxContainsLocked(tr)) {
-			return // absent: nothing to delete
+			return false // absent: nothing to delete
 		}
 		s.delPending[tr] = struct{}{}
 		s.touched[so] = struct{}{}
-		return
+		return true
 	}
+	// Pre-Organize there is no current index to consult, so a delete of
+	// an absent (but interned) triple still reports applied — and may be
+	// WAL-logged; replaying it stays a no-op.
 	s.delPending[tr] = struct{}{}
+	return true
 }
 
 // idxContainsLocked reports whether the triple is present in the base
 // indexes (which reflect the table as of the last refresh; callers
-// additionally consult deltaSet/delPending for in-flight writes).
+// additionally consult deltaSet/delPending for in-flight writes). A
+// snapshot-opened store defers the six-projection build to the first
+// operation that needs it — that is what keeps Open at millisecond cost —
+// so a clean missing index is built here on demand.
 func (s *Store) idxContainsLocked(tr triples.Triple) bool {
 	if s.idx == nil {
-		return false
+		if s.idxDirty || s.table.Len() == 0 {
+			return false
+		}
+		s.idx = triples.BuildAll(s.table)
 	}
 	return s.idx.Get(triples.SPO).Contains(tr)
 }
@@ -442,6 +668,13 @@ func (s *Store) Organize() (OrganizeReport, error) {
 	rep.FKs = len(s.schema.FKs)
 	rep.Coverage = s.schema.Coverage
 	rep.IrregularTriples = st.IrregularTriples
+	// With persistence attached, an Organize is a checkpoint: the freshly
+	// clustered state is snapshotted and the log truncated. The in-memory
+	// reorganization above is complete either way; a checkpoint failure
+	// only means durability lagged, and Save can retry it.
+	if err := s.checkpointLocked(); err != nil {
+		return rep, fmt.Errorf("core: organize checkpoint: %w", err)
+	}
 	return rep, nil
 }
 
@@ -482,12 +715,21 @@ func (s *Store) Compact() (CompactReport, error) {
 		s.epoch++
 		s.publishSnapshotLocked()
 	}
-	return CompactReport{
+	rep := CompactReport{
 		Tables:            st.Tables,
 		MergedRows:        st.MergedRows,
 		DroppedTombstones: st.DroppedTombstones,
 		Epoch:             s.epoch,
-	}, nil
+	}
+	// Like Organize, an explicit Compact checkpoints when persistence is
+	// attached (query-path auto-compaction does not — checkpoint I/O
+	// never rides a read). The compaction itself is already published.
+	if st.Tables > 0 {
+		if err := s.checkpointLocked(); err != nil {
+			return rep, fmt.Errorf("core: compact checkpoint: %w", err)
+		}
+	}
+	return rep, nil
 }
 
 // compactLocked compacts on a catalog clone; the caller publishes.
@@ -575,6 +817,9 @@ func (s *Store) publishSnapshotLocked() {
 // touched subject through the delta layer, auto-compact past the
 // threshold, and publish the next epoch.
 func (s *Store) refreshLocked() {
+	// Durability precedes visibility: the batch of trickle writes this
+	// refresh folds in is fsynced before any query can observe it.
+	s.syncWALLocked()
 	changed := false
 	if s.applyPendingDeletesLocked() > 0 {
 		changed = true
@@ -622,6 +867,17 @@ func (s *Store) planLocked(q *sparql.Query, qopts QueryOptions, record bool) (*p
 		s.recordWorkloadLocked(q)
 	}
 	s.refreshLocked()
+	if s.walLost != nil {
+		// a record never made it into the log: only a snapshot
+		// checkpoint (Save/Organize/Compact) restores durability
+		return nil, nil, s.walLost
+	}
+	if s.walErr != nil {
+		// Durability precedes visibility: if the log cannot be synced,
+		// fail the query rather than serve writes that might not survive
+		// a crash. A later successful sync or checkpoint clears this.
+		return nil, nil, s.walErr
+	}
 	snap := s.snap
 	p, err := plan.Build(q, snap.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
 	if err != nil {
@@ -770,6 +1026,9 @@ type Stats struct {
 	Epoch      uint64
 	DeltaRows  int
 	Tombstones int
+	// WALRecords counts operations in the attached write-ahead log since
+	// the last checkpoint (0 when no WAL is attached).
+	WALRecords int
 }
 
 // Stats returns store-level counters, folding pending writes in first.
@@ -784,6 +1043,9 @@ func (s *Store) Stats() Stats {
 		Organized: s.organized,
 		Pool:      s.pool.Stats(),
 		Epoch:     s.epoch,
+	}
+	if s.wal != nil {
+		st.WALRecords = s.wal.Records()
 	}
 	if s.cat != nil {
 		cst := s.cat.Stats()

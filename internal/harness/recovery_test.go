@@ -1,0 +1,48 @@
+package harness
+
+import "testing"
+
+// TestPersistRoundTrip pins a few deterministic seeds of the
+// save→open→row-identical property, delta layer included.
+func TestPersistRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		seed        int64
+		nSubj, nOps int
+	}{
+		{seed: 1, nSubj: 40, nOps: 30},
+		{seed: 42, nSubj: 25, nOps: 60},
+		{seed: 7, nSubj: 60, nOps: 0},
+	} {
+		if err := RunPersistRoundTrip(c.seed, c.nSubj, c.nOps, t.TempDir()); err != nil {
+			t.Errorf("seed=%d: %v", c.seed, err)
+		}
+	}
+}
+
+// TestCrashRecovery pins deterministic kill points: at the very start of
+// the log (everything lost), mid-log, and past the end (nothing lost).
+func TestCrashRecovery(t *testing.T) {
+	for _, cut := range []float64{0, 0.01, 0.33, 0.5, 0.77, 0.999, 1.0} {
+		if err := RunCrashRecovery(11, 35, 45, cut, t.TempDir()); err != nil {
+			t.Errorf("cut=%.3f: %v", cut, err)
+		}
+	}
+}
+
+// FuzzCrashRecovery explores the full crash-recovery space: random
+// graph, random update script, and a kill at a random WAL byte offset.
+// The recovered store must equal a reference store holding exactly the
+// surviving operation prefix, across plan modes, and must stay live.
+func FuzzCrashRecovery(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(30), uint16(300))
+	f.Add(int64(9), uint8(20), uint8(70), uint16(0))
+	f.Add(int64(23), uint8(60), uint8(40), uint16(999))
+	f.Fuzz(func(t *testing.T, seed int64, nSubj, nOps uint8, cut uint16) {
+		subjects := 10 + int(nSubj)%60
+		ops := int(nOps) % 60
+		frac := float64(cut%1000) / 999.0
+		if err := RunCrashRecovery(seed, subjects, ops, frac, t.TempDir()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package storage
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestIdxRejectsHugeVarints: index reads must fail on 2^63-class values
+// instead of wrapping negative and bypassing slice bounds checks (the
+// classic int(uvarint) trap).
+func TestIdxRejectsHugeVarints(t *testing.T) {
+	for _, v := range []uint64{1 << 63, ^uint64(0), 4, 1 << 32} {
+		b := binary.AppendUvarint(nil, v)
+		r := &rd{b: b, sect: "test"}
+		got := r.idx(4)
+		if v < 4 {
+			if r.err != nil || got != int(v) {
+				t.Fatalf("idx(%d) in range: got %d, err %v", v, got, r.err)
+			}
+			continue
+		}
+		if r.err == nil {
+			t.Fatalf("idx accepted out-of-range value %d as %d", v, got)
+		}
+		if got < 0 || got >= 4 {
+			// the sentinel must itself be a safe index
+			if got != 0 {
+				t.Fatalf("idx failure sentinel %d is not safe", got)
+			}
+		}
+	}
+}

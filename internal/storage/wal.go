@@ -1,0 +1,279 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"srdf/internal/dict"
+	"srdf/internal/nt"
+)
+
+// WAL file layout:
+//
+//	magic "SRDFWAL1" (8 bytes) · version u16 · reserved u16
+//	records, each:  length u32 · crc32(payload) u32 · payload
+//
+// A record's payload is one logical operation in *lexical* term form
+// (op byte, then three terms as kind + value/datatype/lang strings), so
+// replay goes through the ordinary Add/Delete path and is independent of
+// OID numbering — Organize may renumber the dictionary between the
+// snapshot and the log without invalidating a single record. Replay of a
+// fully-applied log against its own checkpoint is idempotent because the
+// store treats the graph as a set.
+//
+// Recovery semantics: OpenWAL scans the log, returns every complete
+// record, and truncates a torn tail (a crash mid-append) in place. A
+// record with a valid frame but an undecodable payload is corruption, not
+// a torn write, and yields a typed error.
+
+// WALMagic identifies a write-ahead log file.
+const WALMagic = "SRDFWAL1"
+
+// WALVersion is the current log format version.
+const WALVersion = 1
+
+const walHeaderLen = 8 + 2 + 2
+
+// maxWALRecord bounds one record's payload; larger length prefixes are
+// treated as garbage (torn or corrupt tail).
+const maxWALRecord = 1 << 24
+
+// Op is one logged live-update operation.
+type Op struct {
+	Del bool
+	T   nt.Triple
+}
+
+// WAL is an append-only operation log. It is not safe for concurrent
+// use; the owning store serializes access under its own lock. Appends
+// buffer in memory until Sync, which writes and fsyncs — the store syncs
+// at batch boundaries (before publishing a snapshot, at checkpoints, and
+// on Close), so a crash loses at most the current unsynced batch.
+type WAL struct {
+	f    *os.File
+	path string
+	pend []byte
+	size int64 // durable file size
+	recs int   // records in the log (durable + pending)
+	// broken marks a half-finished Truncate (file truncated, header not
+	// durably rewritten): Sync refuses until a Truncate retry completes,
+	// so a "successful" sync can never write records into a headerless
+	// file that recovery would reject wholesale.
+	broken bool
+}
+
+// OpenWAL opens or creates the log at path, returning every complete
+// record for replay. A torn tail — the result of a crash mid-append — is
+// truncated away; a file that is not a WAL at all yields a typed error.
+func OpenWAL(path string) (*WAL, []Op, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &WAL{f: f, path: path}
+	if len(data) < walHeaderLen {
+		// A header prefix means creation was torn mid-write (no record
+		// was ever durable): start the log fresh. Anything else is some
+		// other file — refuse rather than destroy it.
+		fullHeader := make([]byte, 0, walHeaderLen)
+		fullHeader = append(fullHeader, WALMagic...)
+		fullHeader = binary.LittleEndian.AppendUint16(fullHeader, WALVersion)
+		fullHeader = binary.LittleEndian.AppendUint16(fullHeader, 0)
+		if string(data) != string(fullHeader[:len(data)]) {
+			f.Close()
+			return nil, nil, corrupt("wal", "short file is not an srdf wal")
+		}
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return w, nil, nil
+	}
+	if string(data[:8]) != WALMagic {
+		f.Close()
+		return nil, nil, corrupt("wal", "bad magic (not an srdf wal)")
+	}
+	if v := binary.LittleEndian.Uint16(data[8:]); v != WALVersion {
+		f.Close()
+		return nil, nil, &VersionError{Got: v, Want: WALVersion}
+	}
+
+	var ops []Op
+	off := walHeaderLen
+	for off < len(data) {
+		if off+8 > len(data) {
+			break // torn frame header
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length > maxWALRecord || off+8+int(length) > len(data) {
+			break // torn or garbage length
+		}
+		payload := data[off+8 : off+8+int(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // torn payload
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			// a checksummed frame with an undecodable payload is not a
+			// torn write — refuse rather than silently drop operations
+			f.Close()
+			return nil, nil, err
+		}
+		ops = append(ops, op)
+		off += 8 + int(length)
+	}
+	if off < len(data) {
+		// Repair the torn tail so appends continue from a clean record
+		// boundary.
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(off), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.size = int64(off)
+	w.recs = len(ops)
+	return w, ops, nil
+}
+
+func (w *WAL) writeHeader() error {
+	hdr := make([]byte, 0, walHeaderLen)
+	hdr = append(hdr, WALMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, WALVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, 0)
+	// The log is inconsistent from the truncate until the header is
+	// durably back; only full success clears the flag (Truncate retries
+	// re-enter here).
+	w.broken = true
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(walHeaderLen), 0); err != nil {
+		return err
+	}
+	w.size = walHeaderLen
+	w.recs = 0
+	w.pend = w.pend[:0]
+	w.broken = false
+	return nil
+}
+
+func appendTerm(b []byte, t dict.Term) []byte {
+	b = append(b, byte(t.Kind))
+	b = appendStr(b, t.Value)
+	b = appendStr(b, t.Datatype)
+	return appendStr(b, t.Lang)
+}
+
+func readTerm(r *rd) dict.Term {
+	return dict.Term{
+		Kind:     dict.TermKind(r.byte()),
+		Value:    r.str(),
+		Datatype: r.str(),
+		Lang:     r.str(),
+	}
+}
+
+func encodeOp(op Op) []byte {
+	b := make([]byte, 0, 64)
+	if op.Del {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendTerm(b, op.T.S)
+	b = appendTerm(b, op.T.P)
+	return appendTerm(b, op.T.O)
+}
+
+func decodeOp(payload []byte) (Op, error) {
+	r := &rd{b: payload, sect: "wal record"}
+	var op Op
+	op.Del = r.boolv()
+	op.T.S = readTerm(r)
+	op.T.P = readTerm(r)
+	op.T.O = readTerm(r)
+	if err := r.finish(); err != nil {
+		return Op{}, err
+	}
+	return op, nil
+}
+
+// Append buffers one operation; it becomes durable at the next Sync.
+// Records larger than maxWALRecord are rejected: recovery treats an
+// over-limit length prefix as a torn tail, so letting one through would
+// make the log self-truncate on the next open.
+func (w *WAL) Append(op Op) error {
+	payload := encodeOp(op)
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("storage: wal record of %d bytes exceeds the %d limit", len(payload), maxWALRecord)
+	}
+	w.pend = binary.LittleEndian.AppendUint32(w.pend, uint32(len(payload)))
+	w.pend = binary.LittleEndian.AppendUint32(w.pend, crc32.Checksum(payload, crcTable))
+	w.pend = append(w.pend, payload...)
+	w.recs++
+	return nil
+}
+
+// Dirty reports whether unsynced operations are pending.
+func (w *WAL) Dirty() bool { return len(w.pend) > 0 }
+
+// Records returns the number of operations in the log, pending included.
+func (w *WAL) Records() int { return w.recs }
+
+// Sync writes the pending batch and fsyncs the log — the fsync-on-batch
+// boundary.
+func (w *WAL) Sync() error {
+	if w.broken {
+		return fmt.Errorf("storage: wal %s: interrupted truncate must be retried before syncing", w.path)
+	}
+	if len(w.pend) == 0 {
+		return nil
+	}
+	if _, err := w.f.WriteAt(w.pend, w.size); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size += int64(len(w.pend))
+	w.pend = w.pend[:0]
+	return nil
+}
+
+// Truncate discards every record — pending ones included — after a
+// checkpoint has folded them into a snapshot.
+func (w *WAL) Truncate() error { return w.writeHeader() }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close syncs pending records and closes the file.
+func (w *WAL) Close() error {
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -81,6 +81,17 @@ type Options struct {
 	// negative disables auto-compaction (Compact can still be called
 	// explicitly).
 	CompactThreshold int
+	// WALPath attaches a write-ahead log. Every trickle Add/Delete is
+	// recorded in lexical term form and fsynced at batch boundaries
+	// (before a refresh publishes the writes to queries, at checkpoints,
+	// and on Close), so the post-Organize delta layer survives crashes:
+	// recovery is Open (load the latest snapshot) + automatic replay of
+	// the log's surviving records through the ordinary delta path.
+	// Explicit Organize, Compact and Save checkpoint — they write a
+	// fresh snapshot (when a snapshot path is attached via Open or Save)
+	// and truncate the log. Bulk loads are not logged; checkpoint them
+	// with Save.
+	WALPath string
 }
 
 // Defaults returns the standard configuration.
@@ -105,6 +116,27 @@ type Store struct {
 
 // New creates an empty store.
 func New(o Options) *Store {
+	return &Store{inner: core.NewStore(coreOptions(o))}
+}
+
+// Open loads a snapshot written by Save (or `srdf build`) and returns a
+// ready store: schema, catalog and delta layer exactly as checkpointed,
+// with no re-parse and no re-Organize. Opening is cheap — sealed column
+// segments are checksummed but stay in their compressed on-disk form
+// until a scan first touches them (watch PoolStats.SegmentsDecoded), so
+// a large store opens in milliseconds and cold queries fault in only the
+// columns they read. With Options.WALPath set, the log's surviving
+// records are replayed into the delta layer before Open returns, and the
+// path becomes the target of future checkpoints.
+func Open(path string, o Options) (*Store, error) {
+	inner, err := core.OpenStore(path, coreOptions(o))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: inner}, nil
+}
+
+func coreOptions(o Options) core.Options {
 	copts := core.DefaultOptions()
 	if o.MinSupport > 0 {
 		copts.CS.MinSupport = o.MinSupport
@@ -117,8 +149,23 @@ func New(o Options) *Store {
 	copts.PoolPages = o.PoolPages
 	copts.Parallelism = o.Parallelism
 	copts.CompactThreshold = o.CompactThreshold
-	return &Store{inner: core.NewStore(copts)}
+	copts.WALPath = o.WALPath
+	return copts
 }
+
+// Save checkpoints the whole store to path as a versioned, checksummed
+// binary snapshot: dictionary, base triples, discovered schema, sealed
+// compressed segments, tombstones, delta rows and the irregular residue.
+// The write is atomic (temp file + rename), pending writes are folded in
+// first, and an attached WAL is truncated — its records are now in the
+// snapshot. path becomes the target for future Organize/Compact
+// checkpoints.
+func (s *Store) Save(path string) error { return s.inner.Save(path) }
+
+// Close flushes and detaches the write-ahead log, if one is attached.
+// The store remains usable in memory afterwards, but trickle writes are
+// no longer logged.
+func (s *Store) Close() error { return s.inner.Close() }
 
 // Report summarizes an Organize run.
 type Report = core.OrganizeReport
@@ -236,6 +283,10 @@ func (s *Store) QueryStreamWith(q string, o QueryOptions) (*Rows, error) {
 func (s *Store) Explain(q string, o QueryOptions) (string, error) {
 	return s.inner.Explain(q, core.QueryOptions{Mode: o.Mode, ZoneMaps: o.ZoneMaps})
 }
+
+// Organized reports whether the store has a materialized schema, from
+// Organize or from an opened snapshot.
+func (s *Store) Organized() bool { return s.inner.Organized() }
 
 // SQLSchema renders the emergent relational schema as SQL DDL.
 func (s *Store) SQLSchema() string { return s.inner.SQLSchema() }
