@@ -42,7 +42,7 @@ var (
 	harnessErr  error
 )
 
-func getHarness(b *testing.B) *rdfh.Harness {
+func getHarness(b testing.TB) *rdfh.Harness {
 	harnessOnce.Do(func() {
 		harness, harnessErr = rdfh.NewHarness(benchSF, 42)
 	})
@@ -442,6 +442,109 @@ SELECT (COUNT(*) AS ?n) WHERE { ?s e:a ?x . ?s e:b ?y . ?s e:c ?z . FILTER (?x >
 			qo := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}
 			for i := 0; i < b.N; i++ {
 				if _, err := st.Query(q, qo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- query optimizer: join algorithm, join order, bloom filters ---
+
+// fkJoinStore builds a clustered two-class store in the TPC-H
+// lineitem/orders shape: nParent parent subjects with a date and a
+// payload, and 2*nParent child subjects whose FK is correlated with
+// their own date key (children of a date window reference a matching
+// window of parents, as date-clustered fact tables do).
+func fkJoinStore(b *testing.B, nParent int) *core.Store {
+	var src strings.Builder
+	src.WriteString("@prefix e: <http://fk/> .\n")
+	for i := 0; i < nParent; i++ {
+		fmt.Fprintf(&src, "e:o%06d e:odate %d ; e:ototal %d .\n", i, i, (i*7)%1000)
+	}
+	for i := 0; i < 2*nParent; i++ {
+		fmt.Fprintf(&src, "e:li%06d e:ldate %d ; e:fk e:o%06d .\n", i, i, i/2)
+	}
+	opts := core.DefaultOptions()
+	st := core.NewStore(opts)
+	if _, err := st.LoadTurtle(strings.NewReader(src.String())); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Organize(); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkStream_MergeJoin contrasts join algorithms on a clustered,
+// date-selective FK join. Hash drains the full parent star into a hash
+// table (or scans it as probe input) no matter how few keys flow in;
+// merge sorts the incoming FK keys once and binary-searches the
+// subject-ordered parent table, scanning only the FK-spanned row
+// window. Blooms are off in both arms so the comparison is the bare
+// algorithms.
+func BenchmarkStream_MergeJoin(b *testing.B) {
+	st := fkJoinStore(b, 40000)
+	q := `PREFIX e: <http://fk/>
+SELECT (SUM(?t) AS ?s)
+WHERE {
+  ?li e:ldate ?d .
+  ?li e:fk ?o .
+  ?o e:ototal ?t .
+  FILTER (?d >= 30000 && ?d < 32000)
+}`
+	for _, algo := range []string{"hash", "merge"} {
+		b.Run(algo, func(b *testing.B) {
+			qo := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true, ForceAlgo: algo, NoBloom: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Query(q, qo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStream_CostedStar pits the cost-based join order for Q3
+// (selective lineitem scan first, then two merge joins up the FK
+// chain) against the naive pattern-order left-deep hash plan the old
+// greedy planner could produce.
+func BenchmarkStream_CostedStar(b *testing.B) {
+	h := getHarness(b)
+	q := rdfh.Queries()["Q3"]
+	for _, sub := range []struct {
+		name string
+		qo   core.QueryOptions
+	}{
+		{"costed", core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}},
+		{"naive", core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true,
+			ForceOrder: []string{"c", "o", "li"}, ForceAlgo: "hash", NoBloom: true}},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Clustered.Query(q, sub.qo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStream_BloomProbe isolates the runtime bloom filters on
+// Q5's hash joins: the region/nation build sides are tiny, so pushing
+// their blooms into the customer/order/lineitem scans prunes most
+// probe rows before they reach the join.
+func BenchmarkStream_BloomProbe(b *testing.B) {
+	h := getHarness(b)
+	q := rdfh.Queries()["Q5"]
+	for _, sub := range []struct {
+		name    string
+		noBloom bool
+	}{{"bloom", false}, {"nobloom", true}} {
+		b.Run(sub.name, func(b *testing.B) {
+			qo := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true, ForceAlgo: "hash", NoBloom: sub.noBloom}
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Clustered.Query(q, qo); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -43,7 +43,7 @@ func TestGoldenExplainDeltaLifecycle(t *testing.T) {
 	const sealedWant = `Plan [RDFscan/RDFjoin +zonemaps] joins=0
 Project ?b ?y
   Filter (?y >= "1992"^^<http://www.w3.org/2001/XMLSchema#integer>)
-    RDFscan ?b over author_isbn [2 props, 0 self-joins] +zonemaps est=1
+    RDFscan ?b over author_isbn [2 props, 0 self-joins] +zonemaps est_rows=1 cost=8
       col p=R7 ?a enc=rle×1
       col p=R8 ?y in[L6,L10] enc=for×1 zsel=1.00
 `
@@ -66,7 +66,7 @@ Project ?b ?y
 	const deltaWant = `Plan [RDFscan/RDFjoin +zonemaps] joins=0
 Project ?b ?y
   Filter (?y >= "1992"^^<http://www.w3.org/2001/XMLSchema#integer>)
-    RDFscan ?b over author_isbn [2 props, 0 self-joins] +zonemaps delta=3 dead=1 est=4
+    RDFscan ?b over author_isbn [2 props, 0 self-joins] +zonemaps delta=3 dead=1 est_rows=4 cost=32
       col p=R7 ?a enc=rle×1
       col p=R8 ?y enc=for×1
 `
@@ -84,7 +84,7 @@ Project ?b ?y
 	const compactedWant = `Plan [RDFscan/RDFjoin +zonemaps] joins=0
 Project ?b ?y
   Filter (?y >= "1992"^^<http://www.w3.org/2001/XMLSchema#integer>)
-    RDFscan ?b over author_isbn [2 props, 0 self-joins] +zonemaps est=4
+    RDFscan ?b over author_isbn [2 props, 0 self-joins] +zonemaps est_rows=4 cost=8
       col p=R7 ?a enc=dict×1
       col p=R8 ?y enc=plain×1
 `

@@ -83,6 +83,15 @@ func DefaultOptions() Options {
 type QueryOptions struct {
 	Mode     plan.Mode
 	ZoneMaps bool
+	// ForceAlgo pins the physical join algorithm ("hash", "merge",
+	// "rdfjoin") wherever applicable — for testing and plan-quality
+	// comparison, not production use.
+	ForceAlgo string
+	// NoBloom disables runtime bloom filters on hash joins.
+	NoBloom bool
+	// ForceOrder fixes the left-deep star join order by subject
+	// variable.
+	ForceOrder []string
 }
 
 // snapshot is the immutable state one query executes against: once
@@ -167,6 +176,18 @@ type Store struct {
 	wal          *storage.WAL
 	walErr       error
 	walLost      error
+
+	// ckptMu serializes checkpoint file I/O, which happens with mu
+	// RELEASED so a multi-second snapshot write never stalls concurrent
+	// queries or trickle writes. Lock order is strictly mu → unlock mu →
+	// ckptMu (never ckptMu while holding mu). ckptSeq numbers checkpoint
+	// attempts (under mu); ckptWritten (under ckptMu) is the highest
+	// attempt whose bytes reached disk, so an attempt overtaken while
+	// waiting for ckptMu skips its stale write instead of clobbering a
+	// newer snapshot.
+	ckptMu      sync.Mutex
+	ckptSeq     uint64
+	ckptWritten uint64
 
 	// workload counts, per predicate IRI, how often queries put a range
 	// or equality filter on that predicate's object — the signal the
@@ -282,13 +303,20 @@ func (s *Store) syncWALLocked() {
 }
 
 // checkpointLocked makes the current state durable: with a snapshot path
-// attached it writes a fresh snapshot (atomically) and truncates the WAL
-// — the logged operations are folded into the snapshot, and replaying
-// any tail that survives a badly timed crash is idempotent because the
-// graph is a set. With only a WAL attached it syncs the pending batch.
-// A successful checkpoint clears a latched sync failure (the records the
-// failed sync owed are in the snapshot now), so transient disk trouble
-// never wedges the store permanently.
+// attached it serializes a fresh snapshot under the store mutex, then
+// RELEASES the mutex for the slow part — file write, fsync, atomic
+// rename — so checkpoint I/O never stalls concurrent queries or trickle
+// writes. The logged operations are folded into the snapshot, and
+// replaying any tail that survives a badly timed crash is idempotent
+// because the graph is a set. The WAL is truncated only if no records
+// were appended while the mutex was released (appended records are not
+// in the written snapshot; they stay logged and replay idempotently over
+// it). With only a WAL attached it syncs the pending batch. A successful
+// checkpoint clears a latched sync failure (the records the failed sync
+// owed are in the snapshot now), so transient disk trouble never wedges
+// the store permanently.
+//
+// Called with s.mu held; returns with s.mu held.
 func (s *Store) checkpointLocked() error {
 	if s.wal == nil && s.walErr != nil {
 		// the WAL never attached; Close clears this to proceed without one
@@ -301,27 +329,67 @@ func (s *Store) checkpointLocked() error {
 		}
 		return nil
 	}
-	snap := &storage.Snapshot{
+	// Serialize under mu: the byte slice is an immutable copy of this
+	// instant's state, so the file write needs no lock at all.
+	data, err := storage.Marshal(&storage.Snapshot{
 		Organized:       s.organized,
 		LiteralsOrdered: s.literalsOrdered,
 		Dict:            s.dict,
 		Triples:         s.table,
 		Schema:          s.schema,
 		Catalog:         s.cat,
-	}
-	if err := storage.WriteFile(s.snapshotPath, snap); err != nil {
+	})
+	if err != nil {
 		return err
 	}
+	path := s.snapshotPath
+	recs0 := -1
 	if s.wal != nil {
-		if err := s.wal.Truncate(); err != nil {
-			s.walErr = fmt.Errorf("core: wal truncate: %w", err)
-			return s.walErr
-		}
-		s.walErr = nil
+		recs0 = s.wal.Records()
 	}
-	// the snapshot holds everything the log failed to, un-logged records
-	// included
-	s.walLost = nil
+	lost0 := s.walLost
+	s.ckptSeq++
+	seq := s.ckptSeq
+
+	s.mu.Unlock()
+	s.ckptMu.Lock()
+	var werr error
+	if s.ckptWritten < seq {
+		if werr = storage.WriteFileBytes(path, data); werr == nil {
+			s.ckptWritten = seq
+		}
+	}
+	// else: a later checkpoint already wrote a newer snapshot to this
+	// path while we waited; ours is stale, and skipping it is success.
+	s.ckptMu.Unlock()
+	s.mu.Lock()
+
+	if werr != nil {
+		return werr
+	}
+	if s.wal != nil {
+		if s.wal.Records() == recs0 {
+			if err := s.wal.Truncate(); err != nil {
+				s.walErr = fmt.Errorf("core: wal truncate: %w", err)
+				return s.walErr
+			}
+			s.walErr = nil
+		} else {
+			// Records landed after the snapshot was serialized: keep the
+			// whole log (its pre-snapshot prefix replays as no-ops) and
+			// make the new tail durable.
+			s.syncWALLocked()
+			if s.walErr != nil {
+				return s.walErr
+			}
+		}
+	}
+	// The snapshot holds everything the log failed to before it was
+	// serialized, un-logged records included; a loss latched during the
+	// unlocked write is NOT covered and must stay latched.
+	if s.walLost == lost0 {
+		s.walLost = nil
+	}
 	return nil
 }
 
@@ -879,7 +947,13 @@ func (s *Store) planLocked(q *sparql.Query, qopts QueryOptions, record bool) (*p
 		return nil, nil, s.walErr
 	}
 	snap := s.snap
-	p, err := plan.Build(q, snap.view(), plan.Options{Mode: qopts.Mode, ZoneMaps: qopts.ZoneMaps})
+	p, err := plan.Build(q, snap.view(), plan.Options{
+		Mode:       qopts.Mode,
+		ZoneMaps:   qopts.ZoneMaps,
+		ForceAlgo:  qopts.ForceAlgo,
+		NoBloom:    qopts.NoBloom,
+		ForceOrder: qopts.ForceOrder,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

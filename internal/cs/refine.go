@@ -196,10 +196,41 @@ func (b *builder) finalize(s *Schema, clusters []*cluster) {
 		}
 	}
 
+	b.countDistincts(s)
 	b.discoverFKs(s)
 	b.fineTune(s)
 	b.name(s)
 	b.coverage(s)
+}
+
+// countDistincts fills each retained property's DistinctObj: the exact
+// number of distinct object values the CS's members hold for it. One
+// pass over the triples, after retention decided membership.
+func (b *builder) countDistincts(s *Schema) {
+	type key struct {
+		cs   int
+		pred dict.OID
+	}
+	seen := make(map[key]map[dict.OID]struct{})
+	for i := 0; i < b.tb.Len(); i++ {
+		ci, ok := s.SubjectCS[b.tb.S[i]]
+		if !ok {
+			continue
+		}
+		if s.CSs[ci].Prop(b.tb.P[i]) == nil {
+			continue
+		}
+		k := key{ci, b.tb.P[i]}
+		m := seen[k]
+		if m == nil {
+			m = make(map[dict.OID]struct{})
+			seen[k] = m
+		}
+		m[b.tb.O[i]] = struct{}{}
+	}
+	for k, m := range seen {
+		s.CSs[k.cs].Prop(k.pred).DistinctObj = len(m)
+	}
 }
 
 func dominantType(c *cluster) dict.OID {

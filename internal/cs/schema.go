@@ -80,6 +80,11 @@ type PropStat struct {
 	ValueCount int
 	// MultiSubjects is the number of subjects with two or more values.
 	MultiSubjects int
+	// DistinctObj is the number of distinct object values the CS's
+	// members hold for this predicate, counted once at discovery time.
+	// It is the join-cardinality denominator of the cost-based planner;
+	// live updates leave it as the build-time estimate.
+	DistinctObj int
 	// TypeHist counts literal objects per ValueKind; RefKind counts
 	// resource objects.
 	TypeHist map[dict.ValueKind]int

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"testing"
+
+	"srdf/internal/dict"
+)
+
+func TestBloomFilterNoFalseNegatives(t *testing.T) {
+	f := NewBloomFilter(1000)
+	for i := 0; i < 1000; i++ {
+		f.Add(dict.ResourceOID(uint64(i * 3)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain(dict.ResourceOID(uint64(i * 3))) {
+			t.Fatalf("false negative for added key %d", i*3)
+		}
+	}
+}
+
+func TestBloomFilterRejectsMost(t *testing.T) {
+	f := NewBloomFilter(1000)
+	for i := 0; i < 1000; i++ {
+		f.Add(dict.ResourceOID(uint64(i)))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(dict.ResourceOID(uint64(1_000_000 + i))) {
+			fp++
+		}
+	}
+	// 10 bits/key with 2 probes sits well under a 10% false-positive
+	// rate; 20% here would mean the hash mixing is broken.
+	if fp > probes/5 {
+		t.Fatalf("%d/%d false positives", fp, probes)
+	}
+}
+
+func TestBloomHandleUnpublished(t *testing.T) {
+	h := &BloomHandle{Var: "x"}
+	if h.Filter() != nil {
+		t.Fatal("unpublished handle must return nil filter")
+	}
+	f := NewBloomFilter(10)
+	f.Add(dict.ResourceOID(7))
+	h.publish(f)
+	if got := h.Filter(); got == nil || !got.MayContain(dict.ResourceOID(7)) {
+		t.Fatal("published filter not visible through handle")
+	}
+}

@@ -29,13 +29,17 @@ type ScanOp struct {
 	// RowLo/RowHi restrict the scan to a row window (RowHi -1 = open),
 	// the planner's sort-key range pushdown path.
 	RowLo, RowHi int
+	// Blooms are runtime join filters pushed down from hash joins above
+	// this scan; unpublished handles are skipped at Open.
+	Blooms []ScanBloom
 
 	ctx    *Ctx
 	cols   []*relational.Col
 	colIdx []int // column index in Table.Cols, for delta-tail access
-	block  int   // next block to scan
-	last   int   // last block (inclusive)
-	lo     int   // effective row window
+	blooms []scanBloom
+	block  int // next block to scan
+	last   int // last block (inclusive)
+	lo     int // effective row window
 	hi     int
 	sc     scanScratch
 	par    *morselScan
@@ -103,6 +107,25 @@ func (s *ScanOp) Open(ctx *Ctx) error {
 			return nil
 		}
 		s.cols[i] = s.Table.Cols[s.colIdx[i]]
+	}
+	// Resolve published bloom handles once: the fill happened in the
+	// upstream hash join's Open, strictly before this probe-side Open.
+	s.blooms = s.blooms[:0]
+	for _, sb := range s.Blooms {
+		f := sb.H.Filter()
+		if f == nil {
+			continue
+		}
+		oc := -1
+		if sb.Prop >= 0 {
+			oc = 0
+			for i := 0; i < sb.Prop; i++ {
+				if s.Star.Props[i].ObjVar != "" {
+					oc++
+				}
+			}
+		}
+		s.blooms = append(s.blooms, scanBloom{f: f, prop: sb.Prop, oc: oc})
 	}
 	// The row window restricts the sealed region only; the unsealed
 	// delta tail is always scanned (its rows carry arbitrary subjects
@@ -205,6 +228,45 @@ func (s *ScanOp) selectBlock(blk int, sc *scanScratch) (sel []int32, all bool, w
 			return nil, false, wlo, whi
 		}
 	}
+	// Runtime bloom filters from hash joins above this scan: drop rows
+	// whose join key is provably absent from the build side. Gathering
+	// the key column here is paid back by never moving the row further.
+	if len(s.blooms) > 0 {
+		if all {
+			sc.sel = sc.sel[:0]
+			for i := rlo; i < rhi; i++ {
+				sc.sel = append(sc.sel, int32(i))
+			}
+			all = false
+		}
+		for bi := range s.blooms {
+			bl := &s.blooms[bi]
+			out := sc.sel[:0]
+			if bl.prop < 0 {
+				for _, k := range sc.sel {
+					if bl.f.MayContain(s.Table.SubjectOID(bs + int(k))) {
+						out = append(out, k)
+					}
+				}
+			} else {
+				col := s.cols[bl.prop].Data
+				if !sc.touched[bl.prop] {
+					col.Touch(wlo, whi)
+					sc.touched[bl.prop] = true
+				}
+				vals := col.GatherBlock(blk, sc.sel, sc.objBufs[bl.oc])
+				for _, k := range sc.sel {
+					if bl.f.MayContain(vals[k]) {
+						out = append(out, k)
+					}
+				}
+			}
+			sc.sel = out
+			if len(sc.sel) == 0 {
+				return nil, false, wlo, whi
+			}
+		}
+	}
 	if all {
 		return nil, true, wlo, whi
 	}
@@ -212,6 +274,14 @@ func (s *ScanOp) selectBlock(blk int, sc *scanScratch) (sel []int32, all bool, w
 		return nil, true, wlo, whi // every row survived: emit dense
 	}
 	return sc.sel, false, wlo, whi
+}
+
+// scanBloom is one resolved bloom probe: the published filter plus the
+// star property it keys on (-1 = the subject column).
+type scanBloom struct {
+	f    *BloomFilter
+	prop int
+	oc   int // objBufs index when prop >= 0
 }
 
 // intersectSel intersects two ascending selections in place into a.
@@ -382,6 +452,14 @@ func (s *ScanOp) nextDelta(b *Batch) bool {
 					ok = false
 					break
 				}
+			}
+			for bi := 0; ok && bi < len(s.blooms); bi++ {
+				bl := &s.blooms[bi]
+				v := d.Subj[r]
+				if bl.prop >= 0 {
+					v = d.Cols[s.colIdx[bl.prop]][r]
+				}
+				ok = bl.f.MayContain(v)
 			}
 			if ok {
 				sel = append(sel, int32(r-lo))
@@ -743,6 +821,10 @@ type HashJoinOp struct {
 	left, right Operator
 	buildLeft   bool
 	vars        []string
+	// Blooms are handles to publish after the build side drains: each is
+	// filled with the build column of its variable, then probe-side scans
+	// (opened strictly after) prune their selection vectors with it.
+	Blooms []*BloomHandle
 
 	ctx      *Ctx
 	probe    Operator
@@ -785,10 +867,6 @@ func (h *HashJoinOp) Open(ctx *Ctx) error {
 		h.probe = h.right
 	}
 	h.build = Drain(ctx, buildSide)
-	if err := h.probe.Open(ctx); err != nil {
-		return err
-	}
-	probeVars := h.probe.Vars()
 	colOf := func(vars []string, v string) int {
 		for i, w := range vars {
 			if w == v {
@@ -797,6 +875,23 @@ func (h *HashJoinOp) Open(ctx *Ctx) error {
 		}
 		return -1
 	}
+	// Publish bloom filters before the probe side opens, so its scans
+	// observe them in their Open.
+	for _, bh := range h.Blooms {
+		ci := colOf(h.build.Vars, bh.Var)
+		if ci < 0 {
+			continue
+		}
+		f := NewBloomFilter(h.build.Len())
+		for i := 0; i < h.build.Len(); i++ {
+			f.Add(h.build.Cols[ci][i])
+		}
+		bh.publish(f)
+	}
+	if err := h.probe.Open(ctx); err != nil {
+		return err
+	}
+	probeVars := h.probe.Vars()
 	for _, v := range h.build.Vars {
 		if pi := colOf(probeVars, v); pi >= 0 {
 			h.buildKey = append(h.buildKey, colOf(h.build.Vars, v))

@@ -269,16 +269,28 @@ func (sc *Script) Final() []nt.Triple {
 	return out
 }
 
-// Config is one plan configuration of the equivalence matrix.
+// Config is one plan configuration of the equivalence matrix. Algo
+// forces a join algorithm where eligible (the planner falls back to
+// normal costing for joins the forced algorithm cannot run), and
+// NoBloom disables runtime bloom filters; both must be invisible in
+// the results.
 type Config struct {
-	Mode  plan.Mode
-	Zones bool
+	Mode    plan.Mode
+	Zones   bool
+	Algo    string
+	NoBloom bool
 }
 
 func (c Config) String() string {
 	s := c.Mode.String()
 	if c.Zones {
 		s += "+zm"
+	}
+	if c.Algo != "" {
+		s += "+" + c.Algo
+	}
+	if c.NoBloom {
+		s += "-bloom"
 	}
 	return s
 }
@@ -288,6 +300,8 @@ var Configs = []Config{
 	{Mode: plan.ModeDefault},
 	{Mode: plan.ModeRDFScan},
 	{Mode: plan.ModeRDFScan, Zones: true},
+	{Mode: plan.ModeRDFScan, Zones: true, Algo: "merge"},
+	{Mode: plan.ModeRDFScan, Zones: true, Algo: "hash", NoBloom: true},
 }
 
 // renderRow encodes one decoded row for comparison (kind-tagged so an
@@ -336,7 +350,7 @@ func eqSeq(a, b []string) bool {
 func EvalQuery(st *core.Store, q string) (map[Config][]string, error) {
 	out := make(map[Config][]string, len(Configs))
 	for _, cfg := range Configs {
-		qo := core.QueryOptions{Mode: cfg.Mode, ZoneMaps: cfg.Zones}
+		qo := core.QueryOptions{Mode: cfg.Mode, ZoneMaps: cfg.Zones, ForceAlgo: cfg.Algo, NoBloom: cfg.NoBloom}
 		res, err := st.Query(q, qo)
 		if err != nil {
 			return nil, fmt.Errorf("%v Query: %w\nquery: %s", cfg, err, q)

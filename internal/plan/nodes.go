@@ -30,6 +30,9 @@ type Node interface {
 	Vars() []string
 	// EstRows is the planner's cardinality estimate.
 	EstRows() float64
+	// Cost is the cost model's estimate for the subtree, in the
+	// abstract row-work units of plan/cost.
+	Cost() float64
 	// Joins counts the join operators in the subtree — the quantity
 	// Fig. 4 is about.
 	Joins() int
@@ -57,6 +60,7 @@ type EmptyNode struct {
 func (n *EmptyNode) Op() exec.Operator { return exec.NewRelSource(exec.NewRel(n.vars...)) }
 func (n *EmptyNode) Vars() []string    { return n.vars }
 func (n *EmptyNode) EstRows() float64  { return 0 }
+func (n *EmptyNode) Cost() float64     { return 0 }
 func (n *EmptyNode) Joins() int        { return 0 }
 func (n *EmptyNode) Explain(b *strings.Builder, indent int) {
 	pad(b, indent)
@@ -68,6 +72,7 @@ type DefaultStarNode struct {
 	Star exec.Star
 	Idx  *triples.IndexSet
 	est  float64
+	cost float64
 }
 
 func (n *DefaultStarNode) Op() exec.Operator {
@@ -75,6 +80,7 @@ func (n *DefaultStarNode) Op() exec.Operator {
 }
 func (n *DefaultStarNode) Vars() []string   { return n.Star.Vars() }
 func (n *DefaultStarNode) EstRows() float64 { return n.est }
+func (n *DefaultStarNode) Cost() float64    { return n.cost }
 func (n *DefaultStarNode) Joins() int {
 	if len(n.Star.Props) > 1 {
 		return len(n.Star.Props) - 1
@@ -83,8 +89,8 @@ func (n *DefaultStarNode) Joins() int {
 }
 func (n *DefaultStarNode) Explain(b *strings.Builder, indent int) {
 	pad(b, indent)
-	fmt.Fprintf(b, "StarSelfJoin ?%s [%d props, %d self-joins] est=%.0f\n",
-		n.Star.SubjVar, len(n.Star.Props), n.Joins(), n.est)
+	fmt.Fprintf(b, "StarSelfJoin ?%s [%d props, %d self-joins] est_rows=%.0f cost=%.0f\n",
+		n.Star.SubjVar, len(n.Star.Props), n.Joins(), n.est, n.cost)
 	for i := range n.Star.Props {
 		pad(b, indent+1)
 		fmt.Fprintf(b, "IdxScan %s\n", propDesc(&n.Star.Props[i]))
@@ -112,12 +118,20 @@ type RDFScanNode struct {
 	Tables   []*relational.Table
 	UseZones bool
 	est      float64
+	cost     float64
+	// blooms are the runtime join filters pushed into this scan; the
+	// filters themselves materialize when the owning hash join drains
+	// its build side.
+	blooms []*exec.BloomHandle
 }
 
 func (n *RDFScanNode) Op() exec.Operator {
+	sb := n.scanBlooms()
 	ops := make([]exec.Operator, 0, len(n.Tables)+1)
 	for _, t := range n.Tables {
-		ops = append(ops, exec.NewScanOp(t, n.Star, n.UseZones, 0, -1))
+		sc := exec.NewScanOp(t, n.Star, n.UseZones, 0, -1)
+		sc.Blooms = sb
+		ops = append(ops, sc)
 	}
 	// The irregular residual is whole-input by nature; evaluate it
 	// lazily so an upstream LIMIT satisfied by the table scans never
@@ -128,8 +142,31 @@ func (n *RDFScanNode) Op() exec.Operator {
 	}))
 	return exec.NewUnionOp(n.Star.Vars(), ops...)
 }
+
+// scanBlooms maps the attached bloom handles onto scan columns: the
+// subject (Prop -1) or the star property emitting the handle's variable.
+// The irregular-residual arm skips them (blooms only ever prune, so an
+// unfiltered arm stays correct).
+func (n *RDFScanNode) scanBlooms() []exec.ScanBloom {
+	var out []exec.ScanBloom
+	for _, h := range n.blooms {
+		if h.Var == n.Star.SubjVar {
+			out = append(out, exec.ScanBloom{H: h, Prop: -1})
+			continue
+		}
+		for i := range n.Star.Props {
+			if n.Star.Props[i].ObjVar == h.Var {
+				out = append(out, exec.ScanBloom{H: h, Prop: i})
+				break
+			}
+		}
+	}
+	return out
+}
+
 func (n *RDFScanNode) Vars() []string   { return n.Star.Vars() }
 func (n *RDFScanNode) EstRows() float64 { return n.est }
+func (n *RDFScanNode) Cost() float64    { return n.cost }
 func (n *RDFScanNode) Joins() int       { return 0 }
 func (n *RDFScanNode) Explain(b *strings.Builder, indent int) {
 	pad(b, indent)
@@ -153,8 +190,11 @@ func (n *RDFScanNode) Explain(b *strings.Builder, indent int) {
 	if dead > 0 {
 		live += fmt.Sprintf(" dead=%d", dead)
 	}
-	fmt.Fprintf(b, "RDFscan ?%s over %s [%d props, 0 self-joins]%s%s est=%.0f\n",
-		n.Star.SubjVar, strings.Join(names, ","), len(n.Star.Props), zones, live, n.est)
+	for _, h := range n.blooms {
+		live += fmt.Sprintf(" bloom=?%s", h.Var)
+	}
+	fmt.Fprintf(b, "RDFscan ?%s over %s [%d props, 0 self-joins]%s%s est_rows=%.0f cost=%.0f\n",
+		n.Star.SubjVar, strings.Join(names, ","), len(n.Star.Props), zones, live, n.est, n.cost)
 	for i := range n.Star.Props {
 		pad(b, indent+1)
 		fmt.Fprintf(b, "col %s%s\n", propDesc(&n.Star.Props[i]), n.colPhysDesc(&n.Star.Props[i]))
@@ -195,6 +235,7 @@ type RDFJoinNode struct {
 	Star   exec.Star
 	Idx    *triples.IndexSet
 	est    float64
+	cost   float64
 }
 
 func (n *RDFJoinNode) Op() exec.Operator {
@@ -210,11 +251,12 @@ func (n *RDFJoinNode) Vars() []string {
 	return out
 }
 func (n *RDFJoinNode) EstRows() float64 { return n.est }
+func (n *RDFJoinNode) Cost() float64    { return n.cost }
 func (n *RDFJoinNode) Joins() int       { return n.Input.Joins() + 1 }
 func (n *RDFJoinNode) Explain(b *strings.Builder, indent int) {
 	pad(b, indent)
-	fmt.Fprintf(b, "RDFjoin ?%s -> %s [%d props fetched positionally] est=%.0f\n",
-		n.KeyVar, n.Table.Name, len(n.Star.Props), n.est)
+	fmt.Fprintf(b, "RDFjoin ?%s -> %s [%d props fetched positionally] est_rows=%.0f cost=%.0f\n",
+		n.KeyVar, n.Table.Name, len(n.Star.Props), n.est, n.cost)
 	n.Input.Explain(b, indent+1)
 }
 
@@ -222,12 +264,18 @@ func (n *RDFJoinNode) Explain(b *strings.Builder, indent int) {
 type HashJoinNode struct {
 	L, R Node
 	est  float64
+	cost float64
+	// blooms are the runtime join filters this join fills from its build
+	// side; their consumers are probe-side scans.
+	blooms []*exec.BloomHandle
 }
 
 func (n *HashJoinNode) Op() exec.Operator {
 	// Materialize (build) the side the planner estimates smaller and
 	// stream the other through the probe.
-	return exec.NewHashJoinOp(n.L.Op(), n.R.Op(), n.L.EstRows() <= n.R.EstRows())
+	op := exec.NewHashJoinOp(n.L.Op(), n.R.Op(), n.L.EstRows() <= n.R.EstRows())
+	op.Blooms = n.blooms
+	return op
 }
 func (n *HashJoinNode) Vars() []string {
 	out := append([]string{}, n.L.Vars()...)
@@ -243,13 +291,53 @@ func (n *HashJoinNode) Vars() []string {
 	return out
 }
 func (n *HashJoinNode) EstRows() float64 { return n.est }
+func (n *HashJoinNode) Cost() float64    { return n.cost }
 func (n *HashJoinNode) Joins() int       { return n.L.Joins() + n.R.Joins() + 1 }
 func (n *HashJoinNode) Explain(b *strings.Builder, indent int) {
 	shared := sharedVarNames(n.L.Vars(), n.R.Vars())
 	pad(b, indent)
-	fmt.Fprintf(b, "HashJoin on %v est=%.0f\n", shared, n.est)
+	bloom := ""
+	for _, h := range n.blooms {
+		bloom += fmt.Sprintf(" bloom=?%s", h.Var)
+	}
+	fmt.Fprintf(b, "HashJoin on %v%s est_rows=%.0f cost=%.0f\n", shared, bloom, n.est, n.cost)
 	n.L.Explain(b, indent+1)
 	n.R.Explain(b, indent+1)
+}
+
+// MergeJoinNode streams one covering CS table subject-ascending against
+// the key-sorted left side — the no-hash-build join clustered subject
+// OIDs make possible.
+type MergeJoinNode struct {
+	Left     Node
+	KeyVar   string
+	Table    *relational.Table
+	Star     exec.Star
+	UseZones bool
+	est      float64
+	cost     float64
+}
+
+func (n *MergeJoinNode) Op() exec.Operator {
+	return exec.NewMergeJoinOp(n.Left.Op(), n.KeyVar, n.Table, n.Star, n.UseZones)
+}
+func (n *MergeJoinNode) Vars() []string {
+	out := append([]string{}, n.Left.Vars()...)
+	for i := range n.Star.Props {
+		if v := n.Star.Props[i].ObjVar; v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+func (n *MergeJoinNode) EstRows() float64 { return n.est }
+func (n *MergeJoinNode) Cost() float64    { return n.cost }
+func (n *MergeJoinNode) Joins() int       { return n.Left.Joins() + 1 }
+func (n *MergeJoinNode) Explain(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "MergeJoin ?%s -> %s [%d props, subject-ordered scan] est_rows=%.0f cost=%.0f\n",
+		n.KeyVar, n.Table.Name, len(n.Star.Props), n.est, n.cost)
+	n.Left.Explain(b, indent+1)
 }
 
 func sharedVarNames(l, r []string) []string {
@@ -277,6 +365,7 @@ func (n *FilterNode) Op() exec.Operator {
 }
 func (n *FilterNode) Vars() []string   { return n.Input.Vars() }
 func (n *FilterNode) EstRows() float64 { return n.Input.EstRows() / 3 }
+func (n *FilterNode) Cost() float64    { return n.Input.Cost() }
 func (n *FilterNode) Joins() int       { return n.Input.Joins() }
 func (n *FilterNode) Explain(b *strings.Builder, indent int) {
 	pad(b, indent)
@@ -332,6 +421,7 @@ func removeVar(vars []string, v string) []string {
 }
 func (n *EqSelectNode) Vars() []string   { return removeVar(n.Input.Vars(), n.B) }
 func (n *EqSelectNode) EstRows() float64 { return n.Input.EstRows() / 10 }
+func (n *EqSelectNode) Cost() float64    { return n.Input.Cost() }
 func (n *EqSelectNode) Joins() int       { return n.Input.Joins() }
 func (n *EqSelectNode) Explain(b *strings.Builder, indent int) {
 	pad(b, indent)
@@ -342,12 +432,13 @@ func (n *EqSelectNode) Explain(b *strings.Builder, indent int) {
 // GenericScanNode answers one arbitrary triple pattern (variable
 // predicate and/or constant subject) off the best-matching projection.
 type GenericScanNode struct {
-	P   sparql.TriplePattern
-	S   dict.OID // bound values (Nil = variable)
-	Pr  dict.OID
-	O   dict.OID
-	Idx *triples.IndexSet
-	est float64
+	P    sparql.TriplePattern
+	S    dict.OID // bound values (Nil = variable)
+	Pr   dict.OID
+	O    dict.OID
+	Idx  *triples.IndexSet
+	est  float64
+	cost float64
 }
 
 func (n *GenericScanNode) Vars() []string {
@@ -471,8 +562,9 @@ func (g *genericScanOp) Next(b *exec.Batch) bool {
 
 func (g *genericScanOp) Close()             {}
 func (n *GenericScanNode) EstRows() float64 { return n.est }
+func (n *GenericScanNode) Cost() float64    { return n.cost }
 func (n *GenericScanNode) Joins() int       { return 0 }
 func (n *GenericScanNode) Explain(b *strings.Builder, indent int) {
 	pad(b, indent)
-	fmt.Fprintf(b, "TripleScan %s est=%.0f\n", n.P.String(), n.est)
+	fmt.Fprintf(b, "TripleScan %s est_rows=%.0f cost=%.0f\n", n.P.String(), n.est, n.cost)
 }

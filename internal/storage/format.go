@@ -36,8 +36,9 @@ import (
 // Magic identifies a snapshot file.
 const Magic = "SRDFSNP1"
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version. v2 added the
+// per-property DistinctObj statistic to serialized PropStats.
+const Version = 2
 
 const headerLen = 8 + 2 + 2 + 4
 

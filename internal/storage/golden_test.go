@@ -19,7 +19,7 @@ import (
 
 var update = flag.Bool("update", false, "regenerate the golden snapshot fixture")
 
-const goldenPath = "testdata/golden_v1.srdf"
+const goldenPath = "testdata/golden_v2.srdf"
 
 // goldenSource is a fixed graph exercising most of the format surface:
 // two characteristic sets, a foreign key, a multi-valued property (link

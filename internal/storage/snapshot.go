@@ -30,10 +30,12 @@ type Snapshot struct {
 	Catalog         *relational.Catalog
 }
 
-// Write serializes the snapshot. The encoding is fully deterministic:
-// identical state yields identical bytes (maps are emitted in sorted
-// order), so re-saving an opened snapshot is byte-stable.
-func Write(w io.Writer, s *Snapshot) error {
+// Marshal serializes the snapshot into a byte buffer. The encoding is
+// fully deterministic: identical state yields identical bytes (maps are
+// emitted in sorted order), so re-saving an opened snapshot is
+// byte-stable. Separated from the file write so a checkpoint can
+// serialize under the store lock but fsync outside it.
+func Marshal(s *Snapshot) ([]byte, error) {
 	out := make([]byte, 0, 1<<16)
 	out = append(out, Magic...)
 	out = binary.LittleEndian.AppendUint16(out, Version)
@@ -51,31 +53,40 @@ func Write(w io.Writer, s *Snapshot) error {
 	out = appendSection(out, secTriples, writeTriples(s.Triples))
 	if s.Organized {
 		if s.Schema == nil || s.Catalog == nil {
-			return fmt.Errorf("storage: organized snapshot without schema or catalog")
+			return nil, fmt.Errorf("storage: organized snapshot without schema or catalog")
 		}
 		out = appendSection(out, secSchema, writeSchema(s.Schema))
 		catPayload, segPayload, err := writeCatalog(s.Catalog, s.Schema)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		out = appendSection(out, secCatalog, catPayload)
 		out = appendSection(out, secSegments, segPayload)
 	}
-	_, err := w.Write(out)
+	return out, nil
+}
+
+// Write serializes the snapshot to w.
+func Write(w io.Writer, s *Snapshot) error {
+	out, err := Marshal(s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(out)
 	return err
 }
 
-// WriteFile atomically writes the snapshot to path: a temp file in the
-// same directory is fsynced and renamed over the target, so a crash mid-
-// checkpoint leaves the previous snapshot intact.
-func WriteFile(path string, s *Snapshot) error {
+// WriteFileBytes atomically writes pre-marshaled snapshot bytes to path:
+// a temp file in the same directory is fsynced and renamed over the
+// target, so a crash mid-checkpoint leaves the previous snapshot intact.
+func WriteFileBytes(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := Write(tmp, s); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -96,6 +107,15 @@ func WriteFile(path string, s *Snapshot) error {
 		d.Close()
 	}
 	return nil
+}
+
+// WriteFile marshals and atomically writes the snapshot to path.
+func WriteFile(path string, s *Snapshot) error {
+	data, err := Marshal(s)
+	if err != nil {
+		return err
+	}
+	return WriteFileBytes(path, data)
 }
 
 // Read deserializes a snapshot. Restored sealed columns keep references
@@ -261,6 +281,7 @@ func writePropStat(b []byte, p *cs.PropStat) []byte {
 	b = binary.AppendUvarint(b, uint64(p.NonNull))
 	b = binary.AppendUvarint(b, uint64(p.ValueCount))
 	b = binary.AppendUvarint(b, uint64(p.MultiSubjects))
+	b = binary.AppendUvarint(b, uint64(p.DistinctObj))
 	kinds := make([]int, 0, len(p.TypeHist))
 	for k := range p.TypeHist {
 		kinds = append(kinds, int(k))
@@ -285,6 +306,7 @@ func readPropStat(r *rd) cs.PropStat {
 		NonNull:       int(r.uvarint()),
 		ValueCount:    int(r.uvarint()),
 		MultiSubjects: int(r.uvarint()),
+		DistinctObj:   int(r.uvarint()),
 	}
 	nh := r.count(maxCount)
 	if nh > 0 {

@@ -1,0 +1,156 @@
+package srdf_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"srdf/internal/core"
+	"srdf/internal/plan"
+	"srdf/internal/rdfh"
+)
+
+// permutations returns every ordering of xs.
+func permutations(xs []string) [][]string {
+	if len(xs) <= 1 {
+		return [][]string{append([]string(nil), xs...)}
+	}
+	var out [][]string
+	for i := range xs {
+		rest := make([]string, 0, len(xs)-1)
+		rest = append(rest, xs[:i]...)
+		rest = append(rest, xs[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]string{xs[i]}, p...))
+		}
+	}
+	return out
+}
+
+// bestOf times fn reps times and returns the fastest run.
+func bestOf(reps int, fn func() error) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// connected reports whether every prefix of the join order shares a
+// variable with the next star, i.e. no step forces a cross product.
+func connected(perm []string, adj map[string][]string) bool {
+	in := map[string]bool{perm[0]: true}
+	for _, s := range perm[1:] {
+		ok := false
+		for _, n := range adj[s] {
+			if in[n] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		in[s] = true
+	}
+	return true
+}
+
+// TestPlanQuality exhaustively executes every connected join order x
+// join algorithm for the join-bearing RDF-H queries and asserts the
+// cost-based optimizer's default choice lands within 2x of the best
+// forced configuration. Orders that force a cross product at some step
+// are skipped: they are strictly dominated and blow the sweep up from
+// seconds to minutes. Timing-based, so it is gated behind
+// PLAN_QUALITY=1 and runs as a dedicated non-race CI step.
+func TestPlanQuality(t *testing.T) {
+	if os.Getenv("PLAN_QUALITY") == "" {
+		t.Skip("set PLAN_QUALITY=1 (timing-sensitive; run without -race)")
+	}
+	h := getHarness(t)
+	st := h.Clustered
+	cases := []struct {
+		id    string
+		stars []string
+		adj   map[string][]string
+	}{
+		{"Q3", []string{"c", "o", "li"}, map[string][]string{
+			"c": {"o"}, "o": {"c", "li"}, "li": {"o"},
+		}},
+		{"Q5", []string{"c", "o", "li", "s", "n", "r"}, map[string][]string{
+			"c": {"o", "n"}, "o": {"c", "li"}, "li": {"o", "s"},
+			"s": {"li", "n"}, "n": {"c", "s", "r"}, "r": {"n"},
+		}},
+	}
+	algos := []string{"hash", "merge"}
+	const reps = 3
+
+	for _, tc := range cases {
+		q := rdfh.Queries()[tc.id]
+		def := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}
+		res, err := st.Query(q, def) // warm the buffer pool
+		if err != nil {
+			t.Fatalf("%s: %v", tc.id, err)
+		}
+		wantRows := res.Len()
+
+		run := func(qo core.QueryOptions) (time.Duration, error) {
+			return bestOf(reps, func() error {
+				r, err := st.Query(q, qo)
+				if err != nil {
+					return err
+				}
+				if r.Len() != wantRows {
+					return fmt.Errorf("returned %d rows, optimizer plan returned %d", r.Len(), wantRows)
+				}
+				return nil
+			})
+		}
+
+		chosen, err := run(def)
+		if err != nil {
+			t.Fatalf("%s default: %v", tc.id, err)
+		}
+
+		best := time.Duration(1<<63 - 1)
+		var bestCfg string
+		swept := 0
+		for _, perm := range permutations(tc.stars) {
+			if !connected(perm, tc.adj) {
+				continue
+			}
+			swept++
+			for _, algo := range algos {
+				qo := def
+				qo.ForceOrder = perm
+				qo.ForceAlgo = algo
+				d, err := run(qo)
+				if err != nil {
+					t.Fatalf("%s order=%v algo=%s: %v", tc.id, perm, algo, err)
+				}
+				if d < best {
+					best = d
+					bestCfg = fmt.Sprintf("order=%v algo=%s", perm, algo)
+				}
+			}
+		}
+		// Re-measure the default after the sweep (everything is as warm
+		// as it will get) and keep the faster measurement.
+		if again, err := run(def); err == nil && again < chosen {
+			chosen = again
+		}
+		t.Logf("%s: optimizer %v, best of %d connected orders x %d algos %v (%s)",
+			tc.id, chosen, swept, len(algos), best, bestCfg)
+		if chosen > 2*best {
+			t.Errorf("%s: optimizer choice %v is more than 2x the best forced plan %v (%s)",
+				tc.id, chosen, best, bestCfg)
+		}
+	}
+}

@@ -107,6 +107,26 @@ func Defaults() Options {
 type QueryOptions struct {
 	Mode     Mode
 	ZoneMaps bool
+	// ForceAlgo pins the physical join algorithm ("hash", "merge",
+	// "rdfjoin") wherever the optimizer could have applied it; joins the
+	// pinned algorithm cannot serve keep the cost-based choice. Meant
+	// for testing and plan comparison.
+	ForceAlgo string
+	// NoBloom disables runtime bloom filters on hash-join probe sides.
+	NoBloom bool
+	// ForceOrder fixes the left-deep star join order by subject
+	// variable name (without the leading '?').
+	ForceOrder []string
+}
+
+func (o QueryOptions) core() core.QueryOptions {
+	return core.QueryOptions{
+		Mode:       o.Mode,
+		ZoneMaps:   o.ZoneMaps,
+		ForceAlgo:  o.ForceAlgo,
+		NoBloom:    o.NoBloom,
+		ForceOrder: o.ForceOrder,
+	}
 }
 
 // Store is a self-organizing RDF store. Create with New.
@@ -253,7 +273,7 @@ func (s *Store) Query(q string) (*Result, error) {
 
 // QueryWith runs a SPARQL SELECT query under an explicit configuration.
 func (s *Store) QueryWith(q string, o QueryOptions) (*Result, error) {
-	return s.inner.Query(q, core.QueryOptions{Mode: o.Mode, ZoneMaps: o.ZoneMaps})
+	return s.inner.Query(q, o.core())
 }
 
 // Rows is a streaming query result; see QueryStream.
@@ -276,12 +296,12 @@ func (s *Store) QueryStream(q string) (*Rows, error) {
 
 // QueryStreamWith is QueryStream under an explicit configuration.
 func (s *Store) QueryStreamWith(q string, o QueryOptions) (*Rows, error) {
-	return s.inner.QueryStream(q, core.QueryOptions{Mode: o.Mode, ZoneMaps: o.ZoneMaps})
+	return s.inner.QueryStream(q, o.core())
 }
 
 // Explain returns the plan tree that QueryWith would execute.
 func (s *Store) Explain(q string, o QueryOptions) (string, error) {
-	return s.inner.Explain(q, core.QueryOptions{Mode: o.Mode, ZoneMaps: o.ZoneMaps})
+	return s.inner.Explain(q, o.core())
 }
 
 // Organized reports whether the store has a materialized schema, from
