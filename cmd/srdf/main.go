@@ -46,6 +46,8 @@ func main() {
 		err = cmdStats(args)
 	case "dump":
 		err = cmdDump(args)
+	case "serve":
+		err = cmdServe(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -57,12 +59,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: srdf <build|schema|query|stats|dump> [flags] data.nt|data.srdf
+	fmt.Fprintln(os.Stderr, `usage: srdf <build|schema|query|stats|dump|serve> [flags] data.nt|data.srdf
   build    organize a triple file into a binary snapshot (-o out.srdf)
   schema   discover and print the emergent SQL schema
   query    run a SPARQL query (-q '...' or -f query.rq)
   stats    print store statistics after organization
   dump     print a discovered table as CSV
+  serve    serve the SPARQL Protocol over HTTP (see srdf serve -h)
 
 A .srdf snapshot (written by build) is accepted wherever a .nt/.ttl file
 is: it opens directly, skipping parse and re-organization.`)
@@ -71,9 +74,18 @@ is: it opens directly, skipping parse and re-organization.`)
 // loadStore loads a triple file or opens a snapshot. The organized flag
 // reports whether organization already happened (snapshot fast path).
 func loadStore(path string, minSupport int) (*srdf.Store, bool, error) {
+	return loadStoreOpts(path, minSupport, nil)
+}
+
+// loadStoreOpts is loadStore with an option hook applied before the
+// store is created or opened.
+func loadStoreOpts(path string, minSupport int, tweak func(*srdf.Options)) (*srdf.Store, bool, error) {
 	opts := srdf.Defaults()
 	if minSupport > 0 {
 		opts.MinSupport = minSupport
+	}
+	if tweak != nil {
+		tweak(&opts)
 	}
 	if strings.HasSuffix(path, ".srdf") {
 		st, err := srdf.Open(path, opts)

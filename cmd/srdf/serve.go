@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"srdf"
+	"srdf/internal/plan"
+	"srdf/internal/server"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7878", "listen address")
+	mode := fs.String("mode", "rdfscan", "plan family: default or rdfscan")
+	zones := fs.Bool("zonemaps", true, "use zone maps")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max queries executing at once (0: GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max queries waiting for a slot before 503 (0: 2x max-concurrent, -1: none)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-query wall-clock limit, queue wait included (0: none)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain limit for open result streams")
+	parallelism := fs.Int("parallelism", 0, "morsel-scan worker count per query (<=1: sequential)")
+	minSupport := fs.Int("minsupport", 0, "minimum CS support (non-snapshot inputs)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: srdf serve [flags] data.nt|data.srdf
+
+Serves the SPARQL 1.1 Protocol over HTTP:
+  GET  /sparql?query=...           query via URL parameter
+  POST /sparql                     query=... form body, or the bare query
+                                   with Content-Type: application/sparql-query
+  GET  /metrics                    Prometheus text-format metrics
+  GET  /healthz                    liveness probe
+
+Results content-negotiate between application/sparql-results+json
+(default), text/csv, and text/tab-separated-values. Malformed queries
+get 400, per-query timeouts 408, admission overflow 503 with
+Retry-After. SIGINT/SIGTERM stop accepting and drain open streams.
+
+Flags:`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("serve: need one data file")
+	}
+
+	st, organized, err := loadStoreOpts(fs.Arg(0), *minSupport, func(o *srdf.Options) {
+		o.Parallelism = *parallelism
+	})
+	if err != nil {
+		return err
+	}
+	if err := organize(st, organized); err != nil {
+		return err
+	}
+
+	var m srdf.Mode = plan.ModeRDFScan
+	if *mode == "default" {
+		m = plan.ModeDefault
+	}
+	srv := server.New(st, server.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queue,
+		QueryTimeout:  *timeout,
+		Query:         srdf.QueryOptions{Mode: m, ZoneMaps: *zones},
+	})
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "srdf serve: listening on %s (%d triples)\n", *addr, st.NumTriples())
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "srdf serve: %v, draining open streams (limit %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "srdf serve: drained")
+		return nil
+	}
+}

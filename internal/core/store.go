@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -67,7 +68,14 @@ type Options struct {
 	// ordinary update path when the store is created or opened. Bulk
 	// loads are not logged — checkpoint them with Save.
 	WALPath string
+	// PlanCache sizes the prepared-plan cache (entries). 0 uses
+	// DefaultPlanCacheSize; negative disables caching.
+	PlanCache int
 }
+
+// DefaultPlanCacheSize is the prepared-plan cache capacity when
+// Options.PlanCache is 0.
+const DefaultPlanCacheSize = 256
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options {
@@ -195,6 +203,10 @@ type Store struct {
 	// (research question iii / the §II-D acknowledgment that sort-key
 	// choice needs workload analysis).
 	workload map[string]int
+
+	// plans is the prepared-plan cache (nil when disabled), guarded by
+	// mu like the rest of the planning state.
+	plans *planCache
 }
 
 // NewStore creates an empty store. With Options.WALPath set, an existing
@@ -210,6 +222,10 @@ func NewStore(opts Options) *Store {
 }
 
 func newBareStore(opts Options) *Store {
+	cacheCap := opts.PlanCache
+	if cacheCap == 0 {
+		cacheCap = DefaultPlanCacheSize
+	}
 	return &Store{
 		opts:       opts,
 		dict:       dict.New(),
@@ -220,6 +236,7 @@ func newBareStore(opts Options) *Store {
 		delPending: make(map[triples.Triple]struct{}),
 		deadSet:    make(map[triples.Triple]struct{}),
 		workload:   make(map[string]int),
+		plans:      newPlanCache(cacheCap),
 	}
 }
 
@@ -960,17 +977,73 @@ func (s *Store) planLocked(q *sparql.Query, qopts QueryOptions, record bool) (*p
 	return p, snap, nil
 }
 
+// BadQueryError marks a query the client got wrong — a parse failure or
+// an unplannable shape — as opposed to a store-side failure (WAL sync
+// loss). Protocol front ends map it to 400.
+type BadQueryError struct{ Err error }
+
+func (e *BadQueryError) Error() string { return e.Err.Error() }
+func (e *BadQueryError) Unwrap() error { return e.Err }
+
+// planSourceLocked is the cached planning path: refresh, then resolve
+// (src, qopts) through the prepared-plan cache at the published epoch,
+// parsing and building only on a miss. Parse and build failures come
+// back wrapped in BadQueryError; WAL failures do not (they are the
+// store's fault, not the query's).
+func (s *Store) planSourceLocked(src string, qopts QueryOptions, record bool) (*plan.Plan, *snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	if s.walLost != nil {
+		return nil, nil, s.walLost
+	}
+	if s.walErr != nil {
+		return nil, nil, s.walErr
+	}
+	snap := s.snap
+	key := planCacheKey(src, qopts)
+	if p, ok := s.plans.get(snap.epoch, key); ok {
+		if record {
+			s.recordWorkloadLocked(p.Query)
+		}
+		return p, snap, nil
+	}
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, nil, &BadQueryError{Err: err}
+	}
+	if record {
+		s.recordWorkloadLocked(q)
+	}
+	p, err := plan.Build(q, snap.view(), plan.Options{
+		Mode:       qopts.Mode,
+		ZoneMaps:   qopts.ZoneMaps,
+		ForceAlgo:  qopts.ForceAlgo,
+		NoBloom:    qopts.NoBloom,
+		ForceOrder: qopts.ForceOrder,
+	})
+	if err != nil {
+		return nil, nil, &BadQueryError{Err: err}
+	}
+	s.plans.put(snap.epoch, key, p)
+	return p, snap, nil
+}
+
+// PlanCacheStats reports the prepared-plan cache counters (zero values
+// when the cache is disabled).
+func (s *Store) PlanCacheStats() PlanCacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plans.stats()
+}
+
 // Query parses, plans and executes a SPARQL query against the current
 // epoch snapshot. Concurrent Add/Delete/Compact calls do not affect a
 // query once planned.
 func (s *Store) Query(src string, qopts QueryOptions) (*exec.Result, error) {
-	q, err := sparql.Parse(src)
-	if err != nil {
-		return nil, err
-	}
 	s.gate.RLock()
 	defer s.gate.RUnlock()
-	p, snap, err := s.planLocked(q, qopts, true)
+	p, snap, err := s.planSourceLocked(src, qopts, true)
 	if err != nil {
 		return nil, err
 	}
@@ -1028,6 +1101,23 @@ func (r *Rows) Next() bool {
 // Next; copy values to retain them.
 func (r *Rows) Row() []dict.Value { return r.it.Row() }
 
+// Err reports why the stream ended early: the query context's error
+// after a cancellation or timeout, or nil for plain exhaustion. Valid
+// after Next returns false (and after Close).
+func (r *Rows) Err() error { return r.it.Err() }
+
+// Term resolves a result value back to its exact RDF term — IRI vs
+// literal, datatype, language tag — via the OID it was decoded from.
+// It reports false for computed values (arithmetic, aggregates), which
+// carry no OID; serializers synthesize a typed literal from the value's
+// kind instead.
+func (r *Rows) Term(v dict.Value) (dict.Term, bool) {
+	if v.OID == dict.Nil {
+		return dict.Term{}, false
+	}
+	return r.it.Dict().Term(v.OID)
+}
+
 // Close stops the pipeline and releases the reader gate; idempotent.
 func (r *Rows) Close() {
 	if r.done {
@@ -1042,17 +1132,26 @@ func (r *Rows) Close() {
 // streaming row iterator over the current epoch snapshot instead of a
 // materialized result.
 func (s *Store) QueryStream(src string, qopts QueryOptions) (*Rows, error) {
-	q, err := sparql.Parse(src)
-	if err != nil {
-		return nil, err
-	}
+	return s.QueryStreamCtx(context.Background(), src, qopts)
+}
+
+// QueryStreamCtx is QueryStream bound to a context: when ctx fires —
+// per-query timeout, client disconnect — the pipeline's scans, joins
+// and morsel workers stop at the next batch boundary, Next returns
+// false, and Rows.Err reports the cause. Planning resolves through the
+// prepared-plan cache; parse/plan failures are BadQueryError.
+func (s *Store) QueryStreamCtx(ctx context.Context, src string, qopts QueryOptions) (*Rows, error) {
 	s.gate.RLock()
-	p, snap, err := s.planLocked(q, qopts, true)
+	p, snap, err := s.planSourceLocked(src, qopts, true)
 	if err != nil {
 		s.gate.RUnlock()
 		return nil, err
 	}
-	it, err := p.Stream(snap.ctx)
+	ectx := snap.ctx
+	if ctx != nil && ctx != context.Background() {
+		ectx = ectx.WithQueryContext(ctx)
+	}
+	it, err := p.Stream(ectx)
 	if err != nil {
 		s.gate.RUnlock()
 		return nil, err

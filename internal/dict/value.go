@@ -74,6 +74,13 @@ type Value struct {
 	Int   int64   // VBool (0/1), VInt, VDate (epoch days), VDateTime (unix sec)
 	Float float64 // VFloat
 	Str   string  // VString; also the lexical form fallback
+	// OID, when non-Nil, is the dictionary OID the value was decoded
+	// from, so result consumers that need exact RDF terms (IRI vs
+	// literal, datatype, language tag — e.g. SPARQL result serializers)
+	// can recover them via Dictionary.Term. Computed values (arithmetic,
+	// aggregates) carry Nil and serialize from their Kind alone. OID does
+	// not participate in Compare or equality semantics.
+	OID OID
 }
 
 // Numeric reports whether the value participates in arithmetic.

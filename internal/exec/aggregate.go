@@ -82,7 +82,7 @@ func (a *AggregateOp) run() {
 func (a *AggregateOp) runSequential() *aggTable {
 	tbl := newAggTable(a.ctx, a.in.Vars(), a.groupBy, a.leaves)
 	b := NewBatch(a.in.Vars())
-	for seq := 0; a.in.Next(b); seq++ {
+	for seq := 0; !a.ctx.Cancelled() && a.in.Next(b); seq++ {
 		tbl.addRel(b.asRel(), seq)
 		b.Reset()
 	}
@@ -110,7 +110,7 @@ func (a *AggregateOp) runParallel(workers int) *aggTable {
 		}(tables[w], chans[w])
 	}
 	b := NewBatch(inVars)
-	for seq := 0; a.in.Next(b); seq++ {
+	for seq := 0; !a.ctx.Cancelled() && a.in.Next(b); seq++ {
 		// the batch's arrays are reused by the next pull; hand the worker
 		// a gathered copy
 		chans[seq%workers] <- batchJob{rel: b.CopyRel(), seq: seq}

@@ -189,6 +189,9 @@ func Drain(ctx *Ctx, op Operator) *Rel {
 	defer op.Close()
 	b := NewBatch(op.Vars())
 	for {
+		if ctx.Cancelled() {
+			return out
+		}
 		b.Reset()
 		if !op.Next(b) {
 			return out

@@ -1,6 +1,10 @@
 package exec
 
-import "srdf/internal/dict"
+import (
+	"sync/atomic"
+
+	"srdf/internal/dict"
+)
 
 // BloomFilter is a split bloom filter over OIDs: two probe positions
 // derived from one 64-bit mix of the OID, in a power-of-two bit array
@@ -57,16 +61,21 @@ func (f *BloomFilter) MayContain(o dict.OID) bool {
 // every probe-side scan observes it (or, if the probe opens without a
 // publication — a plan shape the planner avoids — scans simply skip the
 // filter and stay exact).
+//
+// The handle lives in the (cached, re-executable) plan, so publication
+// is atomic: concurrent executions of one cached plan may race
+// publish/Filter, and the filter contents are deterministic for a given
+// epoch, so observing another execution's filter is harmless.
 type BloomHandle struct {
 	// Var is the shared join variable the filter keys on.
 	Var    string
-	filter *BloomFilter
+	filter atomic.Pointer[BloomFilter]
 }
 
-func (h *BloomHandle) publish(f *BloomFilter) { h.filter = f }
+func (h *BloomHandle) publish(f *BloomFilter) { h.filter.Store(f) }
 
 // Filter returns the published filter, or nil before publication.
-func (h *BloomHandle) Filter() *BloomFilter { return h.filter }
+func (h *BloomHandle) Filter() *BloomFilter { return h.filter.Load() }
 
 // ScanBloom attaches a bloom handle to one scan column: Prop indexes the
 // star property whose values are tested, or -1 for the subject. Filters

@@ -70,6 +70,11 @@ func startMorselScan(ctx *Ctx, s *ScanOp, workers int) *morselScan {
 					return
 				default:
 				}
+				if ctx.Cancelled() {
+					// stop claiming; the merger notices cancellation via
+					// the scan's own poll and stops the pool
+					return
+				}
 				lo := first + idx*morselBlocks
 				hi := lo + morselBlocks - 1
 				if hi > s.last {

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"srdf/internal/colstore"
@@ -114,6 +115,52 @@ type Ctx struct {
 	// ProjTracks maps each projection to trackers of its three columns,
 	// so index scans charge I/O like any other access path.
 	ProjTracks map[*triples.Projection][3]*colstore.TrackedSlice
+	// Query is the cancellation signal of the running query (nil: never
+	// cancelled). Operators poll it at batch/morsel boundaries: when it
+	// fires, Next calls report exhaustion, workers stop claiming morsels,
+	// and the drain loops of materializing operators (hash build,
+	// aggregation, sort) bail mid-input — so a per-query timeout or a
+	// disconnected client stops scans and joins promptly instead of
+	// running the pipeline dry.
+	Query context.Context
+	// done caches Query.Done() so the per-batch poll is one channel read.
+	done <-chan struct{}
+}
+
+// WithQueryContext returns a shallow copy of the Ctx bound to qctx. The
+// shared snapshot Ctx stays untouched, so concurrent queries on one
+// snapshot each carry their own cancellation signal.
+func (c *Ctx) WithQueryContext(qctx context.Context) *Ctx {
+	cp := *c
+	cp.Query = qctx
+	cp.done = nil
+	if qctx != nil {
+		cp.done = qctx.Done()
+	}
+	return &cp
+}
+
+// Cancelled reports whether the query's context has fired. It is cheap
+// enough to poll once per batch or morsel.
+func (c *Ctx) Cancelled() bool {
+	if c.done == nil {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// CancelErr returns the cancellation cause (context.Canceled or
+// context.DeadlineExceeded), or nil while the query is live.
+func (c *Ctx) CancelErr() error {
+	if c.Query == nil {
+		return nil
+	}
+	return c.Query.Err()
 }
 
 // TrackProjections registers every projection of an index set with the
@@ -166,14 +213,16 @@ func (c *Ctx) valueOf(o dict.OID) dict.Value {
 		return dict.Value{}
 	}
 	if o.IsLiteral() {
-		return c.Dict.Value(o)
+		v := c.Dict.Value(o)
+		v.OID = o
+		return v
 	}
 	t, ok := c.Dict.Term(o)
 	if !ok {
 		return dict.Value{}
 	}
 	if t.Kind == dict.KindBlank {
-		return dict.Value{Kind: dict.VString, Str: "_:" + t.Value}
+		return dict.Value{Kind: dict.VString, Str: "_:" + t.Value, OID: o}
 	}
-	return dict.Value{Kind: dict.VString, Str: t.Value}
+	return dict.Value{Kind: dict.VString, Str: t.Value, OID: o}
 }

@@ -24,6 +24,7 @@ type RowIter struct {
 	toSkip int // OFFSET
 	remain int // LIMIT budget; -1 = unlimited
 	row    []dict.Value
+	err    error
 }
 
 // StreamVal drives a value pipeline under OFFSET/LIMIT and returns a row
@@ -148,6 +149,7 @@ func (it *RowIter) Next() bool {
 	}
 	if !it.opened {
 		if err := it.vop.Open(it.ctx); err != nil {
+			it.err = err
 			it.Close()
 			return false
 		}
@@ -157,8 +159,18 @@ func (it *RowIter) Next() bool {
 	}
 	for {
 		if it.idx >= it.batch.Len() {
+			if it.ctx.Cancelled() {
+				it.err = it.ctx.CancelErr()
+				it.Close()
+				return false
+			}
 			it.batch.Reset()
 			if !it.vop.Next(it.batch) {
+				// a false Next is exhaustion unless the query context
+				// fired, in which case the pipeline bailed early
+				if cerr := it.ctx.CancelErr(); cerr != nil {
+					it.err = cerr
+				}
 				it.Close()
 				return false
 			}
@@ -185,6 +197,15 @@ func (it *RowIter) Next() bool {
 // Row returns the current row. The slice is reused by the next call to
 // Next; copy it to retain.
 func (it *RowIter) Row() []dict.Value { return it.row }
+
+// Err reports why the stream ended early: the query context's error
+// after a cancellation or timeout, an operator Open failure, or nil for
+// plain exhaustion.
+func (it *RowIter) Err() error { return it.err }
+
+// Dict exposes the snapshot dictionary the rows decode against, for
+// consumers that resolve Value.OID back to exact RDF terms.
+func (it *RowIter) Dict() *dict.Dictionary { return it.ctx.Dict }
 
 // Close shuts the pipeline down; it is idempotent and automatically
 // invoked on exhaustion or when LIMIT is reached.

@@ -21,6 +21,7 @@ type SortOp struct {
 	// Keep bounds the retained rows (LIMIT+OFFSET); -1 keeps everything.
 	Keep int
 
+	ctx     *Ctx
 	colOf   map[string]int
 	maxHeld int
 	ran     bool
@@ -70,6 +71,7 @@ func (s *SortOp) MaxHeld() int { return s.maxHeld }
 func (s *SortOp) Vars() []string { return s.in.Vars() }
 
 func (s *SortOp) Open(ctx *Ctx) error {
+	s.ctx = ctx
 	s.colOf = make(map[string]int, len(s.in.Vars()))
 	for i, v := range s.in.Vars() {
 		s.colOf[v] = i
@@ -117,7 +119,7 @@ func (s *SortOp) run() {
 	h := topKHeap{op: s}
 	inb := NewVBatch(s.in.Vars())
 	seq := 0
-	for s.in.Next(inb) {
+	for !s.ctx.Cancelled() && s.in.Next(inb) {
 		for i := 0; i < inb.Len(); i++ {
 			r := &sortRow{
 				vals: inb.Row(i, nil),

@@ -397,6 +397,9 @@ func (s *ScanOp) appendBlock(blk int, dst *Rel, sc *scanScratch) {
 }
 
 func (s *ScanOp) Next(b *Batch) bool {
+	if s.ctx.Cancelled() {
+		return false
+	}
 	if s.par != nil {
 		if s.par.next(b) {
 			return true
@@ -408,6 +411,11 @@ func (s *ScanOp) Next(b *Batch) bool {
 		s.block = s.last + 1
 	}
 	for s.block <= s.last {
+		// a selective scan can skip many blocks between emitted batches;
+		// re-poll so cancellation latency stays bounded by one block
+		if s.ctx.Cancelled() {
+			return false
+		}
 		blk := s.block
 		s.block++
 		sel, all, wlo, whi := s.selectBlock(blk, &s.sc)
@@ -436,6 +444,9 @@ func (s *ScanOp) nextDelta(b *Batch) bool {
 	n := d.Len()
 	sc := &s.sc
 	for s.dCur < n {
+		if s.ctx.Cancelled() {
+			return false
+		}
 		lo := s.dCur
 		hi := lo + colstore.BlockRows
 		if hi > n {
@@ -699,6 +710,10 @@ func (d *DefaultStarOp) extendChunk(rel *Rel, st *extendState) *Rel {
 
 func (d *DefaultStarOp) Next(b *Batch) bool {
 	for !d.done {
+		if d.ctx.Cancelled() {
+			d.done = true
+			return false
+		}
 		if d.pending.rel != nil && d.pending.fill(b) {
 			return true
 		}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned when both the execution slots and the wait
+// queue are full; the HTTP layer maps it to 503 with Retry-After.
+var ErrOverloaded = errors.New("server: admission queue full")
+
+// admission is the semaphore-based admission controller: at most
+// maxConcurrent queries execute at once, at most queueDepth more wait
+// for a slot, and everything beyond that is rejected immediately — the
+// server sheds load instead of stacking unbounded goroutines behind a
+// saturated executor. A waiter whose context fires (client gone, query
+// deadline already spent in the queue) leaves without a slot.
+type admission struct {
+	slots   chan struct{}
+	queueN  int64
+	waiting atomic.Int64
+}
+
+func newAdmission(maxConcurrent, queueDepth int) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots:  make(chan struct{}, maxConcurrent),
+		queueN: int64(queueDepth),
+	}
+}
+
+// acquire obtains an execution slot, queueing up to the depth bound.
+// The caller must release() exactly once on nil return.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queueN {
+		a.waiting.Add(-1)
+		return ErrOverloaded
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports the number of held execution slots.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queued reports the number of requests waiting for a slot.
+func (a *admission) queued() int { return int(a.waiting.Load()) }

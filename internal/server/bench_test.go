@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"srdf"
+)
+
+// BenchmarkServe_ConcurrentLoad drives the full HTTP path — admission,
+// plan cache, snapshot query, JSON/CSV streaming — with RunParallel
+// clients over a mixed query set, the shape a live endpoint sees.
+func BenchmarkServe_ConcurrentLoad(b *testing.B) {
+	st := testStore(b, 5000, srdf.Defaults())
+	srv := New(st, Config{MaxConcurrent: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type req struct{ target, accept string }
+	reqs := []req{
+		{"/sparql?query=" + url.QueryEscape(nameQuery), MimeJSON},
+		{"/sparql?query=" + url.QueryEscape(nameQuery), MimeCSV},
+		{"/sparql?query=" + url.QueryEscape(
+			`SELECT ?s ?a WHERE { ?s <http://ex/age> ?a . FILTER(?a > 40) }`), MimeJSON},
+		{"/sparql?query=" + url.QueryEscape(
+			`SELECT ?s WHERE { ?s <http://ex/name> "p17" }`), MimeTSV},
+	}
+
+	client := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rq := reqs[i%len(reqs)]
+			i++
+			hr, err := http.NewRequest(http.MethodGet, ts.URL+rq.target, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hr.Header.Set("Accept", rq.accept)
+			resp, err := client.Do(hr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				b.Fatal(fmt.Errorf("%s: %d: %s", rq.target, resp.StatusCode, body))
+			}
+			n, err := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("empty response body")
+			}
+		}
+	})
+	b.StopTimer()
+	ps := st.PlanCacheStats()
+	if total := ps.Hits + ps.Misses; total > 0 {
+		b.ReportMetric(float64(ps.Hits)/float64(total), "cache-hit-ratio")
+	}
+}

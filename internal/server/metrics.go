@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's hand-rolled Prometheus-style instrumentation:
+// counters and histograms cheap enough to touch on every request, plus
+// a text-format renderer for /metrics. Store-derived series (pool
+// stats, plan cache) are sampled at scrape time by the server, not
+// accumulated here.
+type metrics struct {
+	queriesOK       atomic.Uint64
+	queriesBad      atomic.Uint64 // malformed/unplannable (400)
+	queriesTimeout  atomic.Uint64 // deadline exceeded (408 or truncated)
+	queriesCanceled atomic.Uint64 // client disconnected mid-query
+	queriesRejected atomic.Uint64 // admission overflow (503)
+	queriesErr      atomic.Uint64 // internal failures (500)
+	rowsSent        atomic.Uint64
+
+	latency histogram
+}
+
+// latencyBuckets are the query-duration histogram bounds in seconds,
+// roughly exponential from 100µs to 10s.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram with Prometheus
+// cumulative-bucket semantics.
+type histogram struct {
+	mu     sync.Mutex
+	counts [17]uint64 // len(latencyBuckets)+1; last = +Inf
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += s
+	h.total++
+	h.mu.Unlock()
+}
+
+func (h *histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	counts := h.counts
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i, le := range latencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(le), cum)
+	}
+	cum += counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+func writeCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func writeGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func writeLabeledCounter(w io.Writer, name, label, value string, v uint64) {
+	fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, value, v)
+}
+
+// write renders the request-side series (the server adds the
+// store-derived ones).
+func (m *metrics) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP srdf_queries_total Queries by outcome.\n# TYPE srdf_queries_total counter\n")
+	writeLabeledCounter(w, "srdf_queries_total", "status", "ok", m.queriesOK.Load())
+	writeLabeledCounter(w, "srdf_queries_total", "status", "bad_query", m.queriesBad.Load())
+	writeLabeledCounter(w, "srdf_queries_total", "status", "timeout", m.queriesTimeout.Load())
+	writeLabeledCounter(w, "srdf_queries_total", "status", "canceled", m.queriesCanceled.Load())
+	writeLabeledCounter(w, "srdf_queries_total", "status", "rejected", m.queriesRejected.Load())
+	writeLabeledCounter(w, "srdf_queries_total", "status", "error", m.queriesErr.Load())
+	writeCounter(w, "srdf_result_rows_total", "Result rows serialized to clients.", m.rowsSent.Load())
+	fmt.Fprintf(w, "# HELP srdf_query_duration_seconds Query wall time, admission to last byte.\n")
+	m.latency.write(w, "srdf_query_duration_seconds")
+}

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+
+	"srdf/internal/dict"
+)
+
+// RowSource is the streaming result a serializer consumes: core.Rows
+// satisfies it, and tests drive serializers with fixtures.
+type RowSource interface {
+	Vars() []string
+	Next() bool
+	Row() []dict.Value
+	// Term recovers the exact RDF term of a value (false for computed
+	// values, which carry no source OID).
+	Term(v dict.Value) (dict.Term, bool)
+	Err() error
+}
+
+// Result formats of the SPARQL 1.1 Query Results family the endpoint
+// can negotiate.
+const (
+	MimeJSON = "application/sparql-results+json"
+	MimeCSV  = "text/csv"
+	MimeTSV  = "text/tab-separated-values"
+)
+
+// Serializer streams a result set in one output format. Write returns
+// the row count and the first error — serialization or source — it hit;
+// a source error mid-stream leaves a truncated document behind, which
+// the HTTP layer converts into an aborted response so clients cannot
+// mistake it for a complete result.
+type Serializer interface {
+	ContentType() string
+	Write(w io.Writer, src RowSource) (rows int, err error)
+}
+
+// SerializerFor maps a negotiated media type to its serializer.
+func SerializerFor(mime string) (Serializer, bool) {
+	switch mime {
+	case MimeJSON:
+		return jsonSerializer{}, true
+	case MimeCSV:
+		return csvSerializer{}, true
+	case MimeTSV:
+		return tsvSerializer{}, true
+	}
+	return nil, false
+}
+
+// termOf resolves a result cell to an RDF term: exact via the source
+// dictionary when the value carries an OID, synthesized from the typed
+// value otherwise (computed expressions and aggregates). The second
+// return is false for unbound cells.
+func termOf(src RowSource, v dict.Value) (dict.Term, bool) {
+	if v.Kind == dict.VInvalid {
+		return dict.Term{}, false
+	}
+	if t, ok := src.Term(v); ok {
+		return t, true
+	}
+	switch v.Kind {
+	case dict.VBool:
+		return dict.TypedLit(v.Lexical(), dict.XSDBool), true
+	case dict.VInt:
+		return dict.TypedLit(v.Lexical(), dict.XSDInt), true
+	case dict.VFloat:
+		return dict.TypedLit(v.Lexical(), dict.XSDDouble), true
+	case dict.VDate:
+		return dict.TypedLit(v.Lexical(), dict.XSDDate), true
+	case dict.VDateTime:
+		return dict.TypedLit(v.Lexical(), dict.XSDDateTm), true
+	default:
+		return dict.StringLit(v.Str), true
+	}
+}
+
+// jsonSerializer emits the SPARQL 1.1 Query Results JSON Format:
+// {"head":{"vars":[...]},"results":{"bindings":[...]}} with each
+// binding an object of {"type","value","xml:lang"/"datatype"} terms.
+// Bindings stream as rows arrive; nothing is buffered.
+type jsonSerializer struct{}
+
+func (jsonSerializer) ContentType() string { return MimeJSON + "; charset=utf-8" }
+
+func (jsonSerializer) Write(w io.Writer, src RowSource) (int, error) {
+	vars := src.Vars()
+	var head strings.Builder
+	head.WriteString(`{"head":{"vars":[`)
+	for i, v := range vars {
+		if i > 0 {
+			head.WriteByte(',')
+		}
+		head.Write(jsonString(v))
+	}
+	head.WriteString(`]},"results":{"bindings":[`)
+	if _, err := io.WriteString(w, head.String()); err != nil {
+		return 0, err
+	}
+	rows := 0
+	for src.Next() {
+		var b []byte
+		if rows > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '{')
+		row := src.Row()
+		wrote := false
+		for i, v := range row {
+			t, bound := termOf(src, v)
+			if !bound {
+				continue // unbound: the variable is absent from the binding
+			}
+			if wrote {
+				b = append(b, ',')
+			}
+			wrote = true
+			b = append(b, jsonString(vars[i])...)
+			b = append(b, ':')
+			b = appendJSONTerm(b, t)
+		}
+		b = append(b, '}')
+		if _, err := w.Write(b); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	if err := src.Err(); err != nil {
+		return rows, err
+	}
+	_, err := io.WriteString(w, "]}}\n")
+	return rows, err
+}
+
+func appendJSONTerm(b []byte, t dict.Term) []byte {
+	b = append(b, `{"type":`...)
+	switch t.Kind {
+	case dict.KindIRI:
+		b = append(b, `"uri"`...)
+	case dict.KindBlank:
+		b = append(b, `"bnode"`...)
+	default:
+		b = append(b, `"literal"`...)
+	}
+	b = append(b, `,"value":`...)
+	b = append(b, jsonString(t.Value)...)
+	if t.Kind == dict.KindLiteral {
+		if t.Lang != "" {
+			b = append(b, `,"xml:lang":`...)
+			b = append(b, jsonString(t.Lang)...)
+		} else if t.Datatype != "" && t.Datatype != dict.XSDString {
+			b = append(b, `,"datatype":`...)
+			b = append(b, jsonString(t.Datatype)...)
+		}
+	}
+	return append(b, '}')
+}
+
+// jsonString renders one JSON string literal. Inputs are term values and
+// variable names, which json.Marshal cannot fail on.
+func jsonString(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return []byte(`""`)
+	}
+	return b
+}
+
+// csvSerializer emits SPARQL 1.1 Query Results CSV: header row of bare
+// variable names, then one RFC 4180 record per solution — IRIs and
+// lexical forms plain (no quoting syntax, types and languages dropped),
+// blank nodes as _:label, unbound cells empty.
+type csvSerializer struct{}
+
+func (csvSerializer) ContentType() string { return MimeCSV + "; charset=utf-8" }
+
+func (csvSerializer) Write(w io.Writer, src RowSource) (int, error) {
+	cw := csv.NewWriter(w)
+	cw.UseCRLF = true // RFC 4180 line endings, per the CSV results spec
+	if err := cw.Write(src.Vars()); err != nil {
+		return 0, err
+	}
+	rows := 0
+	record := make([]string, len(src.Vars()))
+	for src.Next() {
+		for i, v := range src.Row() {
+			t, bound := termOf(src, v)
+			switch {
+			case !bound:
+				record[i] = ""
+			case t.Kind == dict.KindBlank:
+				record[i] = "_:" + t.Value
+			default:
+				record[i] = t.Value
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	if err := src.Err(); err != nil {
+		return rows, err
+	}
+	cw.Flush()
+	return rows, cw.Error()
+}
+
+// tsvSerializer emits SPARQL 1.1 Query Results TSV: header of
+// ?-prefixed variables, then terms in their Turtle/N-Triples syntax —
+// <iri>, _:label, "literal"@lang, "literal"^^<datatype> — with unbound
+// cells empty.
+type tsvSerializer struct{}
+
+func (tsvSerializer) ContentType() string { return MimeTSV + "; charset=utf-8" }
+
+func (tsvSerializer) Write(w io.Writer, src RowSource) (int, error) {
+	vars := src.Vars()
+	var b []byte
+	for i, v := range vars {
+		if i > 0 {
+			b = append(b, '\t')
+		}
+		b = append(b, '?')
+		b = append(b, v...)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return 0, err
+	}
+	rows := 0
+	for src.Next() {
+		b = b[:0]
+		for i, v := range src.Row() {
+			if i > 0 {
+				b = append(b, '\t')
+			}
+			t, bound := termOf(src, v)
+			if !bound {
+				continue
+			}
+			b = append(b, t.String()...)
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	if err := src.Err(); err != nil {
+		return rows, err
+	}
+	return rows, nil
+}
+
+// Negotiate picks a result format from an Accept header value, ""
+// meaning "anything" (JSON). It honors q-weights across the three
+// supported types plus the wildcard families; false means nothing
+// acceptable (406).
+func Negotiate(accept string) (string, bool) {
+	if strings.TrimSpace(accept) == "" {
+		return MimeJSON, true
+	}
+	best, bestQ := "", -1.0
+	for _, part := range strings.Split(accept, ",") {
+		mime, q := parseAcceptPart(part)
+		var offer string
+		switch mime {
+		case MimeJSON, "application/json":
+			offer = MimeJSON
+		case MimeCSV:
+			offer = MimeCSV
+		case MimeTSV:
+			offer = MimeTSV
+		case "*/*", "application/*":
+			offer = MimeJSON
+		case "text/*":
+			offer = MimeCSV
+		default:
+			continue
+		}
+		// strictly greater: an earlier entry wins ties, and JSON is
+		// listed first by clients that want it
+		if q > bestQ {
+			best, bestQ = offer, q
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return best, true
+}
+
+func parseAcceptPart(part string) (string, float64) {
+	fields := strings.Split(part, ";")
+	mime := strings.ToLower(strings.TrimSpace(fields[0]))
+	q := 1.0
+	for _, f := range fields[1:] {
+		f = strings.TrimSpace(f)
+		if v, ok := strings.CutPrefix(f, "q="); ok {
+			if parsed, err := strconv.ParseFloat(v, 64); err == nil {
+				q = parsed
+			}
+		}
+	}
+	return mime, q
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"srdf/internal/dict"
+)
+
+// fakeRows drives serializers from fixed rows; Term resolves through a
+// fixture OID→term map exactly like core.Rows resolves through the
+// dictionary.
+type fakeRows struct {
+	vars  []string
+	rows  [][]dict.Value
+	terms map[dict.OID]dict.Term
+	i     int
+	err   error
+}
+
+func (f *fakeRows) Vars() []string { return f.vars }
+func (f *fakeRows) Next() bool {
+	if f.i >= len(f.rows) {
+		return false
+	}
+	f.i++
+	return true
+}
+func (f *fakeRows) Row() []dict.Value { return f.rows[f.i-1] }
+func (f *fakeRows) Err() error        { return f.err }
+func (f *fakeRows) Term(v dict.Value) (dict.Term, bool) {
+	t, ok := f.terms[v.OID]
+	return t, ok
+}
+
+// fixtureRows covers every term shape the serializers distinguish: IRI,
+// language-tagged literal, typed literal, blank node, unbound cell,
+// plain literal, and a computed value with no source OID.
+func fixtureRows() *fakeRows {
+	return &fakeRows{
+		vars: []string{"x", "y"},
+		terms: map[dict.OID]dict.Term{
+			1: dict.IRI("http://ex/a"),
+			2: dict.LangLit("chat", "fr"),
+			3: dict.IntLit(42),
+			4: dict.Blank("b0"),
+			5: dict.StringLit("say \"hi\",\nok"),
+		},
+		rows: [][]dict.Value{
+			{
+				{Kind: dict.VString, Str: "http://ex/a", OID: 1},
+				{Kind: dict.VString, Str: "chat", OID: 2},
+			},
+			{
+				{Kind: dict.VInt, Int: 42, OID: 3},
+				{Kind: dict.VString, Str: "_:b0", OID: 4},
+			},
+			{
+				{}, // unbound
+				{Kind: dict.VString, Str: "say \"hi\",\nok", OID: 5},
+			},
+			{
+				{Kind: dict.VFloat, Float: 2.5}, // computed: no OID
+				{},
+			},
+		},
+	}
+}
+
+func serialize(t *testing.T, mime string, src RowSource) string {
+	t.Helper()
+	ser, ok := SerializerFor(mime)
+	if !ok {
+		t.Fatalf("no serializer for %s", mime)
+	}
+	var b strings.Builder
+	if _, err := ser.Write(&b, src); err != nil {
+		t.Fatalf("%s: %v", mime, err)
+	}
+	return b.String()
+}
+
+func TestJSONSerializerGolden(t *testing.T) {
+	got := serialize(t, MimeJSON, fixtureRows())
+	want := `{"head":{"vars":["x","y"]},"results":{"bindings":[` +
+		`{"x":{"type":"uri","value":"http://ex/a"},"y":{"type":"literal","value":"chat","xml:lang":"fr"}},` +
+		`{"x":{"type":"literal","value":"42","datatype":"http://www.w3.org/2001/XMLSchema#integer"},"y":{"type":"bnode","value":"b0"}},` +
+		`{"y":{"type":"literal","value":"say \"hi\",\nok"}},` +
+		`{"x":{"type":"literal","value":"2.5","datatype":"http://www.w3.org/2001/XMLSchema#double"}}` +
+		`]}}` + "\n"
+	if got != want {
+		t.Fatalf("json:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestCSVSerializerGolden(t *testing.T) {
+	got := serialize(t, MimeCSV, fixtureRows())
+	// encoding/csv in CRLF mode also normalizes the embedded newline
+	want := "x,y\r\n" +
+		"http://ex/a,chat\r\n" +
+		"42,_:b0\r\n" +
+		",\"say \"\"hi\"\",\r\nok\"\r\n" +
+		"2.5,\r\n"
+	if got != want {
+		t.Fatalf("csv:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTSVSerializerGolden(t *testing.T) {
+	got := serialize(t, MimeTSV, fixtureRows())
+	want := "?x\t?y\n" +
+		"<http://ex/a>\t\"chat\"@fr\n" +
+		"\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>\t_:b0\n" +
+		"\t\"say \\\"hi\\\",\\nok\"\n" +
+		"\"2.5\"^^<http://www.w3.org/2001/XMLSchema#double>\t\n"
+	if got != want {
+		t.Fatalf("tsv:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestSerializersEmptyResult(t *testing.T) {
+	empty := func() *fakeRows { return &fakeRows{vars: []string{"a", "b"}} }
+	if got, want := serialize(t, MimeJSON, empty()),
+		`{"head":{"vars":["a","b"]},"results":{"bindings":[]}}`+"\n"; got != want {
+		t.Fatalf("json empty:\n got %q\nwant %q", got, want)
+	}
+	if got, want := serialize(t, MimeCSV, empty()), "a,b\r\n"; got != want {
+		t.Fatalf("csv empty:\n got %q\nwant %q", got, want)
+	}
+	if got, want := serialize(t, MimeTSV, empty()), "?a\t?b\n"; got != want {
+		t.Fatalf("tsv empty:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   string
+		ok     bool
+	}{
+		{"", MimeJSON, true},
+		{"application/sparql-results+json", MimeJSON, true},
+		{"application/json", MimeJSON, true},
+		{"text/csv", MimeCSV, true},
+		{"text/tab-separated-values", MimeTSV, true},
+		{"*/*", MimeJSON, true},
+		{"application/*", MimeJSON, true},
+		{"text/*", MimeCSV, true},
+		{"text/html, */*;q=0.1", MimeJSON, true},
+		{"text/csv;q=0.5, application/sparql-results+json;q=0.9", MimeJSON, true},
+		{"application/sparql-results+json;q=0.1, text/tab-separated-values", MimeTSV, true},
+		{"TEXT/CSV", MimeCSV, true},
+		{"text/csv ; q=0.8", MimeCSV, true},
+		{"application/rdf+xml", "", false},
+		{"text/html;q=0.9", "", false},
+	}
+	for _, c := range cases {
+		got, ok := Negotiate(c.accept)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Negotiate(%q) = %q,%v; want %q,%v", c.accept, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestHistogramBucketsMatch(t *testing.T) {
+	var h histogram
+	if len(h.counts) != len(latencyBuckets)+1 {
+		t.Fatalf("histogram.counts has %d slots; latencyBuckets needs %d",
+			len(h.counts), len(latencyBuckets)+1)
+	}
+}

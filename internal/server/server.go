@@ -1,0 +1,360 @@
+// Package server is the SPARQL Protocol front end over the srdf store:
+// an HTTP endpoint serving SELECT queries from the lock-free epoch
+// snapshots, with per-query timeouts and client-disconnect cancellation
+// threaded through the executor, semaphore admission control, a
+// prepared-plan cache underneath (in core), content-negotiated
+// JSON/CSV/TSV result streaming, graceful shutdown that drains open
+// result streams, and Prometheus-style metrics.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"srdf"
+	"srdf/internal/core"
+	"srdf/internal/dict"
+)
+
+// Config tunes the endpoint.
+type Config struct {
+	// MaxConcurrent caps simultaneously executing queries; 0 means
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot beyond
+	// MaxConcurrent; past it requests are rejected with 503. Negative
+	// means no queue (reject as soon as all slots are busy); 0 means
+	// 2×MaxConcurrent.
+	QueueDepth int
+	// QueryTimeout bounds one query, queue wait included; <=0 disables.
+	QueryTimeout time.Duration
+	// MaxQueryBytes caps the request query text; 0 means 1 MiB.
+	MaxQueryBytes int64
+	// Query selects the plan configuration every request runs under.
+	Query srdf.QueryOptions
+}
+
+// Server is the SPARQL-over-HTTP front end. Create with New, serve with
+// ListenAndServe (or mount Handler in an existing mux), stop with
+// Shutdown — which stops accepting, then waits for open result streams
+// to drain.
+type Server struct {
+	store *srdf.Store
+	cfg   Config
+	adm   *admission
+	met   *metrics
+	mux   *http.ServeMux
+	hs    *http.Server
+	ln    atomic.Pointer[net.Listener]
+	start time.Time
+
+	// rowHook, when set (tests only), runs before each result row is
+	// handed to the serializer — it makes "a stream is open" a
+	// controllable condition for shutdown-drain tests.
+	rowHook func()
+}
+
+// New builds a server over an opened store.
+func New(store *srdf.Store, cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 2 * cfg.MaxConcurrent
+	}
+	if cfg.MaxQueryBytes <= 0 {
+		cfg.MaxQueryBytes = 1 << 20
+	}
+	s := &Server{
+		store: store,
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		met:   &metrics{},
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	// built here, not in ListenAndServe, so Shutdown is race-free even
+	// when serving starts on another goroutine
+	s.hs = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the routing handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds addr and serves until Shutdown (returning nil)
+// or a listener error. With port 0, Addr reports the bound address once
+// this has been called.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln.Store(&ln)
+	err = s.hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Addr reports the bound listen address ("" before ListenAndServe).
+func (s *Server) Addr() string {
+	ln := s.ln.Load()
+	if ln == nil {
+		return ""
+	}
+	return (*ln).Addr().String()
+}
+
+// Shutdown stops accepting connections and waits — up to ctx — for
+// in-flight requests, open result streams included, to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// queryText extracts the query per the SPARQL 1.1 Protocol: GET with a
+// query parameter, POST with URL-encoded parameters, or POST with the
+// bare query as the application/sparql-query body.
+func (s *Server) queryText(w http.ResponseWriter, r *http.Request) (string, bool) {
+	switch r.Method {
+	case http.MethodGet:
+		if !r.URL.Query().Has("query") {
+			http.Error(w, "missing query parameter", http.StatusBadRequest)
+			return "", false
+		}
+		return r.URL.Query().Get("query"), true
+	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxQueryBytes)
+		ct := r.Header.Get("Content-Type")
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil && ct != "" {
+			http.Error(w, "malformed Content-Type", http.StatusBadRequest)
+			return "", false
+		}
+		switch mt {
+		case "application/x-www-form-urlencoded", "":
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, "malformed form body", http.StatusBadRequest)
+				return "", false
+			}
+			if _, ok := r.PostForm["query"]; !ok {
+				http.Error(w, "missing query parameter", http.StatusBadRequest)
+				return "", false
+			}
+			return r.PostForm.Get("query"), true
+		case "application/sparql-query":
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, "unreadable body", http.StatusBadRequest)
+				return "", false
+			}
+			return string(body), true
+		default:
+			http.Error(w, "use application/x-www-form-urlencoded or application/sparql-query",
+				http.StatusUnsupportedMediaType)
+			return "", false
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return "", false
+	}
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	query, ok := s.queryText(w, r)
+	if !ok {
+		return
+	}
+	format, ok := Negotiate(r.Header.Get("Accept"))
+	if !ok {
+		http.Error(w, "acceptable formats: "+MimeJSON+", "+MimeCSV+", "+MimeTSV,
+			http.StatusNotAcceptable)
+		return
+	}
+	ser, _ := SerializerFor(format)
+
+	started := time.Now()
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+
+	// Admission: a slot, a bounded wait, or an immediate 503.
+	if err := s.adm.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			s.met.queriesRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.queriesTimeout.Add(1)
+			http.Error(w, "query timed out waiting for an execution slot", http.StatusRequestTimeout)
+		default: // client went away while queued
+			s.met.queriesCanceled.Add(1)
+		}
+		return
+	}
+	defer s.adm.release()
+
+	rows, err := s.store.QueryStreamCtx(ctx, query, s.cfg.Query)
+	if err != nil {
+		var bad *core.BadQueryError
+		switch {
+		case errors.As(err, &bad):
+			s.met.queriesBad.Add(1)
+			http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.queriesTimeout.Add(1)
+			http.Error(w, "query timed out", http.StatusRequestTimeout)
+		case errors.Is(err, context.Canceled):
+			s.met.queriesCanceled.Add(1)
+		default:
+			s.met.queriesErr.Add(1)
+			http.Error(w, "query failed: "+err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	defer rows.Close()
+
+	// Probe the first row before committing a status code, so a query
+	// that times out (or whose client vanishes) before producing
+	// anything still gets an honest status instead of an empty 200.
+	src := &peekSource{rows: rows, hook: s.rowHook}
+	src.prime()
+	if err := rows.Err(); err != nil && !src.has {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.queriesTimeout.Add(1)
+			http.Error(w, "query timed out", http.StatusRequestTimeout)
+		} else {
+			s.met.queriesCanceled.Add(1)
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", ser.ContentType())
+	n, werr := ser.Write(w, src)
+	s.met.rowsSent.Add(uint64(n))
+	s.met.latency.observe(time.Since(started))
+	if werr != nil {
+		// The response is already streaming: a 200 status is out, so
+		// count the outcome and abort the connection — a truncated
+		// transfer is the one signal left that the result is incomplete.
+		switch {
+		case errors.Is(werr, context.DeadlineExceeded):
+			s.met.queriesTimeout.Add(1)
+		case errors.Is(werr, context.Canceled):
+			s.met.queriesCanceled.Add(1)
+		default:
+			s.met.queriesErr.Add(1)
+		}
+		panic(http.ErrAbortHandler)
+	}
+	s.met.queriesOK.Add(1)
+}
+
+// peekSource adapts core.Rows to RowSource with one row of lookahead
+// (see handleSPARQL). The peeked row is copied: Rows reuses its row
+// slice on Next, and the serializer reads the peek after a real Next.
+type peekSource struct {
+	rows   *core.Rows
+	has    bool
+	used   bool
+	peeked []dict.Value
+	hook   func()
+}
+
+func (p *peekSource) prime() {
+	if p.rows.Next() {
+		p.has = true
+		p.peeked = append(p.peeked[:0], p.rows.Row()...)
+	}
+}
+
+func (p *peekSource) Vars() []string { return p.rows.Vars() }
+
+func (p *peekSource) Next() bool {
+	if p.hook != nil {
+		p.hook()
+	}
+	if p.has {
+		if !p.used {
+			p.used = true
+			return true
+		}
+		p.has = false // moving past the peeked row
+	}
+	return p.rows.Next()
+}
+
+func (p *peekSource) Row() []dict.Value {
+	if p.has && p.used {
+		return p.peeked
+	}
+	return p.rows.Row()
+}
+
+func (p *peekSource) Term(v dict.Value) (dict.Term, bool) { return p.rows.Term(v) }
+func (p *peekSource) Err() error                          { return p.rows.Err() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	s.met.write(&b)
+
+	writeGauge(&b, "srdf_inflight_queries", "Queries holding an execution slot.", float64(s.adm.inFlight()))
+	writeGauge(&b, "srdf_admission_queued", "Requests waiting for an execution slot.", float64(s.adm.queued()))
+	writeGauge(&b, "srdf_max_concurrent", "Execution slot capacity.", float64(s.cfg.MaxConcurrent))
+	writeGauge(&b, "srdf_uptime_seconds", "Seconds since server start.", time.Since(s.start).Seconds())
+
+	pc := s.store.PlanCacheStats()
+	writeCounter(&b, "srdf_plan_cache_hits_total", "Prepared-plan cache hits.", pc.Hits)
+	writeCounter(&b, "srdf_plan_cache_misses_total", "Prepared-plan cache misses.", pc.Misses)
+	writeCounter(&b, "srdf_plan_cache_evictions_total", "Prepared-plan cache LRU evictions.", pc.Evictions)
+	writeGauge(&b, "srdf_plan_cache_entries", "Prepared plans cached for the current epoch.", float64(pc.Size))
+	writeGauge(&b, "srdf_store_epoch", "Published snapshot epoch.", float64(pc.Epoch))
+
+	ps := s.store.PoolStats()
+	writeCounter(&b, "srdf_pool_hits_total", "Buffer pool page hits.", ps.Hits)
+	writeCounter(&b, "srdf_pool_misses_total", "Buffer pool page misses.", ps.Misses)
+	writeCounter(&b, "srdf_pool_evictions_total", "Buffer pool evictions.", ps.Evictions)
+	writeGauge(&b, "srdf_pool_resident_pages", "Resident buffer pool pages.", float64(ps.Resident))
+	writeGauge(&b, "srdf_pool_segment_bytes", "Resident sealed segment bytes.", float64(ps.SegmentBytes))
+	writeGauge(&b, "srdf_pool_compression_ratio", "Logical/segment byte ratio of sealed columns.", ps.CompressionRatio)
+	writeGauge(&b, "srdf_pool_segments_lazy", "Sealed blocks not yet decoded from the snapshot.", float64(ps.SegmentsLazy))
+	writeGauge(&b, "srdf_pool_segments_decoded", "Sealed blocks decoded on demand.", float64(ps.SegmentsDecoded))
+
+	writeGauge(&b, "srdf_triples", "Stored triples.", float64(s.store.NumTriples()))
+
+	io.WriteString(w, b.String())
+}
+
+// String renders the effective configuration (CLI startup log).
+func (c Config) String() string {
+	return fmt.Sprintf("max-concurrent=%d queue=%d timeout=%s",
+		c.MaxConcurrent, c.QueueDepth, c.QueryTimeout)
+}

@@ -1,0 +1,108 @@
+package srdf_test
+
+import (
+	"fmt"
+	"testing"
+
+	"srdf"
+)
+
+func planCacheStore(t *testing.T) *srdf.Store {
+	t.Helper()
+	st := srdf.New(srdf.Defaults())
+	ttl := "@prefix ex: <http://ex/> .\n"
+	for i := 0; i < 40; i++ {
+		ttl += fmt.Sprintf("ex:p%d ex:name \"p%d\" ; ex:age %d .\n", i, i, 20+i)
+	}
+	st.MustLoadTurtle(ttl)
+	if _, err := st.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+const pcQuery = `SELECT ?s ?n WHERE { ?s <http://ex/name> ?n }`
+
+func runQuery(t *testing.T, st *srdf.Store, q string, o srdf.QueryOptions) int {
+	t.Helper()
+	res, err := st.QueryWith(q, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Len()
+}
+
+// TestPlanCacheHitMiss checks the prepared-plan cache counts a miss on
+// first sight of (query, options), a hit on repetition, and distinct
+// entries for distinct option sets.
+func TestPlanCacheHitMiss(t *testing.T) {
+	st := planCacheStore(t)
+	o := srdf.QueryOptions{Mode: srdf.RDFScan}
+
+	runQuery(t, st, pcQuery, o)
+	ps := st.PlanCacheStats()
+	if ps.Hits != 0 || ps.Misses != 1 || ps.Size != 1 {
+		t.Fatalf("after first query: %+v", ps)
+	}
+
+	runQuery(t, st, pcQuery, o)
+	ps = st.PlanCacheStats()
+	if ps.Hits != 1 || ps.Misses != 1 {
+		t.Fatalf("after repeat: %+v", ps)
+	}
+
+	// same text, different options → different plan, separate entry
+	runQuery(t, st, pcQuery, srdf.QueryOptions{Mode: srdf.Default})
+	ps = st.PlanCacheStats()
+	if ps.Hits != 1 || ps.Misses != 2 || ps.Size != 2 {
+		t.Fatalf("after option change: %+v", ps)
+	}
+}
+
+// TestPlanCacheEpochInvalidation checks that published writes (trickle
+// insert applied on refresh, Compact, a second Organize) advance the
+// epoch and clear cached plans, so no query ever runs a stale plan.
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	st := planCacheStore(t)
+	o := srdf.QueryOptions{Mode: srdf.RDFScan}
+
+	n := runQuery(t, st, pcQuery, o)
+	runQuery(t, st, pcQuery, o)
+	ps := st.PlanCacheStats()
+	if ps.Hits != 1 || ps.Misses != 1 {
+		t.Fatalf("warmup: %+v", ps)
+	}
+	epoch0 := ps.Epoch
+
+	// A trickle insert is applied on the next query's refresh: the
+	// epoch advances and the cached plan must not be reused.
+	st.Add(srdf.Triple{
+		S: srdf.IRI("http://ex/new"),
+		P: srdf.IRI("http://ex/name"),
+		O: srdf.StringLit("newcomer"),
+	})
+	if got := runQuery(t, st, pcQuery, o); got != n+1 {
+		t.Fatalf("after insert: got %d rows, want %d", got, n+1)
+	}
+	ps = st.PlanCacheStats()
+	if ps.Epoch == epoch0 {
+		t.Fatalf("epoch did not advance after applied insert: %+v", ps)
+	}
+	if ps.Misses != 2 || ps.Size != 1 {
+		t.Fatalf("after insert: want fresh miss and single-entry cache, got %+v", ps)
+	}
+
+	// Compact publishes a new epoch too.
+	runQuery(t, st, pcQuery, o) // re-warm
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	runQuery(t, st, pcQuery, o)
+	ps2 := st.PlanCacheStats()
+	if ps2.Epoch == ps.Epoch {
+		t.Fatalf("epoch did not advance after Compact: %+v", ps2)
+	}
+	if ps2.Misses != ps.Misses+1 {
+		t.Fatalf("Compact did not invalidate cached plan: %+v (before %+v)", ps2, ps)
+	}
+}

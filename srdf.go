@@ -23,6 +23,7 @@
 package srdf
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -298,6 +299,24 @@ func (s *Store) QueryStream(q string) (*Rows, error) {
 func (s *Store) QueryStreamWith(q string, o QueryOptions) (*Rows, error) {
 	return s.inner.QueryStream(q, o.core())
 }
+
+// QueryStreamCtx is QueryStream bound to a context: when ctx is
+// cancelled or its deadline passes, the pipeline's scans, joins and
+// morsel workers stop at the next batch boundary, Next returns false,
+// and Rows.Err reports the cause. Malformed or unplannable queries come
+// back as *core.BadQueryError.
+func (s *Store) QueryStreamCtx(ctx context.Context, q string, o QueryOptions) (*Rows, error) {
+	return s.inner.QueryStreamCtx(ctx, q, o.core())
+}
+
+// PlanCacheStats exposes the prepared-plan cache counters: plans are
+// cached per (query text, options) at the current snapshot epoch, and
+// any published change — trickle refresh, Organize, Compact — advances
+// the epoch and drops the cache.
+type PlanCacheStats = core.PlanCacheStats
+
+// PlanCacheStats returns the prepared-plan cache counters.
+func (s *Store) PlanCacheStats() PlanCacheStats { return s.inner.PlanCacheStats() }
 
 // Explain returns the plan tree that QueryWith would execute.
 func (s *Store) Explain(q string, o QueryOptions) (string, error) {
