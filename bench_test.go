@@ -590,7 +590,7 @@ func BenchmarkOrganize(b *testing.B) {
 		opts := core.DefaultOptions()
 		opts.CS.MinSupport = 5
 		st := core.NewStore(opts)
-		d.Emit(st.Add)
+		d.Emit(func(t nt.Triple) { st.Add(t) })
 		b.StartTimer()
 		if _, err := st.Organize(); err != nil {
 			b.Fatal(err)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,6 +27,8 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain limit for open result streams")
 	parallelism := fs.Int("parallelism", 0, "morsel-scan worker count per query (<=1: sequential)")
 	minSupport := fs.Int("minsupport", 0, "minimum CS support (non-snapshot inputs)")
+	maxQueryMem := fs.String("max-query-mem", "", "per-query memory budget for materializing operators, e.g. 64M or 1G (empty: unlimited)")
+	maxResultRows := fs.Int64("max-result-rows", 0, "max rows per response; past it the stream is aborted (0: unlimited)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage: srdf serve [flags] data.nt|data.srdf
 
@@ -48,6 +52,10 @@ Flags:`)
 		fs.Usage()
 		return fmt.Errorf("serve: need one data file")
 	}
+	memLimit, err := parseSize(*maxQueryMem)
+	if err != nil {
+		return fmt.Errorf("serve: -max-query-mem: %w", err)
+	}
 
 	st, organized, err := loadStoreOpts(fs.Arg(0), *minSupport, func(o *srdf.Options) {
 		o.Parallelism = *parallelism
@@ -67,6 +75,8 @@ Flags:`)
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    *queue,
 		QueryTimeout:  *timeout,
+		MaxQueryMem:   memLimit,
+		MaxResultRows: *maxResultRows,
 		Query:         srdf.QueryOptions{Mode: m, ZoneMaps: *zones},
 	})
 
@@ -89,4 +99,29 @@ Flags:`)
 		fmt.Fprintln(os.Stderr, "srdf serve: drained")
 		return nil
 	}
+}
+
+// parseSize parses a human byte size — plain bytes or a K/M/G suffix
+// (binary multiples, case-insensitive, optional trailing B). Empty means
+// 0 (unlimited).
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.TrimSuffix(strings.ToUpper(s), "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "K")
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "M")
+	case strings.HasSuffix(u, "G"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "G")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
 }

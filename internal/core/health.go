@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"srdf/internal/storage"
+)
+
+// ErrReadOnly reports a write rejected because the store latched into
+// read-only mode after durability writes (WAL sync, WAL truncate,
+// snapshot checkpoint) failed past their retry budget. Reads keep
+// serving the last published epoch; the background probe — and every
+// subsequent write attempt past the backoff window — retries the
+// failed operation and un-latches when the disk recovers.
+var ErrReadOnly = errors.New("core: store is read-only (durability degraded)")
+
+// DefaultProbeInterval is the base delay between recovery probes after
+// the store latches read-only; it doubles per failed probe up to 32×.
+const DefaultProbeInterval = 100 * time.Millisecond
+
+// HealthState classifies the store's durability condition.
+type HealthState int
+
+const (
+	// StateHealthy: writes durable, everything serving.
+	StateHealthy HealthState = iota
+	// StateReadOnly: durability failed past the retry budget; writes
+	// are rejected with ErrReadOnly, reads serve the last published
+	// epoch, and recovery probes run in the background.
+	StateReadOnly
+)
+
+func (st HealthState) String() string {
+	if st == StateReadOnly {
+		return "read-only"
+	}
+	return "ok"
+}
+
+// Health is a point-in-time view of the store's durability state.
+type Health struct {
+	State HealthState
+	// Err is the latched failure ("" when healthy).
+	Err string
+	// Since is when the current state was entered.
+	Since time.Time
+	// Probes counts failed recovery attempts since latching.
+	Probes int
+	// RetryIn is the time until the next automatic recovery probe
+	// (0 when healthy or a probe is due now).
+	RetryIn time.Duration
+}
+
+// Health reports the store's durability state: read-only stores name
+// the latched error, the number of failed recovery probes, and the
+// countdown to the next one.
+func (s *Store) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ro {
+		return Health{State: StateHealthy}
+	}
+	h := Health{
+		State:  StateReadOnly,
+		Since:  s.roSince,
+		Probes: s.roProbes,
+	}
+	if s.roCause != nil {
+		h.Err = s.roCause.Error()
+	}
+	if d := time.Until(s.roNext); d > 0 {
+		h.RetryIn = d
+	}
+	return h
+}
+
+// retryPolicy is the bounded immediate-retry budget for durability
+// writes; exhausting it latches read-only and hands the longer horizon
+// to the background probe.
+func (s *Store) retryPolicy() storage.RetryPolicy {
+	if s.opts.Retry != (storage.RetryPolicy{}) {
+		return s.opts.Retry
+	}
+	return storage.DefaultRetry
+}
+
+func (s *Store) probeInterval() time.Duration {
+	if s.opts.ProbeInterval > 0 {
+		return s.opts.ProbeInterval
+	}
+	return DefaultProbeInterval
+}
+
+// latchLocked enters (or re-arms) read-only mode and schedules the
+// next recovery probe with exponential backoff.
+func (s *Store) latchLocked(cause error) {
+	if !s.ro {
+		s.ro = true
+		s.roSince = time.Now()
+		s.roProbes = 0
+	}
+	s.roCause = cause
+	base := s.probeInterval()
+	d := base << min(s.roProbes, 5)
+	s.roNext = time.Now().Add(d)
+	s.startProbeLocked()
+}
+
+// unlatchLocked leaves read-only mode after durability is restored.
+func (s *Store) unlatchLocked() {
+	s.ro = false
+	s.roCause = nil
+	s.roProbes = 0
+	s.roNext = time.Time{}
+}
+
+// roErrLocked is the error writes (and un-publishable reads) get while
+// latched.
+func (s *Store) roErrLocked() error {
+	if s.roCause != nil {
+		return fmt.Errorf("%w: %v", ErrReadOnly, s.roCause)
+	}
+	return ErrReadOnly
+}
+
+// writableLocked gates the write path. While latched it first tries a
+// cheap recovery (re-attach, truncate retry, sync) once the backoff
+// window has passed, so a retried write can succeed the moment the
+// disk does — without waiting on the background probe.
+func (s *Store) writableLocked() error {
+	if !s.ro {
+		return nil
+	}
+	if !time.Now().Before(s.roNext) && s.recoverLocked(false) {
+		return nil
+	}
+	return s.roErrLocked()
+}
+
+// recoverLocked re-attempts whatever durability operation latched the
+// store, in dependency order: re-open a log that never attached, retry
+// a half-finished truncate, sync the pending batch, and — only when
+// allowCkpt (the background probe; checkpoint I/O never rides a query
+// or a trickle write) — re-run a failed checkpoint. Returns true when
+// the store un-latched. May briefly release s.mu when checkpointing.
+func (s *Store) recoverLocked(allowCkpt bool) bool {
+	if !s.ro {
+		return true
+	}
+	s.roProbes++
+	ok := true
+	if s.wal == nil && s.opts.WALPath != "" {
+		// The log never attached (or was lost); writes were rejected
+		// while latched, so replaying whatever the re-opened log holds
+		// is the same recovery OpenStore performs.
+		w, ops, err := storage.OpenWALFS(s.fs, s.opts.WALPath)
+		if err != nil {
+			s.roCause = fmt.Errorf("core: wal: %w", err)
+			ok = false
+		} else {
+			for _, op := range ops {
+				if op.Del {
+					s.deleteLocked(op.T)
+				} else {
+					s.addLocked(op.T)
+				}
+			}
+			s.wal = w
+			s.walErr = nil
+		}
+	}
+	if ok && s.wal != nil && s.wal.Broken() {
+		if err := s.wal.Truncate(); err != nil {
+			s.roCause = fmt.Errorf("core: wal truncate: %w", err)
+			ok = false
+		} else {
+			s.walErr = nil
+		}
+	}
+	if ok && s.wal != nil && s.wal.Dirty() {
+		if err := s.wal.Sync(); err != nil {
+			s.roCause = fmt.Errorf("core: wal sync: %w", err)
+			ok = false
+		} else {
+			s.walErr = nil
+		}
+	}
+	if ok && s.walErr != nil {
+		// nothing above failed now; the old cause is stale
+		s.walErr = nil
+	}
+	if ok && (s.walLost != nil || s.ckptPending) {
+		if allowCkpt && s.snapshotPath != "" {
+			if err := s.checkpointLocked(); err != nil {
+				s.roCause = err
+				ok = false
+			}
+		} else {
+			ok = false // needs a checkpoint this probe may not run
+		}
+	}
+	if ok {
+		s.unlatchLocked()
+		return true
+	}
+	base := s.probeInterval()
+	s.roNext = time.Now().Add(base << min(s.roProbes, 5))
+	return false
+}
+
+// startProbeLocked launches the background recovery prober (one per
+// latch episode). The prober exits when the store un-latches, when
+// Close stops it, or when recovery needs an operation it cannot run.
+func (s *Store) startProbeLocked() {
+	if s.probeC != nil {
+		return
+	}
+	stop := make(chan struct{})
+	s.probeC = stop
+	go s.probeLoop(stop)
+}
+
+func (s *Store) probeLoop(stop chan struct{}) {
+	for {
+		s.mu.Lock()
+		if s.probeC != stop || !s.ro {
+			if s.probeC == stop {
+				s.probeC = nil
+			}
+			s.mu.Unlock()
+			return
+		}
+		if !time.Now().Before(s.roNext) {
+			if s.recoverLocked(true) {
+				if s.probeC == stop {
+					s.probeC = nil
+				}
+				s.mu.Unlock()
+				return
+			}
+		}
+		wait := time.Until(s.roNext)
+		s.mu.Unlock()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+// stopProbeLocked detaches and stops the background prober.
+func (s *Store) stopProbeLocked() {
+	if s.probeC != nil {
+		close(s.probeC)
+		s.probeC = nil
+	}
+}

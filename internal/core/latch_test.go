@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"srdf/internal/dict"
+	"srdf/internal/fault"
+	"srdf/internal/nt"
+	"srdf/internal/plan"
+	"srdf/internal/storage"
+)
+
+// latchOpts is persistOpts routed through the failpoint filesystem with
+// fast retries and probes, so latch tests run in milliseconds.
+func latchOpts(walPath string) Options {
+	opts := persistOpts()
+	opts.FS = fault.WrapFS(fault.OS())
+	opts.WALPath = walPath
+	opts.Retry = storage.RetryPolicy{Attempts: 3, Base: 100 * time.Microsecond, Max: time.Millisecond}
+	opts.ProbeInterval = time.Millisecond
+	return opts
+}
+
+func latchStore(t *testing.T, n int) (*Store, string) {
+	t.Helper()
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	walPath := filepath.Join(t.TempDir(), "latch.wal")
+	st := persistStore(t, latchOpts(walPath), n)
+	t.Cleanup(func() { st.Close() })
+	return st, walPath
+}
+
+func waitHealthy(t *testing.T, st *Store) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Health().State != StateHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("store never recovered: %+v", st.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// xQuery scans the one predicate latchTriple writes, so added triples
+// show up as one row each.
+const xQuery = `SELECT ?s ?x WHERE { ?s <http://persist/x> ?x }`
+
+func latchTriple(i int) nt.Triple {
+	return nt.Triple{
+		S: dict.IRI(fmt.Sprintf("http://persist/new%d", i)),
+		P: dict.IRI("http://persist/x"),
+		O: dict.IntLit(int64(1000 + i)),
+	}
+}
+
+// TestWALSyncTransientFailureRetries: a sync failure that clears within
+// the bounded retry budget is invisible — no latch, writes durable.
+func TestWALSyncTransientFailureRetries(t *testing.T) {
+	st, _ := latchStore(t, 20)
+
+	// Fail the first two fsync attempts; the third (last of the retry
+	// budget) succeeds.
+	fault.Enable("fs.sync:wal", fault.Spec{Err: fault.ErrInjected, Count: 2})
+	if err := st.Add(latchTriple(0)); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	// the query's refresh syncs the batch through the retry loop
+	rows := rowsOf(t, st, xQuery, plan.ModeRDFScan)
+	if len(rows) != 21 {
+		t.Fatalf("rows after transient fault = %d, want 21", len(rows))
+	}
+	if st.Health().State != StateHealthy {
+		t.Fatalf("transient failure latched the store: %+v", st.Health())
+	}
+	if got := fault.Fired("fs.sync:wal"); got != 2 {
+		t.Fatalf("failpoint fired %d times, want 2", got)
+	}
+}
+
+// TestWALSyncExhaustedLatchesAndRecovers: a persistent sync failure
+// latches read-only past the retry budget — writes rejected with
+// ErrReadOnly, reads still serving — and the background probe un-latches
+// once the disk heals, making the buffered batch durable after all.
+func TestWALSyncExhaustedLatchesAndRecovers(t *testing.T) {
+	st, walPath := latchStore(t, 20)
+	snapPath := filepath.Join(filepath.Dir(walPath), "latch.srdf")
+	if err := st.Save(snapPath); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	fault.Enable("fs.sync:wal", fault.Spec{Err: fault.ErrInjected})
+	if err := st.Add(latchTriple(0)); err != nil {
+		t.Fatalf("add buffers in memory, sync is deferred: %v", err)
+	}
+	// refresh exhausts the retry budget and latches
+	rows := rowsOf(t, st, xQuery, plan.ModeRDFScan)
+	if len(rows) != 20 {
+		t.Fatalf("degraded read must serve the last durable epoch: %d rows, want 20", len(rows))
+	}
+	h := st.Health()
+	if h.State != StateReadOnly || !strings.Contains(h.Err, "wal sync") {
+		t.Fatalf("health after exhausted retries: %+v", h)
+	}
+	if err := st.Add(latchTriple(1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write while latched: %v, want ErrReadOnly", err)
+	}
+	if err := st.Delete(latchTriple(0)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("delete while latched: %v, want ErrReadOnly", err)
+	}
+
+	fault.Disable("fs.sync:wal")
+	waitHealthy(t, st)
+
+	// The batch the failed sync owed is durable now, the rejected write
+	// never happened, and the store takes writes again.
+	if err := st.Add(latchTriple(1)); err != nil {
+		t.Fatalf("add after recovery: %v", err)
+	}
+	want := rowsOf(t, st, xQuery, plan.ModeRDFScan)
+	if len(want) != 22 {
+		t.Fatalf("rows after recovery = %d, want 22", len(want))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Crash-recovery equivalence: snapshot plus replayed log tail
+	// reconstructs the same rows.
+	st2, err := OpenStore(snapPath, latchOpts(walPath))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st2.Close()
+	if got := rowsOf(t, st2, xQuery, plan.ModeRDFScan); !eqRows(got, want) {
+		t.Fatalf("replayed store disagrees:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestWALTruncateInterruptedLatchesAndRecovers: a checkpoint whose WAL
+// truncate dies half-way leaves the log headerless; the store latches
+// (Sync would otherwise write records into a file recovery rejects
+// wholesale) and the probe finishes the truncate once the disk heals.
+func TestWALTruncateInterruptedLatchesAndRecovers(t *testing.T) {
+	st, walPath := latchStore(t, 20)
+	snapPath := filepath.Join(filepath.Dir(walPath), "latch.srdf")
+	if err := st.Save(snapPath); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	fault.Enable("fs.truncate:wal", fault.Spec{Err: fault.ErrInjected})
+	if err := st.Add(latchTriple(0)); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	// The checkpoint writes the snapshot (triple included), then fails
+	// truncating the log it just folded in.
+	err := st.Save(snapPath)
+	if err == nil || !strings.Contains(err.Error(), "wal truncate") {
+		t.Fatalf("save with broken truncate: %v", err)
+	}
+	if st.Health().State != StateReadOnly {
+		t.Fatalf("interrupted truncate did not latch: %+v", st.Health())
+	}
+
+	fault.Disable("fs.truncate:wal")
+	waitHealthy(t, st)
+
+	if err := st.Add(latchTriple(1)); err != nil {
+		t.Fatalf("add after recovery: %v", err)
+	}
+	want := rowsOf(t, st, xQuery, plan.ModeRDFScan)
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// snapshot + replayed tail reconstruct the same rows
+	opts := latchOpts(walPath)
+	st2, err := OpenStore(snapPath, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st2.Close()
+	if got := rowsOf(t, st2, xQuery, plan.ModeRDFScan); !eqRows(got, want) {
+		t.Fatalf("recovered store disagrees:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCheckpointFailureLatchesAndProbeRecovers: a failed snapshot write
+// (disk full mid-checkpoint) leaves the previous snapshot intact,
+// latches, and is re-run by the background probe — which is the only
+// recovery path allowed to do checkpoint I/O.
+func TestCheckpointFailureLatchesAndProbeRecovers(t *testing.T) {
+	st, walPath := latchStore(t, 20)
+	snapPath := filepath.Join(filepath.Dir(walPath), "latch.srdf")
+	if err := st.Save(snapPath); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	fault.Enable("fs.write:snapshot", fault.Spec{Err: fault.ErrInjected})
+	if err := st.Add(latchTriple(0)); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if err := st.Save(snapPath); err == nil {
+		t.Fatal("save must fail while snapshot writes are broken")
+	}
+	if st.Health().State != StateReadOnly {
+		t.Fatalf("failed checkpoint did not latch: %+v", st.Health())
+	}
+
+	fault.Disable("fs.write:snapshot")
+	waitHealthy(t, st)
+
+	want := rowsOf(t, st, xQuery, plan.ModeRDFScan)
+	if len(want) != 21 {
+		t.Fatalf("rows after recovery = %d, want 21", len(want))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st2, err := OpenStore(snapPath, latchOpts(walPath))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st2.Close()
+	if got := rowsOf(t, st2, xQuery, plan.ModeRDFScan); !eqRows(got, want) {
+		t.Fatalf("recovered checkpoint disagrees:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestOversizedRecordRejectedWithoutLatching: an operation the log
+// cannot hold is screened up front and rejected cleanly — the store
+// stays healthy and writable instead of latching durability loss after
+// applying the write.
+func TestOversizedRecordRejectedWithoutLatching(t *testing.T) {
+	st, _ := latchStore(t, 5)
+
+	huge := nt.Triple{
+		S: dict.IRI("http://persist/huge"),
+		P: dict.IRI("http://persist/x"),
+		O: dict.StringLit(strings.Repeat("v", 1<<24)),
+	}
+	if err := st.Add(huge); err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("oversized add: %v, want record-size rejection", err)
+	}
+	if st.Health().State != StateHealthy {
+		t.Fatalf("oversized record latched the store: %+v", st.Health())
+	}
+	if err := st.Add(latchTriple(0)); err != nil {
+		t.Fatalf("small add after rejection: %v", err)
+	}
+	if rows := rowsOf(t, st, xQuery, plan.ModeRDFScan); len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+}
+
+func eqRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -26,12 +26,14 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"srdf/internal/cluster"
 	"srdf/internal/colstore"
 	"srdf/internal/cs"
 	"srdf/internal/dict"
 	"srdf/internal/exec"
+	"srdf/internal/fault"
 	"srdf/internal/nt"
 	"srdf/internal/plan"
 	"srdf/internal/relational"
@@ -71,6 +73,18 @@ type Options struct {
 	// PlanCache sizes the prepared-plan cache (entries). 0 uses
 	// DefaultPlanCacheSize; negative disables caching.
 	PlanCache int
+	// FS routes every durability syscall (WAL, snapshot) through an
+	// injectable filesystem — the fault-injection seam. Nil uses the
+	// real one.
+	FS fault.FS
+	// Retry bounds immediate retries of failed durability writes
+	// before the store latches read-only. Zero uses
+	// storage.DefaultRetry.
+	Retry storage.RetryPolicy
+	// ProbeInterval is the base backoff between recovery probes while
+	// read-only (doubles per failure, capped at 32×). 0 uses
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
 }
 
 // DefaultPlanCacheSize is the prepared-plan cache capacity when
@@ -100,6 +114,13 @@ type QueryOptions struct {
 	// ForceOrder fixes the left-deep star join order by subject
 	// variable.
 	ForceOrder []string
+	// MemLimit bounds the bytes the query's materializing operators
+	// (hash-join builds, aggregation state, sort rows, DISTINCT keys)
+	// may retain; 0 is unlimited. An exceeded budget fails the one query
+	// with exec.ErrMemBudget — concurrent queries and the store itself
+	// are unaffected. Not part of the plan-cache key: it changes
+	// admission, not the plan.
+	MemLimit int64
 }
 
 // snapshot is the immutable state one query executes against: once
@@ -174,16 +195,33 @@ type Store struct {
 	// snapshotPath is the checkpoint target: once set (by Save or
 	// OpenStore), Organize and Compact write a fresh snapshot there and
 	// truncate the WAL. wal is nil when no log is attached. walErr
-	// latches a sync failure (Add/Delete cannot return errors): queries
-	// fail-stop on it, the pending batch stays buffered, and the next
-	// successful sync or checkpoint clears it. walLost latches a record
-	// that could not be logged at all; only a successful snapshot
-	// checkpoint — which captures the in-memory state the log missed —
-	// clears that one.
+	// records the last sync/truncate failure (the pending batch stays
+	// buffered for the retry); walLost records an operation that could
+	// not be logged at all, which only a successful snapshot checkpoint
+	// — capturing the in-memory state the log missed — repairs. Either
+	// one past the retry budget latches the explicit read-only mode
+	// below instead of fail-stopping queries.
 	snapshotPath string
 	wal          *storage.WAL
 	walErr       error
 	walLost      error
+	// fs is the injectable filesystem all durability I/O goes through.
+	fs fault.FS
+
+	// Read-only latch (graceful degradation): when durability writes
+	// fail past the retry budget the store rejects writes with
+	// ErrReadOnly and keeps serving reads from the last published
+	// epoch; a background prober (probeC non-nil while running)
+	// re-attempts the failed operation with exponential backoff and
+	// un-latches when the disk recovers. ckptPending marks a failed
+	// checkpoint that recovery must re-run.
+	ro          bool
+	roCause     error
+	roSince     time.Time
+	roProbes    int
+	roNext      time.Time
+	probeC      chan struct{}
+	ckptPending bool
 
 	// ckptMu serializes checkpoint file I/O, which happens with mu
 	// RELEASED so a multi-second snapshot write never stalls concurrent
@@ -226,8 +264,13 @@ func newBareStore(opts Options) *Store {
 	if cacheCap == 0 {
 		cacheCap = DefaultPlanCacheSize
 	}
+	fs := opts.FS
+	if fs == nil {
+		fs = fault.OS()
+	}
 	return &Store{
 		opts:       opts,
+		fs:         fs,
 		dict:       dict.New(),
 		table:      triples.NewTable(0),
 		pool:       colstore.NewPool(opts.PoolPages),
@@ -251,7 +294,7 @@ func newBareStore(opts Options) *Store {
 // is exactly "load latest snapshot, re-apply the logged tail".
 func OpenStore(path string, opts Options) (*Store, error) {
 	s := newBareStore(opts)
-	snap, err := storage.ReadFile(path, s.pool)
+	snap, err := storage.ReadFileFS(s.fs, path, s.pool)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +308,7 @@ func OpenStore(path string, opts Options) (*Store, error) {
 	if opts.WALPath != "" {
 		s.attachWALLocked(opts.WALPath)
 		if s.walErr != nil {
+			s.stopProbeLocked()
 			return nil, s.walErr
 		}
 	}
@@ -272,12 +316,15 @@ func OpenStore(path string, opts Options) (*Store, error) {
 }
 
 // attachWALLocked opens (or creates) the log, replays its records
-// through the ordinary update path, and starts recording. Errors latch
-// into walErr.
+// through the ordinary update path, and starts recording. A log that
+// cannot be opened latches the store read-only — writes without a
+// durable record are rejected, not silently accepted — and the
+// background probe keeps re-trying the attach.
 func (s *Store) attachWALLocked(path string) {
-	w, ops, err := storage.OpenWAL(path)
+	w, ops, err := storage.OpenWALFS(s.fs, path)
 	if err != nil {
 		s.walErr = fmt.Errorf("core: wal: %w", err)
+		s.latchLocked(s.walErr)
 		return
 	}
 	// s.wal is still nil during replay, so the replayed operations are
@@ -292,28 +339,34 @@ func (s *Store) attachWALLocked(path string) {
 	s.wal = w
 }
 
-// logLocked records one applied trickle operation. An operation the log
-// cannot hold latches walLost: the write is live in memory but has no
-// durable copy until a snapshot checkpoint captures it.
+// logLocked records one applied trickle operation. An operation the
+// log cannot hold (the write path screens sizes up front, so this is a
+// should-not-happen guard) latches walLost and read-only mode: the
+// write is live in memory but has no durable copy until a snapshot
+// checkpoint captures it.
 func (s *Store) logLocked(del bool, t nt.Triple) {
 	if s.wal == nil {
 		return
 	}
-	if err := s.wal.Append(storage.Op{Del: del, T: t}); err != nil && s.walLost == nil {
-		s.walLost = fmt.Errorf("core: wal append: %w", err)
+	if err := s.wal.Append(storage.Op{Del: del, T: t}); err != nil {
+		if s.walLost == nil {
+			s.walLost = fmt.Errorf("core: wal append: %w", err)
+		}
+		s.latchLocked(s.walLost)
 	}
 }
 
-// syncWALLocked flushes the pending batch. A failure latches into
-// walErr — which fails queries until durability is restored — but is
-// transient: the pending records stay buffered, the next sync retries
-// them, and success clears the latch.
+// syncWALLocked flushes the pending batch with the bounded immediate
+// retry budget. Exhausting it latches the store read-only: the pending
+// records stay buffered, recovery probes keep retrying them, and a
+// successful sync un-latches.
 func (s *Store) syncWALLocked() {
 	if s.wal == nil {
 		return
 	}
-	if err := s.wal.Sync(); err != nil {
+	if err := storage.Retry(s.retryPolicy(), s.wal.Sync); err != nil {
 		s.walErr = fmt.Errorf("core: wal sync: %w", err)
+		s.latchLocked(s.walErr)
 		return
 	}
 	s.walErr = nil
@@ -368,11 +421,15 @@ func (s *Store) checkpointLocked() error {
 	s.ckptSeq++
 	seq := s.ckptSeq
 
+	retry := s.retryPolicy()
 	s.mu.Unlock()
 	s.ckptMu.Lock()
 	var werr error
 	if s.ckptWritten < seq {
-		if werr = storage.WriteFileBytes(path, data); werr == nil {
+		werr = storage.Retry(retry, func() error {
+			return storage.WriteFileBytesFS(s.fs, path, data)
+		})
+		if werr == nil {
 			s.ckptWritten = seq
 		}
 	}
@@ -382,12 +439,22 @@ func (s *Store) checkpointLocked() error {
 	s.mu.Lock()
 
 	if werr != nil {
+		// Disk full (or worse) mid-checkpoint: the previous snapshot is
+		// intact (the write is temp+rename atomic), the WAL still holds
+		// its records, but durability maintenance has failed past the
+		// retry budget — latch, and let recovery re-run the checkpoint.
+		s.ckptPending = true
+		s.latchLocked(fmt.Errorf("core: checkpoint: %w", werr))
 		return werr
 	}
 	if s.wal != nil {
 		if s.wal.Records() == recs0 {
-			if err := s.wal.Truncate(); err != nil {
+			if err := storage.Retry(retry, s.wal.Truncate); err != nil {
+				// A half-finished truncate leaves the log headerless;
+				// Sync refuses until the Truncate retry completes, so
+				// latch and let recovery finish the job.
 				s.walErr = fmt.Errorf("core: wal truncate: %w", err)
+				s.latchLocked(s.walErr)
 				return s.walErr
 			}
 			s.walErr = nil
@@ -407,6 +474,12 @@ func (s *Store) checkpointLocked() error {
 	if s.walLost == lost0 {
 		s.walLost = nil
 	}
+	s.ckptPending = false
+	walOK := s.wal != nil && !s.wal.Dirty() || s.wal == nil && s.opts.WALPath == ""
+	if s.ro && s.walErr == nil && s.walLost == nil && walOK {
+		// a full checkpoint restored durability end to end
+		s.unlatchLocked()
+	}
 	return nil
 }
 
@@ -422,14 +495,18 @@ func (s *Store) Save(path string) error {
 	return s.checkpointLocked()
 }
 
-// Close flushes and closes the WAL. The store itself is in-memory and
-// remains usable, but no further operations are logged.
+// Close flushes and closes the WAL and stops the background recovery
+// prober. The store itself is in-memory and remains usable, but no
+// further operations are logged.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.walLost
 	if err == nil {
 		err = s.walErr
+	}
+	if err == nil && s.ro {
+		err = s.roCause
 	}
 	if s.wal != nil {
 		if e := s.wal.Close(); e != nil && err == nil {
@@ -441,6 +518,9 @@ func (s *Store) Close() error {
 	// continues as a purely in-memory one
 	s.walErr = nil
 	s.walLost = nil
+	s.ckptPending = false
+	s.stopProbeLocked()
+	s.unlatchLocked()
 	return err
 }
 
@@ -501,13 +581,25 @@ func (s *Store) NumTriples() int {
 // bulk data; after, it lands in the delta layer — assigned to an
 // existing CS table when its subject's property set matches one, or to
 // the irregular leftover store — and is answered exactly by the next
-// query without any rebuild.
-func (s *Store) Add(t nt.Triple) {
+// query without any rebuild. It returns ErrReadOnly while the store is
+// latched after durability failures, and rejects (without applying) a
+// triple whose lexical form cannot fit one WAL record — degrading the
+// one write instead of the store.
+func (s *Store) Add(t nt.Triple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.CanLog(storage.Op{T: t}); err != nil {
+			return fmt.Errorf("core: add: %w", err)
+		}
+	}
 	if s.addLocked(t) {
 		s.logLocked(false, t)
 	}
+	return nil
 }
 
 // addLocked applies one insertion and reports whether it changed state
@@ -552,13 +644,23 @@ func (s *Store) addLocked(t nt.Triple) bool {
 // Delete removes one triple. The deletion is queued and applied in a
 // batch at the next refresh: the subject's sealed row (if any) is
 // tombstoned and its surviving triples are re-routed through the delta
-// layer. Deleting an absent triple is a no-op.
-func (s *Store) Delete(t nt.Triple) {
+// layer. Deleting an absent triple is a no-op. Returns ErrReadOnly
+// while the store is latched after durability failures.
+func (s *Store) Delete(t nt.Triple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.CanLog(storage.Op{Del: true, T: t}); err != nil {
+			return fmt.Errorf("core: delete: %w", err)
+		}
+	}
 	if s.deleteLocked(t) {
 		s.logLocked(true, t)
 	}
+	return nil
 }
 
 // deleteLocked queues one deletion and reports whether it changed state
@@ -659,6 +761,9 @@ func (s *Store) LoadNTriples(r io.Reader, lenient bool) (int, []error, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return 0, nil, err
+	}
 	n := 0
 	for {
 		t, err := rd.Read()
@@ -681,6 +786,9 @@ func (s *Store) LoadTurtle(r io.Reader) (int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return 0, err
+	}
 	for _, t := range ts {
 		s.addLocked(t)
 	}
@@ -904,7 +1012,29 @@ func (s *Store) publishSnapshotLocked() {
 func (s *Store) refreshLocked() {
 	// Durability precedes visibility: the batch of trickle writes this
 	// refresh folds in is fsynced before any query can observe it.
+	// While latched read-only the refresh is skipped entirely — reads
+	// keep serving the last published (fully durable) epoch, and the
+	// in-memory writes that failed to sync stay invisible until a
+	// recovery probe restores durability. The only in-refresh recovery
+	// attempt is cheap (re-attach/truncate/sync, never checkpoint I/O)
+	// and time-gated, so degraded queries never stall on a dead disk.
+	if s.ro {
+		if time.Now().Before(s.roNext) || !s.recoverLocked(false) {
+			if s.snap == nil && (s.wal == nil || !s.wal.Dirty()) && s.walLost == nil {
+				// nothing was ever published and nothing undurable is
+				// in memory (writes while latched were rejected):
+				// publish what the store holds so reads can serve
+				s.epoch++
+				s.publishSnapshotLocked()
+			}
+			return
+		}
+	}
 	s.syncWALLocked()
+	if s.ro {
+		// the sync just latched: keep the previous epoch visible
+		return
+	}
 	changed := false
 	if s.applyPendingDeletesLocked() > 0 {
 		changed = true
@@ -952,16 +1082,11 @@ func (s *Store) planLocked(q *sparql.Query, qopts QueryOptions, record bool) (*p
 		s.recordWorkloadLocked(q)
 	}
 	s.refreshLocked()
-	if s.walLost != nil {
-		// a record never made it into the log: only a snapshot
-		// checkpoint (Save/Organize/Compact) restores durability
-		return nil, nil, s.walLost
-	}
-	if s.walErr != nil {
-		// Durability precedes visibility: if the log cannot be synced,
-		// fail the query rather than serve writes that might not survive
-		// a crash. A later successful sync or checkpoint clears this.
-		return nil, nil, s.walErr
+	if s.snap == nil {
+		// Read-only latched before anything could be published (the
+		// very first refresh hit the durability failure): there is no
+		// durable epoch to serve, so the query reports the latch.
+		return nil, nil, s.roErrLocked()
 	}
 	snap := s.snap
 	p, err := plan.Build(q, snap.view(), plan.Options{
@@ -994,11 +1119,9 @@ func (s *Store) planSourceLocked(src string, qopts QueryOptions, record bool) (*
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.refreshLocked()
-	if s.walLost != nil {
-		return nil, nil, s.walLost
-	}
-	if s.walErr != nil {
-		return nil, nil, s.walErr
+	if s.snap == nil {
+		// see planLocked: latched before any epoch was published
+		return nil, nil, s.roErrLocked()
 	}
 	snap := s.snap
 	key := planCacheKey(src, qopts)
@@ -1047,14 +1170,26 @@ func (s *Store) Query(src string, qopts QueryOptions) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.Execute(snap.ctx)
+	return p.Execute(queryCtx(snap, nil, qopts))
+}
+
+// queryCtx forks the snapshot's shared Ctx for one query: its own
+// cancellation signal (nil: uncancellable), failure slot, and memory
+// budget. Every execution path forks — the failure slot is what lets a
+// worker panic or budget overrun fail one query instead of the process.
+func queryCtx(snap *snapshot, ctx context.Context, qopts QueryOptions) *exec.Ctx {
+	ectx := snap.ctx.WithQueryContext(ctx)
+	if qopts.MemLimit > 0 {
+		ectx.Mem = exec.NewMemAccountant(qopts.MemLimit)
+	}
+	return ectx
 }
 
 // QueryReference executes a query through the materializing reference
 // path: the BGP tree is drained operator-at-a-time and topped with the
 // PR-1 materializing head. It exists for differential testing — the
 // streaming pipeline must stay row-identical to it.
-func (s *Store) QueryReference(src string, qopts QueryOptions) (*exec.Result, error) {
+func (s *Store) QueryReference(src string, qopts QueryOptions) (res *exec.Result, err error) {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -1065,8 +1200,23 @@ func (s *Store) QueryReference(src string, qopts QueryOptions) (*exec.Result, er
 	if err != nil {
 		return nil, err
 	}
-	rel := plan.Exec(p.Root, snap.ctx)
-	return exec.Head(snap.ctx, rel, q)
+	ectx := queryCtx(snap, nil, qopts)
+	// The reference path materializes on the caller's goroutine, outside
+	// the streaming iterator's recovery — catch panics here so a broken
+	// operator fails the query, not the process.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, exec.NewPanicError("reference evaluation", r)
+		}
+	}()
+	rel := plan.Exec(p.Root, ectx)
+	res, err = exec.Head(ectx, rel, q)
+	if err == nil {
+		if eerr := ectx.ExecErr(); eerr != nil {
+			return nil, eerr
+		}
+	}
+	return res, err
 }
 
 // Rows is a streaming query result: rows are produced by the vectorized
@@ -1147,11 +1297,7 @@ func (s *Store) QueryStreamCtx(ctx context.Context, src string, qopts QueryOptio
 		s.gate.RUnlock()
 		return nil, err
 	}
-	ectx := snap.ctx
-	if ctx != nil && ctx != context.Background() {
-		ectx = ectx.WithQueryContext(ctx)
-	}
-	it, err := p.Stream(ectx)
+	it, err := p.Stream(queryCtx(snap, ctx, qopts))
 	if err != nil {
 		s.gate.RUnlock()
 		return nil, err

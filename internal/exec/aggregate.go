@@ -76,6 +76,12 @@ func (a *AggregateOp) run() {
 	} else {
 		tbl = a.runSequential()
 	}
+	if a.ctx.ExecErr() != nil {
+		// the aggregation failed (worker panic, memory budget): emit
+		// nothing and let the iterator report the recorded cause
+		a.out = vrowsCursor{}
+		return
+	}
 	a.out = vrowsCursor{rows: tbl.finish(a.ctx, a.items, a.groupBy)}
 }
 
@@ -83,7 +89,10 @@ func (a *AggregateOp) runSequential() *aggTable {
 	tbl := newAggTable(a.ctx, a.in.Vars(), a.groupBy, a.leaves)
 	b := NewBatch(a.in.Vars())
 	for seq := 0; !a.ctx.Cancelled() && a.in.Next(b); seq++ {
-		tbl.addRel(b.asRel(), seq)
+		if err := tbl.addRel(b.asRel(), seq); err != nil {
+			a.ctx.Fail(err)
+			break
+		}
 		b.Reset()
 	}
 	return tbl
@@ -104,8 +113,25 @@ func (a *AggregateOp) runParallel(workers int) *aggTable {
 		wg.Add(1)
 		go func(tbl *aggTable, ch chan batchJob) {
 			defer wg.Done()
+			failed := false
 			for j := range ch {
-				tbl.addRel(j.rel, j.seq)
+				if failed {
+					continue // keep draining so the feeder never blocks
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							err = NewPanicError("aggregate worker", r)
+						}
+					}()
+					return tbl.addRel(j.rel, j.seq)
+				}()
+				if err != nil {
+					if !a.ctx.Fail(err) {
+						panic(err) // no per-query failure slot: fail loud
+					}
+					failed = true
+				}
 			}
 		}(tables[w], chans[w])
 	}
@@ -156,6 +182,7 @@ type aggTable struct {
 	order    []*aggGroup
 	env      *evalEnv
 	kb       []byte
+	mem      *MemAccountant
 }
 
 func newAggTable(ctx *Ctx, inVars []string, groupBy []string, leaves []*sparql.ExAgg) *aggTable {
@@ -164,6 +191,7 @@ func newAggTable(ctx *Ctx, inVars []string, groupBy []string, leaves []*sparql.E
 		leaves: leaves,
 		groups: make(map[string]*aggGroup),
 		env:    newEvalEnv(ctx, &Rel{Vars: inVars}),
+		mem:    ctx.Mem,
 	}
 	for _, g := range groupBy {
 		t.groupIdx = append(t.groupIdx, (&Rel{Vars: inVars}).ColIdx(g))
@@ -173,8 +201,10 @@ func newAggTable(ctx *Ctx, inVars []string, groupBy []string, leaves []*sparql.E
 
 // addRel folds one batch (as a Rel header) into the table. seq is the
 // batch's global sequence number, used only to stamp first-appearance
-// order.
-func (t *aggTable) addRel(rel *Rel, seq int) {
+// order. It fails with ErrMemBudget when a new group would exceed the
+// query's memory budget (group state is what makes aggregation memory
+// grow; per-row folds into existing groups are free).
+func (t *aggTable) addRel(rel *Rel, seq int) error {
 	t.env.rel = rel
 	for i := 0; i < rel.Len(); i++ {
 		t.kb = t.kb[:0]
@@ -187,6 +217,9 @@ func (t *aggTable) addRel(rel *Rel, seq int) {
 		}
 		g, ok := t.groups[string(t.kb)]
 		if !ok {
+			if err := t.mem.Grow(int64(len(t.kb)) + int64(len(rel.Cols))*8 + int64(len(t.leaves))*48 + 64); err != nil {
+				return err
+			}
 			g = &aggGroup{
 				key:    string(t.kb),
 				first:  uint64(seq)<<32 | uint64(i),
@@ -211,6 +244,7 @@ func (t *aggTable) addRel(rel *Rel, seq int) {
 			g.states[j].add(t.env.evalValue(leaf.Arg), leaf.Distinct)
 		}
 	}
+	return nil
 }
 
 // merge folds another partial table into t.

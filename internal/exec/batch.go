@@ -196,6 +196,13 @@ func Drain(ctx *Ctx, op Operator) *Rel {
 		if !op.Next(b) {
 			return out
 		}
+		// charge the materialized cells against the query's budget; on
+		// exhaustion record the failure and stop draining (callers poll
+		// ctx or StopErr to notice)
+		if err := ctx.Mem.Grow(int64(b.Len()*len(out.Cols)) * 8); err != nil {
+			ctx.Fail(err)
+			return out
+		}
 		b.AppendToCols(out.Cols)
 	}
 }

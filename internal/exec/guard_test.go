@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"srdf/internal/dict"
+)
+
+// panicVOp panics on first pull — a stand-in for any broken operator.
+type panicVOp struct{ vars []string }
+
+func (p *panicVOp) Vars() []string    { return p.vars }
+func (p *panicVOp) Open(*Ctx) error   { return nil }
+func (p *panicVOp) Next(*VBatch) bool { panic("boom: injected operator bug") }
+func (p *panicVOp) Close()            {}
+
+func TestRowIterRecoversPanic(t *testing.T) {
+	before := PanicsTotal()
+	ctx := (&Ctx{}).WithQueryContext(context.Background())
+	it := StreamVal(ctx, &panicVOp{vars: []string{"x"}}, -1, 0)
+	if it.Next() {
+		t.Fatal("Next returned true from a panicking operator")
+	}
+	var pe *PanicError
+	if !errors.As(it.Err(), &pe) {
+		t.Fatalf("Err() = %v, want PanicError", it.Err())
+	}
+	if pe.Where == "" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError missing context: %+v", pe)
+	}
+	if PanicsTotal() == before {
+		t.Error("panic counter not incremented")
+	}
+	// the failure is also parked on the Ctx for other pipeline stages
+	if ctx.ExecErr() == nil || !ctx.Cancelled() {
+		t.Error("recovered panic not recorded as query failure")
+	}
+}
+
+func TestMemAccountant(t *testing.T) {
+	var nilAcct *MemAccountant
+	if err := nilAcct.Grow(1 << 40); err != nil {
+		t.Fatalf("nil accountant must be unlimited: %v", err)
+	}
+	m := NewMemAccountant(100)
+	if err := m.Grow(60); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := m.Grow(60)
+	if !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("over budget: got %v, want ErrMemBudget", err)
+	}
+	if m.Used() != 120 || m.Limit() != 100 {
+		t.Errorf("used=%d limit=%d", m.Used(), m.Limit())
+	}
+}
+
+func TestDrainRespectsBudget(t *testing.T) {
+	rel := NewRel("x")
+	for i := 0; i < 10000; i++ {
+		rel.Cols[0] = append(rel.Cols[0], dict.OID(i+1))
+	}
+	ctx := (&Ctx{}).WithQueryContext(context.Background())
+	ctx.Mem = NewMemAccountant(1024) // far less than 10000 rows * 8 bytes
+	out := Drain(ctx, NewRelSource(rel))
+	if out.Len() >= rel.Len() {
+		t.Fatalf("drain materialized %d rows past a 1KiB budget", out.Len())
+	}
+	if !errors.Is(ctx.ExecErr(), ErrMemBudget) {
+		t.Fatalf("ExecErr = %v, want ErrMemBudget", ctx.ExecErr())
+	}
+}

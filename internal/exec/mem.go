@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrMemBudget marks a query that exceeded its memory budget. Protocol
+// front ends map it to a client-class error (the query was too heavy,
+// the store is healthy); concurrent queries are unaffected.
+var ErrMemBudget = errors.New("exec: query memory budget exceeded")
+
+// MemAccountant tracks the bytes a query's materializing operators
+// retain — hash-join build sides, aggregate group states, sort rows,
+// DISTINCT key sets, Drain outputs — against a fixed budget. Estimates
+// are coarse (shape-based, not allocator-exact): the point is a
+// predictable ceiling, not profiling. A nil accountant (or zero limit)
+// accounts nothing and never fails, so unbudgeted queries pay one nil
+// check.
+type MemAccountant struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewMemAccountant builds an accountant enforcing limit bytes;
+// limit <= 0 means unlimited (tracking only).
+func NewMemAccountant(limit int64) *MemAccountant {
+	return &MemAccountant{limit: limit}
+}
+
+// Grow charges n bytes, failing with ErrMemBudget once the budget is
+// exceeded. Safe on a nil receiver (no-op).
+func (m *MemAccountant) Grow(n int64) error {
+	if m == nil {
+		return nil
+	}
+	u := m.used.Add(n)
+	if m.limit > 0 && u > m.limit {
+		return fmt.Errorf("%w: needs %d bytes, limit %d", ErrMemBudget, u, m.limit)
+	}
+	return nil
+}
+
+// Used reports the bytes currently charged.
+func (m *MemAccountant) Used() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.used.Load()
+}
+
+// Limit reports the budget (0: unlimited).
+func (m *MemAccountant) Limit() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.limit
+}

@@ -69,6 +69,9 @@ func (m *MergeJoinOp) Open(ctx *Ctx) error {
 	m.lp = 0
 	m.pending = relCursor{}
 	m.left = Drain(ctx, m.Left)
+	if err := ctx.StopErr(); err != nil {
+		return err
+	}
 	m.ki = m.left.ColIdx(m.KeyVar)
 	n := m.left.Len()
 	if m.ki < 0 || n == 0 || m.Table.Count == 0 {

@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"fmt"
+	"log"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// PanicError is a panic captured inside a query pipeline and converted
+// into a per-query error: the process survives, the one query fails with
+// a diagnosable cause. The stack is captured at the recovery site and
+// logged once there.
+type PanicError struct {
+	Where string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: panic in %s: %v", e.Where, e.Value)
+}
+
+// panicsTotal counts every panic the executor recovered, process-wide —
+// the server exposes it as srdf_panics_total.
+var panicsTotal atomic.Uint64
+
+// PanicsTotal reports how many panics query pipelines have recovered
+// since process start.
+func PanicsTotal() uint64 { return panicsTotal.Load() }
+
+// NewPanicError converts a recovered panic value into a PanicError,
+// counting it and logging the stack once.
+func NewPanicError(where string, v any) *PanicError {
+	e := &PanicError{Where: where, Value: v, Stack: debug.Stack()}
+	panicsTotal.Add(1)
+	log.Printf("exec: recovered panic in %s: %v\n%s", where, v, e.Stack)
+	return e
+}

@@ -3,6 +3,8 @@ package exec
 import (
 	"sync"
 	"sync/atomic"
+
+	"srdf/internal/fault"
 )
 
 // morselBlocks is the morsel granularity of the parallel scan: workers
@@ -71,9 +73,16 @@ func startMorselScan(ctx *Ctx, s *ScanOp, workers int) *morselScan {
 				default:
 				}
 				if ctx.Cancelled() {
-					// stop claiming; the merger notices cancellation via
-					// the scan's own poll and stops the pool
-					return
+					// The claim already happened: deliver the slot empty,
+					// or the ordered merge blocks forever on a bailing
+					// worker. The remaining morsels drain as fast empties
+					// and the per-batch polls surface the cancellation.
+					select {
+					case m.results <- morselResult{idx: idx, rel: NewRel(vars...)}:
+					case <-m.done:
+						return
+					}
+					continue
 				}
 				lo := first + idx*morselBlocks
 				hi := lo + morselBlocks - 1
@@ -81,8 +90,28 @@ func startMorselScan(ctx *Ctx, s *ScanOp, workers int) *morselScan {
 					hi = s.last
 				}
 				rel := NewRel(vars...)
-				for b := lo; b <= hi; b++ {
-					s.appendBlock(b, rel, &sc)
+				if err := func() (err error) {
+					// A panic while scanning fails the one query, not the
+					// process: record it, deliver the morsel slot empty so
+					// the ordered merge never waits on a dead worker, and
+					// let the per-batch polls unwind the pipeline.
+					defer func() {
+						if r := recover(); r != nil {
+							err = NewPanicError("morsel worker", r)
+						}
+					}()
+					if ferr := fault.Point("exec.morsel"); ferr != nil {
+						panic(ferr)
+					}
+					for b := lo; b <= hi; b++ {
+						s.appendBlock(b, rel, &sc)
+					}
+					return nil
+				}(); err != nil {
+					if !ctx.Fail(err) {
+						panic(err) // no per-query failure slot: fail loud
+					}
+					rel = NewRel(vars...)
 				}
 				select {
 				case m.results <- morselResult{idx: idx, rel: rel}:

@@ -16,6 +16,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"srdf/internal/colstore"
 	"srdf/internal/dict"
@@ -125,11 +126,26 @@ type Ctx struct {
 	Query context.Context
 	// done caches Query.Done() so the per-batch poll is one channel read.
 	done <-chan struct{}
+	// Mem is the query's memory budget (nil: unlimited). Materializing
+	// operators charge their retained bytes here and fail the query with
+	// ErrMemBudget when it is exhausted.
+	Mem *MemAccountant
+	// fail is the query's failure slot: the first executor-side error —
+	// a recovered worker panic, an exhausted memory budget — is parked
+	// here and treated like a cancellation by every batch-boundary poll,
+	// so the whole pipeline unwinds and the iterator reports the cause.
+	// Allocated per query by WithQueryContext; nil on the shared
+	// snapshot Ctx.
+	fail *atomic.Pointer[failSlot]
 }
 
-// WithQueryContext returns a shallow copy of the Ctx bound to qctx. The
+// failSlot boxes the error so it fits an atomic pointer.
+type failSlot struct{ err error }
+
+// WithQueryContext returns a shallow copy of the Ctx bound to qctx (nil
+// for a query that cannot be cancelled) with a fresh failure slot. The
 // shared snapshot Ctx stays untouched, so concurrent queries on one
-// snapshot each carry their own cancellation signal.
+// snapshot each carry their own cancellation signal and failure state.
 func (c *Ctx) WithQueryContext(qctx context.Context) *Ctx {
 	cp := *c
 	cp.Query = qctx
@@ -137,12 +153,43 @@ func (c *Ctx) WithQueryContext(qctx context.Context) *Ctx {
 	if qctx != nil {
 		cp.done = qctx.Done()
 	}
+	cp.fail = new(atomic.Pointer[failSlot])
 	return &cp
 }
 
-// Cancelled reports whether the query's context has fired. It is cheap
-// enough to poll once per batch or morsel.
+// Fail parks err as the query's failure (first error wins) and reports
+// whether the Ctx had a failure slot to record it in. Worker goroutines
+// without a slot (a Ctx never forked by WithQueryContext) get false back
+// and should re-panic rather than swallow the error.
+func (c *Ctx) Fail(err error) bool {
+	if c.fail == nil {
+		return false
+	}
+	if err != nil {
+		c.fail.CompareAndSwap(nil, &failSlot{err: err})
+	}
+	return true
+}
+
+// ExecErr returns the query's recorded executor failure (recovered
+// panic, memory budget), or nil.
+func (c *Ctx) ExecErr() error {
+	if c.fail == nil {
+		return nil
+	}
+	if f := c.fail.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// Cancelled reports whether the query should stop: its context fired or
+// an executor failure was recorded. It is cheap enough to poll once per
+// batch or morsel.
 func (c *Ctx) Cancelled() bool {
+	if c.fail != nil && c.fail.Load() != nil {
+		return true
+	}
 	if c.done == nil {
 		return false
 	}
@@ -161,6 +208,16 @@ func (c *Ctx) CancelErr() error {
 		return nil
 	}
 	return c.Query.Err()
+}
+
+// StopErr returns why the pipeline should stop — the recorded executor
+// failure first (it is the more specific cause), then the cancellation
+// error — or nil while the query is live.
+func (c *Ctx) StopErr() error {
+	if err := c.ExecErr(); err != nil {
+		return err
+	}
+	return c.CancelErr()
 }
 
 // TrackProjections registers every projection of an index set with the

@@ -139,7 +139,27 @@ func (it *RowIter) Vars() []string { return it.vars }
 // Next advances to the next row, reporting false at the end of the
 // stream. Once LIMIT rows have been produced the underlying pipeline is
 // closed immediately.
-func (it *RowIter) Next() bool {
+//
+// A panic anywhere in the caller-side pipeline is recovered here and
+// converted into a per-query error: Next reports exhaustion and Err
+// returns a PanicError — one query fails, the process survives.
+func (it *RowIter) Next() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := NewPanicError("query pipeline", r)
+			it.ctx.Fail(err)
+			it.err = err
+			func() {
+				defer func() { recover() }() // a broken operator may panic again in Close
+				it.Close()
+			}()
+			ok = false
+		}
+	}()
+	return it.next()
+}
+
+func (it *RowIter) next() bool {
 	if it.vop == nil {
 		return false
 	}
@@ -160,16 +180,18 @@ func (it *RowIter) Next() bool {
 	for {
 		if it.idx >= it.batch.Len() {
 			if it.ctx.Cancelled() {
-				it.err = it.ctx.CancelErr()
+				it.err = it.ctx.StopErr()
 				it.Close()
 				return false
 			}
 			it.batch.Reset()
 			if !it.vop.Next(it.batch) {
 				// a false Next is exhaustion unless the query context
-				// fired, in which case the pipeline bailed early
-				if cerr := it.ctx.CancelErr(); cerr != nil {
-					it.err = cerr
+				// fired or an executor failure (worker panic, memory
+				// budget) was recorded, in which case the pipeline
+				// bailed early
+				if serr := it.ctx.StopErr(); serr != nil {
+					it.err = serr
 				}
 				it.Close()
 				return false
@@ -199,8 +221,9 @@ func (it *RowIter) Next() bool {
 func (it *RowIter) Row() []dict.Value { return it.row }
 
 // Err reports why the stream ended early: the query context's error
-// after a cancellation or timeout, an operator Open failure, or nil for
-// plain exhaustion.
+// after a cancellation or timeout, an operator Open failure, a recovered
+// pipeline panic (PanicError), an exhausted memory budget
+// (ErrMemBudget), or nil for plain exhaustion.
 func (it *RowIter) Err() error { return it.err }
 
 // Dict exposes the snapshot dictionary the rows decode against, for

@@ -132,9 +132,21 @@ func (s *SortOp) run() {
 			}
 			switch {
 			case s.Keep < 0:
+				// only net growth is charged: the top-K replace case
+				// swaps a row in place and stays within budget
+				if err := s.ctx.Mem.Grow(sortRowCost(r)); err != nil {
+					s.ctx.Fail(err)
+					s.out = vrowsCursor{}
+					return
+				}
 				rows = append(rows, r)
 				s.held(len(rows))
 			case len(h.rows) < s.Keep:
+				if err := s.ctx.Mem.Grow(sortRowCost(r)); err != nil {
+					s.ctx.Fail(err)
+					s.out = vrowsCursor{}
+					return
+				}
 				heap.Push(&h, r)
 				s.held(len(h.rows))
 			case s.Keep > 0 && s.less(r, h.rows[0]):
@@ -154,6 +166,19 @@ func (s *SortOp) run() {
 		out[i] = r.vals
 	}
 	s.out = vrowsCursor{rows: out}
+}
+
+// sortRowCost estimates the retained bytes of one sort row: slice
+// headers plus per-value struct and string payload.
+func sortRowCost(r *sortRow) int64 {
+	n := int64(64)
+	for _, v := range r.vals {
+		n += 40 + int64(len(v.Str))
+	}
+	for _, v := range r.keys {
+		n += 40 + int64(len(v.Str))
+	}
+	return n
 }
 
 func (s *SortOp) held(n int) {

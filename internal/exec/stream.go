@@ -882,6 +882,16 @@ func (h *HashJoinOp) Open(ctx *Ctx) error {
 		h.probe = h.right
 	}
 	h.build = Drain(ctx, buildSide)
+	if err := ctx.StopErr(); err != nil {
+		// the build-side drain bailed (cancel, budget, worker panic):
+		// fail Open instead of probing against a partial build
+		return err
+	}
+	// hash table overhead on top of the drained cells Drain charged
+	if err := ctx.Mem.Grow(int64(h.build.Len()) * 32); err != nil {
+		ctx.Fail(err)
+		return err
+	}
 	colOf := func(vars []string, v string) int {
 		for i, w := range vars {
 			if w == v {

@@ -188,6 +188,7 @@ func (p *ProjectOp) Close() { p.in.Close() }
 type DistinctOp struct {
 	in ValOperator
 
+	ctx  *Ctx
 	seen map[string]bool
 	inb  *VBatch
 	row  []dict.Value
@@ -199,6 +200,7 @@ func NewDistinctOp(in ValOperator) *DistinctOp { return &DistinctOp{in: in} }
 func (d *DistinctOp) Vars() []string { return d.in.Vars() }
 
 func (d *DistinctOp) Open(ctx *Ctx) error {
+	d.ctx = ctx
 	d.seen = make(map[string]bool)
 	d.inb = NewVBatch(d.in.Vars())
 	return d.in.Open(ctx)
@@ -215,6 +217,11 @@ func (d *DistinctOp) Next(b *VBatch) bool {
 			k := distinctKey(d.row)
 			if d.seen[k] {
 				continue
+			}
+			// the key set is the operator's only retained state
+			if err := d.ctx.Mem.Grow(int64(len(k)) + 48); err != nil {
+				d.ctx.Fail(err)
+				return false
 			}
 			d.seen[k] = true
 			b.AppendRow(d.row...)

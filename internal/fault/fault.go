@@ -1,0 +1,179 @@
+// Package fault is the failure-injection seam for the whole module.
+//
+// It has two halves:
+//
+//   - A failpoint registry: named trigger points that tests and the
+//     chaos harness arm at runtime to inject an error, a panic, or a
+//     delay — on every hit, on the Nth hit, or with probability p.
+//     When nothing is armed the fast path is a single atomic load.
+//
+//   - An injectable filesystem (FS/File) that internal/storage routes
+//     every durability syscall through. The OS() implementation is a
+//     passthrough; WrapFS(inner) consults the registry before each
+//     operation so disk faults (EIO on fsync, ENOSPC on write, a
+//     failed rename) can be staged by name without touching the real
+//     disk.
+//
+// The registry is always compiled — it costs one atomic load when
+// idle. The Point() hooks sprinkled through hot execution paths are
+// additionally gated behind the `faultinject` build tag (see
+// point_on.go / point_off.go) so release builds carry no call at all.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Spec describes what an armed failpoint does when it triggers.
+type Spec struct {
+	// Err is returned from Hit when the point triggers. Ignored if
+	// Panic is set.
+	Err error
+	// Panic, when non-empty, makes the point panic with this message
+	// instead of returning an error.
+	Panic string
+	// Delay is slept before the error/panic (or alone, for a
+	// slow-disk fault with Err == nil and Panic == "").
+	Delay time.Duration
+
+	// OnHit fires the point only on the Nth hit (1-based) and every
+	// hit after, unless Count limits it. Zero means from the first hit.
+	OnHit int
+	// Prob fires the point with probability p in (0,1] per hit.
+	// Zero means always (subject to OnHit/Count).
+	Prob float64
+	// Count caps how many times the point fires; 0 means no cap.
+	Count int
+}
+
+// point is one armed failpoint plus its bookkeeping.
+type point struct {
+	spec  Spec
+	hits  int // times Hit was called
+	fired int // times it actually triggered
+	rng   *rand.Rand
+}
+
+var (
+	mu     sync.Mutex
+	points map[string]*point
+	// armed is the fast-path gate: number of enabled failpoints.
+	armed atomic.Int32
+	// hitCounts survives Disable so tests can assert a point was
+	// exercised after the fact.
+	hitCounts sync.Map // name -> *atomic.Int64
+)
+
+// Enable arms the named failpoint. Re-enabling an armed point resets
+// its hit counters and replaces its spec.
+func Enable(name string, spec Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = &point{spec: spec, rng: rand.New(rand.NewSource(int64(len(name)) + 0x5eed))}
+}
+
+// Disable disarms the named failpoint. Idempotent.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint and clears the lifetime hit counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(int32(-len(points)))
+	points = nil
+	hitCounts.Range(func(k, _ any) bool { hitCounts.Delete(k); return true })
+}
+
+// Hits reports how many times the named point has been hit (whether
+// or not it triggered) since the last Reset. It survives Disable.
+func Hits(name string) int64 {
+	if c, ok := hitCounts.Load(name); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+func countHit(name string) {
+	c, ok := hitCounts.Load(name)
+	if !ok {
+		c, _ = hitCounts.LoadOrStore(name, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// Hit consults the registry. It returns nil immediately when nothing
+// is armed. When the named point is armed and its trigger condition
+// holds, Hit sleeps Spec.Delay, then panics (Spec.Panic) or returns
+// Spec.Err.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	countHit(name)
+	p.hits++
+	if p.spec.OnHit > 0 && p.hits < p.spec.OnHit {
+		mu.Unlock()
+		return nil
+	}
+	if p.spec.Count > 0 && p.fired >= p.spec.Count {
+		mu.Unlock()
+		return nil
+	}
+	if p.spec.Prob > 0 && p.rng.Float64() >= p.spec.Prob {
+		mu.Unlock()
+		return nil
+	}
+	p.fired++
+	spec := p.spec
+	mu.Unlock()
+
+	if spec.Delay > 0 {
+		time.Sleep(spec.Delay)
+	}
+	if spec.Panic != "" {
+		panic(fmt.Sprintf("fault: injected panic at %q: %s", name, spec.Panic))
+	}
+	if spec.Err != nil {
+		return fmt.Errorf("fault %q: %w", name, spec.Err)
+	}
+	return nil
+}
+
+// Fired reports how many times the named point has actually triggered
+// (error, panic, or delay) since it was last enabled.
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// ErrInjected is a convenient generic cause for tests that do not
+// care which errno a fault models.
+var ErrInjected = errors.New("injected fault")

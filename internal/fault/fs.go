@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"io"
+	"os"
+	"strings"
+)
+
+// FS is the filesystem surface internal/storage performs durability
+// I/O through. The production implementation (OS) is a passthrough to
+// the os package; WrapFS layers failpoint consultation on top so
+// tests and the chaos harness can stage disk faults by name.
+type FS interface {
+	// OpenFile opens the named file (WAL open/create path).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a temp file in dir (atomic snapshot writes).
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself so a rename inside it is
+	// durable. Implementations may skip platforms that cannot open
+	// directories, but a real fsync failure must be returned.
+	SyncDir(dir string) error
+}
+
+// File is the per-handle surface the WAL and snapshot writer need.
+type File interface {
+	io.Writer
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+	Name() string
+}
+
+// osFS is the passthrough production filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		// Not every platform allows opening a directory; that is a
+		// capability gap, not a durability failure.
+		return nil
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// injectFS consults the failpoint registry before delegating. Point
+// names follow "fs.<op>:<class>" where class is "wal", "snapshot", or
+// "dir" — e.g. fs.sync:wal models EIO on a WAL fsync, fs.write:snapshot
+// models disk-full mid-checkpoint, fs.rename:snapshot a failed atomic
+// replace, fs.sync:dir a directory fsync failure.
+type injectFS struct {
+	inner FS
+}
+
+// WrapFS layers failpoint consultation over inner. Unlike the Point
+// hooks it is always compiled: callers opt in per store by passing the
+// wrapped FS, so release binaries that never construct one pay nothing.
+func WrapFS(inner FS) FS { return injectFS{inner: inner} }
+
+// classOf buckets a path for failpoint naming.
+func classOf(name string) string {
+	base := name[strings.LastIndexByte(name, '/')+1:]
+	if strings.Contains(base, ".wal") {
+		return "wal"
+	}
+	return "snapshot"
+}
+
+func (w injectFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := Hit("fs.open:" + classOf(name)); err != nil {
+		return nil, err
+	}
+	f, err := w.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return injectFile{f: f, class: classOf(name)}, nil
+}
+
+func (w injectFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := Hit("fs.create:" + classOf(pattern)); err != nil {
+		return nil, err
+	}
+	f, err := w.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return injectFile{f: f, class: classOf(pattern)}, nil
+}
+
+func (w injectFS) ReadFile(name string) ([]byte, error) {
+	if err := Hit("fs.read:" + classOf(name)); err != nil {
+		return nil, err
+	}
+	return w.inner.ReadFile(name)
+}
+
+func (w injectFS) Rename(oldpath, newpath string) error {
+	if err := Hit("fs.rename:" + classOf(newpath)); err != nil {
+		return err
+	}
+	return w.inner.Rename(oldpath, newpath)
+}
+
+func (w injectFS) Remove(name string) error {
+	if err := Hit("fs.remove:" + classOf(name)); err != nil {
+		return err
+	}
+	return w.inner.Remove(name)
+}
+
+func (w injectFS) SyncDir(dir string) error {
+	if err := Hit("fs.sync:dir"); err != nil {
+		return err
+	}
+	return w.inner.SyncDir(dir)
+}
+
+type injectFile struct {
+	f     File
+	class string
+}
+
+func (w injectFile) Write(p []byte) (int, error) {
+	if err := Hit("fs.write:" + w.class); err != nil {
+		return 0, err
+	}
+	return w.f.Write(p)
+}
+
+func (w injectFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := Hit("fs.writeat:" + w.class); err != nil {
+		return 0, err
+	}
+	return w.f.WriteAt(p, off)
+}
+
+func (w injectFile) Truncate(size int64) error {
+	if err := Hit("fs.truncate:" + w.class); err != nil {
+		return err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w injectFile) Sync() error {
+	if err := Hit("fs.sync:" + w.class); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w injectFile) Seek(offset int64, whence int) (int64, error) {
+	if err := Hit("fs.seek:" + w.class); err != nil {
+		return 0, err
+	}
+	return w.f.Seek(offset, whence)
+}
+
+func (w injectFile) Close() error {
+	if err := Hit("fs.close:" + w.class); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+func (w injectFile) Name() string { return w.f.Name() }

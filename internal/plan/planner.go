@@ -100,7 +100,13 @@ func (p *Plan) Execute(ctx *exec.Ctx) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return it.Collect(), nil
+	res := it.Collect()
+	if err := it.Err(); err != nil {
+		// the stream ended on a failure (cancellation, recovered panic,
+		// memory budget): report it instead of a silently truncated result
+		return nil, err
+	}
+	return res, nil
 }
 
 // Stream runs the plan to a pull-based row iterator; the caller must

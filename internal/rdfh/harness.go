@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"srdf/internal/core"
+	"srdf/internal/nt"
 	"srdf/internal/plan"
 )
 
@@ -74,7 +75,7 @@ func NewHarness(sf float64, seed int64) (*Harness, error) {
 			opts.Cluster.KeepLiteralOrder = true
 		}
 		st := core.NewStore(opts)
-		h.Data.Emit(st.Add)
+		h.Data.Emit(func(t nt.Triple) { st.Add(t) })
 		if _, err := st.Organize(); err != nil {
 			return nil, err
 		}

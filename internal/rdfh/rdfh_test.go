@@ -90,7 +90,7 @@ func loadStore(t testing.TB, d *Data) *core.Store {
 	opts := core.DefaultOptions()
 	opts.CS.MinSupport = 5
 	st := core.NewStore(opts)
-	d.Emit(st.Add)
+	d.Emit(func(tr nt.Triple) { st.Add(tr) })
 	if _, err := st.Organize(); err != nil {
 		t.Fatal(err)
 	}

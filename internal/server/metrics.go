@@ -21,7 +21,10 @@ type metrics struct {
 	queriesCanceled atomic.Uint64 // client disconnected mid-query
 	queriesRejected atomic.Uint64 // admission overflow (503)
 	queriesErr      atomic.Uint64 // internal failures (500)
+	queriesMem      atomic.Uint64 // memory budget exceeded (413)
+	queriesCapped   atomic.Uint64 // row cap hit, stream aborted
 	rowsSent        atomic.Uint64
+	handlerPanics   atomic.Uint64 // panics recovered at the HTTP layer
 
 	latency histogram
 }
@@ -93,6 +96,8 @@ func (m *metrics) write(w io.Writer) {
 	writeLabeledCounter(w, "srdf_queries_total", "status", "canceled", m.queriesCanceled.Load())
 	writeLabeledCounter(w, "srdf_queries_total", "status", "rejected", m.queriesRejected.Load())
 	writeLabeledCounter(w, "srdf_queries_total", "status", "error", m.queriesErr.Load())
+	writeLabeledCounter(w, "srdf_queries_total", "status", "mem_budget", m.queriesMem.Load())
+	writeLabeledCounter(w, "srdf_queries_total", "status", "row_capped", m.queriesCapped.Load())
 	writeCounter(w, "srdf_result_rows_total", "Result rows serialized to clients.", m.rowsSent.Load())
 	fmt.Fprintf(w, "# HELP srdf_query_duration_seconds Query wall time, admission to last byte.\n")
 	m.latency.write(w, "srdf_query_duration_seconds")

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"srdf"
+	"srdf/internal/core"
+	"srdf/internal/fault"
+	"srdf/internal/nt"
+)
+
+// faultStore builds a WAL-backed store routed through the failpoint
+// filesystem, so tests can break durability under a live server.
+func faultStore(t *testing.T, n int) *srdf.Store {
+	t.Helper()
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	opts := core.DefaultOptions()
+	opts.FS = fault.WrapFS(fault.OS())
+	opts.WALPath = filepath.Join(t.TempDir(), "test.wal")
+	opts.ProbeInterval = 2 * time.Millisecond
+	st := core.NewStore(opts)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<http://ex/p%d> <http://ex/name> \"person %d\" .\n", i, i)
+	}
+	if _, err := st.LoadTurtle(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := st.Organize(); err != nil {
+		t.Fatalf("organize: %v", err)
+	}
+	return srdf.NewFromCore(st)
+}
+
+func TestHealthzReportsDegradedAndRecovers(t *testing.T) {
+	st := faultStore(t, 5)
+	srv := New(st, Config{})
+	h := srv.Handler()
+
+	if w := get(t, h, "/healthz", ""); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "status: ok") {
+		t.Fatalf("healthy healthz: %d %q", w.Code, w.Body.String())
+	}
+
+	// Break WAL fsync: the next write's sync fails past the retry
+	// budget and latches the store read-only.
+	fault.Enable("fs.sync:wal", fault.Spec{Err: fault.ErrInjected})
+	err := st.Internal().Add(testTriple(t, `<http://ex/new> <http://ex/name> "x" .`))
+	if err != nil {
+		t.Fatalf("add (sync is deferred to refresh): %v", err)
+	}
+	if _, qerr := st.Query(nameQuery); qerr != nil {
+		t.Fatalf("degraded read should serve the last epoch: %v", qerr)
+	}
+	if st.Health().State != core.StateReadOnly {
+		t.Fatal("store did not latch read-only")
+	}
+
+	w := get(t, h, "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded healthz must stay 200 (still serving reads): %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "status: degraded") {
+		t.Fatalf("degraded healthz body: %q", w.Body.String())
+	}
+
+	// /metrics flips srdf_store_readonly to 1.
+	if m := get(t, h, "/metrics", ""); !strings.Contains(m.Body.String(), "srdf_store_readonly 1") {
+		t.Fatal("metrics missing srdf_store_readonly 1")
+	}
+
+	// Heal the disk; the background probe un-latches.
+	fault.Disable("fs.sync:wal")
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Health().State != core.StateHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("store never recovered: %+v", st.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if w := get(t, h, "/healthz", ""); !strings.Contains(w.Body.String(), "status: ok") {
+		t.Fatalf("recovered healthz body: %q", w.Body.String())
+	}
+}
+
+func TestHealthzDraining(t *testing.T) {
+	srv := testServer(t, 2, Config{})
+	srv.draining.Store(true)
+	if w := get(t, srv.Handler(), "/healthz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d", w.Code)
+	}
+}
+
+func TestMemBudgetExceededIs413(t *testing.T) {
+	srv := testServer(t, 2000, Config{MaxQueryMem: 512})
+	q := `SELECT DISTINCT ?s ?n WHERE { ?s <http://ex/name> ?n } ORDER BY ?n`
+	w := get(t, srv.Handler(), "/sparql?query="+url.QueryEscape(q), "")
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget query: %d %s", w.Code, w.Body.String())
+	}
+	// and the store still serves a cheap query normally
+	w = get(t, srv.Handler(), "/sparql?query="+url.QueryEscape(nameQuery+" LIMIT 1"), "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("concurrent cheap query: %d %s", w.Code, w.Body.String())
+	}
+	if m := get(t, srv.Handler(), "/metrics", ""); !strings.Contains(m.Body.String(), `srdf_queries_total{status="mem_budget"} 1`) {
+		t.Fatal("metrics missing mem_budget count")
+	}
+}
+
+func TestRowCapAbortsStream(t *testing.T) {
+	srv := testServer(t, 50, Config{MaxResultRows: 5})
+	req := httptest.NewRequest(http.MethodGet, "/sparql?query="+url.QueryEscape(nameQuery), nil)
+	w := httptest.NewRecorder()
+	aborted := func() (aborted bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != http.ErrAbortHandler {
+					panic(r)
+				}
+				aborted = true
+			}
+		}()
+		srv.Handler().ServeHTTP(w, req)
+		return false
+	}()
+	if !aborted {
+		t.Fatal("row-capped response was not aborted")
+	}
+	if n := strings.Count(w.Body.String(), `"type":"uri"`); n != 5 {
+		t.Fatalf("rows before abort = %d, want 5", n)
+	}
+	if got := srv.met.queriesCapped.Load(); got != 1 {
+		t.Fatalf("queriesCapped = %d", got)
+	}
+}
+
+func TestHandlerPanicBecomes500(t *testing.T) {
+	srv := testServer(t, 2, Config{})
+	h := srv.recovered(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom: injected handler bug")
+	})
+	req := httptest.NewRequest(http.MethodGet, "/sparql", nil)
+	w := httptest.NewRecorder()
+	h(w, req) // must not propagate the panic
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panic before response: %d", w.Code)
+	}
+	if srv.met.handlerPanics.Load() != 1 {
+		t.Fatal("handler panic not counted")
+	}
+	if m := get(t, srv.Handler(), "/metrics", ""); !strings.Contains(m.Body.String(), "srdf_panics_total") {
+		t.Fatal("metrics missing srdf_panics_total")
+	}
+}
+
+// testTriple parses one N-Triples line into a triple.
+func testTriple(t *testing.T, line string) nt.Triple {
+	t.Helper()
+	ts, err := nt.NewReader(strings.NewReader(line + "\n")).ReadAll()
+	if err != nil || len(ts) != 1 {
+		t.Fatalf("bad test triple: %v", err)
+	}
+	return ts[0]
+}

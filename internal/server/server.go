@@ -23,6 +23,7 @@ import (
 	"srdf"
 	"srdf/internal/core"
 	"srdf/internal/dict"
+	"srdf/internal/exec"
 )
 
 // Config tunes the endpoint.
@@ -39,6 +40,16 @@ type Config struct {
 	QueryTimeout time.Duration
 	// MaxQueryBytes caps the request query text; 0 means 1 MiB.
 	MaxQueryBytes int64
+	// MaxQueryMem bounds the bytes one query's materializing operators
+	// (hash-join builds, aggregation state, sort rows, DISTINCT keys)
+	// may retain; 0 means unlimited. A query over budget fails with 413
+	// while concurrent queries keep running.
+	MaxQueryMem int64
+	// MaxResultRows caps rows serialized per response; 0 means
+	// unlimited. A response hitting the cap is aborted mid-stream —
+	// like a timeout, the truncated transfer is the honest signal that
+	// the result is incomplete.
+	MaxResultRows int64
 	// Query selects the plan configuration every request runs under.
 	Query srdf.QueryOptions
 }
@@ -56,6 +67,9 @@ type Server struct {
 	hs    *http.Server
 	ln    atomic.Pointer[net.Listener]
 	start time.Time
+	// draining flips when Shutdown begins: /healthz turns 503 so load
+	// balancers stop routing here while open streams finish.
+	draining atomic.Bool
 
 	// rowHook, when set (tests only), runs before each result row is
 	// handed to the serializer — it makes "a stream is open" a
@@ -77,6 +91,9 @@ func New(store *srdf.Store, cfg Config) *Server {
 	if cfg.MaxQueryBytes <= 0 {
 		cfg.MaxQueryBytes = 1 << 20
 	}
+	if cfg.MaxQueryMem > 0 {
+		cfg.Query.MemLimit = cfg.MaxQueryMem
+	}
 	s := &Server{
 		store: store,
 		cfg:   cfg,
@@ -85,12 +102,9 @@ func New(store *srdf.Store, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
-	s.mux.HandleFunc("/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/sparql", s.recovered(s.handleSPARQL))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	// built here, not in ListenAndServe, so Shutdown is race-free even
 	// when serving starts on another goroutine
 	s.hs = &http.Server{Handler: s.mux}
@@ -126,13 +140,88 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown stops accepting connections and waits — up to ctx — for
-// in-flight requests, open result streams included, to finish.
+// in-flight requests, open result streams included, to finish. From the
+// first call on, /healthz answers 503 so load balancers drain traffic.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.hs == nil {
 		return nil
 	}
+	s.draining.Store(true)
 	return s.hs.Shutdown(ctx)
 }
+
+// handleHealthz reports liveness and degradation. A read-only store
+// still serves queries, so it stays 200 (in rotation) with a body that
+// says what is wrong; only a draining shutdown answers 503.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "status: draining\n")
+		return
+	}
+	h := s.store.Health()
+	if h.State != core.StateHealthy {
+		fmt.Fprintf(w, "status: degraded\nmode: %s\ncause: %s\n", h.State, h.Err)
+		if h.RetryIn > 0 {
+			fmt.Fprintf(w, "retry-in: %s\n", h.RetryIn.Round(time.Millisecond))
+		}
+		return
+	}
+	io.WriteString(w, "status: ok\n")
+}
+
+// recovered wraps a handler with panic recovery: anything escaping the
+// handler — including executor panics surfacing on the serialization
+// goroutine — fails the one request, never the process. A panic before
+// the response started gets a 500; after, the connection is aborted
+// (the truncated transfer is the remaining honest signal).
+// http.ErrAbortHandler passes through: it is the deliberate abort idiom
+// and net/http handles it quietly.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil || rec == http.ErrAbortHandler {
+				if rec != nil {
+					panic(rec)
+				}
+				return
+			}
+			err := exec.NewPanicError("http handler", rec)
+			s.met.handlerPanics.Add(1)
+			s.met.queriesErr.Add(1)
+			if !tw.wrote {
+				http.Error(tw, "internal error: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+			panic(http.ErrAbortHandler)
+		}()
+		h(tw, r)
+	}
+}
+
+// trackingWriter records whether the response has started, which decides
+// whether a recovered panic can still produce a status code.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(p)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// optional interfaces (Flusher etc.) through the wrapper.
+func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
 
 // queryText extracts the query per the SPARQL 1.1 Protocol: GET with a
 // query parameter, POST with URL-encoded parameters, or POST with the
@@ -247,17 +336,28 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	src := &peekSource{rows: rows, hook: s.rowHook}
 	src.prime()
 	if err := rows.Err(); err != nil && !src.has {
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, exec.ErrMemBudget):
+			s.met.queriesMem.Add(1)
+			http.Error(w, "query memory budget exceeded: "+err.Error(),
+				http.StatusRequestEntityTooLarge)
+		case errors.Is(err, context.DeadlineExceeded):
 			s.met.queriesTimeout.Add(1)
 			http.Error(w, "query timed out", http.StatusRequestTimeout)
-		} else {
+		case errors.Is(err, context.Canceled):
 			s.met.queriesCanceled.Add(1)
+		default:
+			// includes recovered pipeline panics (exec.PanicError): the
+			// query failed, the process is fine
+			s.met.queriesErr.Add(1)
+			http.Error(w, "query failed: "+err.Error(), http.StatusInternalServerError)
 		}
 		return
 	}
 
+	capped := &rowCapSource{RowSource: src, limit: s.cfg.MaxResultRows}
 	w.Header().Set("Content-Type", ser.ContentType())
-	n, werr := ser.Write(w, src)
+	n, werr := ser.Write(w, capped)
 	s.met.rowsSent.Add(uint64(n))
 	s.met.latency.observe(time.Since(started))
 	if werr != nil {
@@ -265,6 +365,8 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		// count the outcome and abort the connection — a truncated
 		// transfer is the one signal left that the result is incomplete.
 		switch {
+		case errors.Is(werr, exec.ErrMemBudget):
+			s.met.queriesMem.Add(1)
 		case errors.Is(werr, context.DeadlineExceeded):
 			s.met.queriesTimeout.Add(1)
 		case errors.Is(werr, context.Canceled):
@@ -274,7 +376,34 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		}
 		panic(http.ErrAbortHandler)
 	}
+	if capped.capped {
+		// Row cap hit mid-stream: abort rather than pretend the result
+		// is complete — same honesty contract as a timeout.
+		s.met.queriesCapped.Add(1)
+		panic(http.ErrAbortHandler)
+	}
 	s.met.queriesOK.Add(1)
+}
+
+// rowCapSource stops a result stream after limit rows (0: unlimited),
+// flagging the truncation so the handler can abort the transfer.
+type rowCapSource struct {
+	RowSource
+	limit  int64
+	n      int64
+	capped bool
+}
+
+func (c *rowCapSource) Next() bool {
+	if c.limit > 0 && c.n >= c.limit {
+		c.capped = true
+		return false
+	}
+	if !c.RowSource.Next() {
+		return false
+	}
+	c.n++
+	return true
 }
 
 // peekSource adapts core.Rows to RowSource with one row of lookahead
@@ -350,11 +479,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	writeGauge(&b, "srdf_triples", "Stored triples.", float64(s.store.NumTriples()))
 
+	ro := 0.0
+	if s.store.Health().State != core.StateHealthy {
+		ro = 1
+	}
+	writeGauge(&b, "srdf_store_readonly", "1 while the store is latched read-only after a durability failure.", ro)
+	writeCounter(&b, "srdf_panics_total", "Panics recovered in query pipelines and HTTP handlers (process survived).",
+		exec.PanicsTotal()+s.met.handlerPanics.Load())
+
 	io.WriteString(w, b.String())
 }
 
 // String renders the effective configuration (CLI startup log).
 func (c Config) String() string {
-	return fmt.Sprintf("max-concurrent=%d queue=%d timeout=%s",
-		c.MaxConcurrent, c.QueueDepth, c.QueryTimeout)
+	return fmt.Sprintf("max-concurrent=%d queue=%d timeout=%s max-query-mem=%d max-result-rows=%d",
+		c.MaxConcurrent, c.QueueDepth, c.QueryTimeout, c.MaxQueryMem, c.MaxResultRows)
 }

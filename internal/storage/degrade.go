@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDegraded marks a durability operation that kept failing past its
+// retry budget. Callers (the store) latch into read-only mode on it;
+// errors.Is(err, ErrDegraded) identifies the condition through wraps.
+var ErrDegraded = errors.New("storage: durability degraded")
+
+// RetryPolicy bounds how hard a durability write is retried before the
+// failure is declared degraded. Transient fsync errors (a saturated
+// device, a hiccuping network mount) often clear within milliseconds;
+// real faults (disk full, a dead device) do not, and burning seconds
+// under the store lock would stall every reader — so the defaults are
+// a handful of quick attempts, with the longer-horizon recovery left
+// to the store's background probe.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included).
+	// Values below 1 mean one attempt, no retry.
+	Attempts int
+	// Base is the sleep before the second attempt; it doubles per
+	// retry up to Max.
+	Base time.Duration
+	// Max caps the per-retry sleep.
+	Max time.Duration
+}
+
+// DefaultRetry is the policy stores use unless configured otherwise.
+var DefaultRetry = RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond, Max: 50 * time.Millisecond}
+
+// Backoff returns the sleep before attempt n (0-based; attempt 0 has
+// no sleep).
+func (p RetryPolicy) Backoff(n int) time.Duration {
+	if n <= 0 || p.Base <= 0 {
+		return 0
+	}
+	d := p.Base << (n - 1)
+	if p.Max > 0 && (d > p.Max || d <= 0) {
+		d = p.Max
+	}
+	return d
+}
+
+// Retry runs op up to p.Attempts times with exponential backoff. On
+// exhaustion it returns the last error wrapped in ErrDegraded so the
+// caller can latch; a nil from op returns immediately.
+func Retry(p RetryPolicy, op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if d := p.Backoff(i); d > 0 {
+			time.Sleep(d)
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %v (after %d attempts)", ErrDegraded, err, attempts)
+}

@@ -1,0 +1,58 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"srdf/internal/fault"
+)
+
+func TestRetryPolicy(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Base: time.Microsecond, Max: 10 * time.Microsecond}
+
+	calls := 0
+	err := Retry(p, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("transient failure: err=%v calls=%d", err, calls)
+	}
+
+	calls = 0
+	err = Retry(p, func() error { calls++; return errors.New("permanent") })
+	if !errors.Is(err, ErrDegraded) || calls != 3 {
+		t.Fatalf("exhausted retries: err=%v calls=%d, want ErrDegraded after 3", err, calls)
+	}
+}
+
+// TestWriteFileBytesDirSyncFailureSurfaces is the regression test for
+// the silently-ignored directory fsync: a rename whose directory entry
+// never becomes durable can vanish on power loss, so SyncDir failure
+// must fail the checkpoint, not be swallowed.
+func TestWriteFileBytesDirSyncFailureSurfaces(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	path := filepath.Join(t.TempDir(), "snap.srdf")
+
+	fault.Enable("fs.sync:dir", fault.Spec{Err: fault.ErrInjected})
+	err := WriteFileBytesFS(fault.WrapFS(fault.OS()), path, []byte("payload"))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("dir fsync failure was swallowed: %v", err)
+	}
+
+	fault.Disable("fs.sync:dir")
+	if err := WriteFileBytesFS(fault.WrapFS(fault.OS()), path, []byte("payload")); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("snapshot content after write: %q, %v", got, err)
+	}
+}

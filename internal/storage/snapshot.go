@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 
 	"srdf/internal/colstore"
 	"srdf/internal/cs"
 	"srdf/internal/dict"
+	"srdf/internal/fault"
 	"srdf/internal/relational"
 	"srdf/internal/triples"
 )
@@ -80,12 +80,22 @@ func Write(w io.Writer, s *Snapshot) error {
 // a temp file in the same directory is fsynced and renamed over the
 // target, so a crash mid-checkpoint leaves the previous snapshot intact.
 func WriteFileBytes(path string, data []byte) error {
+	return WriteFileBytesFS(fault.OS(), path, data)
+}
+
+// WriteFileBytesFS is WriteFileBytes with an injectable filesystem.
+// The directory fsync after the rename is a durability write like any
+// other: its failure is returned, not swallowed — a checkpoint whose
+// rename could vanish on power loss must not report success. (A
+// platform that cannot open directories at all is handled inside
+// FS.SyncDir and is not an error.)
+func WriteFileBytesFS(fsys fault.FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -97,16 +107,10 @@ func WriteFileBytes(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	// fsync the directory so the rename itself is durable (best-effort:
-	// not every platform allows opening directories).
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	return fsys.SyncDir(dir)
 }
 
 // WriteFile marshals and atomically writes the snapshot to path.
@@ -193,7 +197,12 @@ func Read(data []byte, pool *colstore.BufferPool) (*Snapshot, error) {
 
 // ReadFile reads a snapshot file.
 func ReadFile(path string, pool *colstore.BufferPool) (*Snapshot, error) {
-	data, err := os.ReadFile(path)
+	return ReadFileFS(fault.OS(), path, pool)
+}
+
+// ReadFileFS is ReadFile with an injectable filesystem.
+func ReadFileFS(fsys fault.FS, path string, pool *colstore.BufferPool) (*Snapshot, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"srdf/internal/dict"
+	"srdf/internal/fault"
 	"srdf/internal/nt"
 )
 
@@ -52,7 +53,7 @@ type Op struct {
 // at batch boundaries (before publishing a snapshot, at checkpoints, and
 // on Close), so a crash loses at most the current unsynced batch.
 type WAL struct {
-	f    *os.File
+	f    fault.File
 	path string
 	pend []byte
 	size int64 // durable file size
@@ -68,11 +69,17 @@ type WAL struct {
 // record for replay. A torn tail — the result of a crash mid-append — is
 // truncated away; a file that is not a WAL at all yields a typed error.
 func OpenWAL(path string) (*WAL, []Op, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(fault.OS(), path)
+}
+
+// OpenWALFS is OpenWAL with an injectable filesystem — every
+// durability syscall the log makes goes through fsys.
+func OpenWALFS(fsys fault.FS, path string) (*WAL, []Op, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
@@ -219,6 +226,30 @@ func decodeOp(payload []byte) (Op, error) {
 	}
 	return op, nil
 }
+
+// CanLog reports whether op fits one WAL record, so a caller can
+// reject an over-limit write cleanly before applying it instead of
+// latching durability loss afterwards. The common case pays no
+// encoding: only ops whose lexical forms approach the limit are
+// measured exactly.
+func (w *WAL) CanLog(op Op) error {
+	n := len(op.T.S.Value) + len(op.T.S.Datatype) + len(op.T.S.Lang) +
+		len(op.T.P.Value) + len(op.T.P.Datatype) + len(op.T.P.Lang) +
+		len(op.T.O.Value) + len(op.T.O.Datatype) + len(op.T.O.Lang)
+	// frame overhead: op byte + 3 kind bytes + 9 uvarint lengths (≤5 each)
+	if n+64 <= maxWALRecord {
+		return nil
+	}
+	if len(encodeOp(op)) > maxWALRecord {
+		return fmt.Errorf("storage: wal record would exceed the %d byte limit", maxWALRecord)
+	}
+	return nil
+}
+
+// Broken reports a half-finished Truncate: the file was truncated but
+// the header is not durably back, so Sync refuses until a Truncate
+// retry completes.
+func (w *WAL) Broken() bool { return w.broken }
 
 // Append buffers one operation; it becomes durable at the next Sync.
 // Records larger than maxWALRecord are rejected: recovery treats an

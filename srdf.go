@@ -118,6 +118,10 @@ type QueryOptions struct {
 	// ForceOrder fixes the left-deep star join order by subject
 	// variable name (without the leading '?').
 	ForceOrder []string
+	// MemLimit bounds the bytes the query's materializing operators may
+	// retain; 0 is unlimited. An exceeded budget fails the one query
+	// with ErrMemBudget without affecting concurrent queries.
+	MemLimit int64
 }
 
 func (o QueryOptions) core() core.QueryOptions {
@@ -127,8 +131,12 @@ func (o QueryOptions) core() core.QueryOptions {
 		ForceAlgo:  o.ForceAlgo,
 		NoBloom:    o.NoBloom,
 		ForceOrder: o.ForceOrder,
+		MemLimit:   o.MemLimit,
 	}
 }
+
+// ErrMemBudget marks a query that exceeded its MemLimit.
+var ErrMemBudget = exec.ErrMemBudget
 
 // Store is a self-organizing RDF store. Create with New.
 type Store struct {
@@ -239,13 +247,31 @@ func (s *Store) MustLoadTurtle(src string) int {
 // characteristic sets and either gets a delta row behind one table's
 // sealed segments or spills to the irregular leftover store — exactly
 // queryable either way, with no rebuild. The live path treats the graph
-// as a set: adding an already-present triple is a no-op.
-func (s *Store) Add(t Triple) { s.inner.Add(t) }
+// as a set: adding an already-present triple is a no-op. While the
+// store is latched read-only after durability failures (see Health) the
+// write is rejected with an error wrapping ErrReadOnly.
+func (s *Store) Add(t Triple) error { return s.inner.Add(t) }
 
 // Delete removes one triple. After Organize the subject's sealed row is
 // tombstoned and its surviving values are re-routed through the delta
-// layer at the next query; deleting an absent triple is a no-op.
-func (s *Store) Delete(t Triple) { s.inner.Delete(t) }
+// layer at the next query; deleting an absent triple is a no-op. While
+// the store is latched read-only the delete is rejected with an error
+// wrapping ErrReadOnly.
+func (s *Store) Delete(t Triple) error { return s.inner.Delete(t) }
+
+// ErrReadOnly matches (via errors.Is) the error writes receive while
+// the store is degraded to read-only after durability failures.
+var ErrReadOnly = core.ErrReadOnly
+
+// Health is a point-in-time view of the store's durability state.
+type Health = core.Health
+
+// Health reports whether the store is serving normally or has latched
+// read-only after WAL/checkpoint failures: the latched error, the
+// number of failed recovery probes, and the countdown to the next one.
+// Reads keep serving the last published epoch either way; a background
+// probe un-latches the store when the disk recovers.
+func (s *Store) Health() Health { return s.inner.Health() }
 
 // Organize discovers the schema, clusters subjects, and materializes the
 // relational catalog. Call it after bulk loading, and occasionally after
@@ -381,3 +407,9 @@ func (s *Store) ResetPoolStats() { s.inner.Pool().ResetStats() }
 // Internal returns the underlying engine for benchmark harnesses and
 // advanced use; the core API may change between versions.
 func (s *Store) Internal() *core.Store { return s.inner }
+
+// NewFromCore wraps an already-constructed core store in the public
+// facade — for module-internal harnesses that need core-only options
+// (fault-injected filesystems, probe intervals). The core API may
+// change between versions.
+func NewFromCore(inner *core.Store) *Store { return &Store{inner: inner} }
