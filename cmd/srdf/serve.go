@@ -28,6 +28,7 @@ func cmdServe(args []string) error {
 	parallelism := fs.Int("parallelism", 0, "morsel-scan worker count per query (<=1: sequential)")
 	minSupport := fs.Int("minsupport", 0, "minimum CS support (non-snapshot inputs)")
 	maxQueryMem := fs.String("max-query-mem", "", "per-query memory budget for materializing operators, e.g. 64M or 1G (empty: unlimited)")
+	poolBytes := fs.String("pool-bytes", "", "buffer pool budget for decoded sealed segments, e.g. 256M (empty: unlimited); past it cold segments evict back to the snapshot")
 	maxResultRows := fs.Int64("max-result-rows", 0, "max rows per response; past it the stream is aborted (0: unlimited)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage: srdf serve [flags] data.nt|data.srdf
@@ -56,9 +57,14 @@ Flags:`)
 	if err != nil {
 		return fmt.Errorf("serve: -max-query-mem: %w", err)
 	}
+	poolBudget, err := parseSize(*poolBytes)
+	if err != nil {
+		return fmt.Errorf("serve: -pool-bytes: %w", err)
+	}
 
 	st, organized, err := loadStoreOpts(fs.Arg(0), *minSupport, func(o *srdf.Options) {
 		o.Parallelism = *parallelism
+		o.PoolBytes = poolBudget
 	})
 	if err != nil {
 		return err

@@ -68,6 +68,44 @@ func (c *Column) accountSegment(comp, log int, lazy bool) bool {
 	return true
 }
 
+// unaccountSegment reverses accountSegment for one evicted lazy block:
+// the block reverts to undecoded, so its decode slot reopens. Reports
+// whether the account was still open (a released column already settled
+// everything wholesale).
+func (c *Column) unaccountSegment(comp, log int) bool {
+	c.accMu.Lock()
+	defer c.accMu.Unlock()
+	if c.released {
+		return false
+	}
+	c.accComp -= int64(comp)
+	c.accLog -= int64(log)
+	c.lazyLeft++
+	return true
+}
+
+// PinBlock keeps block b's decoded form resident until UnpinBlock: the
+// pool's eviction skips pinned blocks, so zero-copy views handed out by
+// a scan stay backed. No-op for unsealed columns and eager segments.
+func (c *Column) PinBlock(b int) {
+	if c.segs == nil {
+		return
+	}
+	if lz, ok := c.segs[b].(*lazySegment); ok {
+		lz.pin()
+	}
+}
+
+// UnpinBlock releases a PinBlock pin.
+func (c *Column) UnpinBlock(b int) {
+	if c.segs == nil {
+		return
+	}
+	if lz, ok := c.segs[b].(*lazySegment); ok {
+		lz.unpin()
+	}
+}
+
 // NewColumn allocates an n-row column of NULLs registered with pool
 // (pool may be nil for untracked columns).
 func NewColumn(name string, n int, pool *BufferPool) *Column {
@@ -140,6 +178,13 @@ func (c *Column) Release() {
 		// never-decoded blocks of a released column are no longer
 		// pending anything
 		c.pool.dropLazySegments(left)
+		// decoded blocks leave the eviction LRU without counting as
+		// evictions; the byte subtraction above already covered them
+		for _, seg := range c.segs {
+			if lz, ok := seg.(*lazySegment); ok {
+				c.pool.forgetBlock(lz)
+			}
+		}
 	}
 }
 

@@ -1,14 +1,18 @@
 // Package colstore is the columnar storage substrate: typed columns with
 // NULL support, per-block zone maps (the Netezza-style min/max index the
-// paper adds to push selections across correlated foreign keys), and a
-// simulated buffer pool.
+// paper adds to push selections across correlated foreign keys), and the
+// buffer pool.
 //
-// The buffer pool replaces the paper's physical cold/hot runs: CI
+// The buffer pool has two halves. The page simulation replaces the
+// paper's physical cold/hot runs for the Table I experiments: CI
 // machines cannot reproduce disk behaviour, so every page access is
 // routed through the pool, a miss charges a deterministic virtual fetch
-// cost, and "cold" simply means the pool was flushed. Table I's
-// cold-vs-hot and clustered-vs-parse-order contrasts come out of page
-// counts, which the clustered layout genuinely reduces.
+// cost, and "cold" means the pool was flushed. The real half manages
+// memory: decoded lazy blocks of snapshot-opened stores are owned by the
+// pool, evicted LRU back to their disk-resident encoded bytes when a
+// byte budget (Options.PoolBytes) is exceeded, and re-decoded on the
+// next touch — so a store much larger than RAM stays queryable with
+// bounded resident memory.
 package colstore
 
 import (
@@ -35,12 +39,28 @@ type PageID struct {
 
 // PoolStats is a snapshot of buffer pool counters.
 type PoolStats struct {
-	Hits      uint64
-	Misses    uint64
+	Hits   uint64
+	Misses uint64
+	// Evictions counts blocks the pool actually dropped: decoded lazy
+	// segments pushed back to their encoded on-disk bytes by the byte
+	// budget (or ResetCold), plus simulated page-table evictions when a
+	// page capacity is configured.
 	Evictions uint64
 	Resident  int
 	// SimIO is the accumulated virtual I/O time (Misses × FetchCost).
 	SimIO time.Duration
+	// Faults counts real block decodes: a lazy segment's payload being
+	// materialized because a scan touched it, including re-decodes after
+	// an eviction. Unlike Misses (the page simulation) this is actual
+	// work actually done.
+	Faults uint64
+	// ResidentBytes is the decoded size of the lazy blocks currently
+	// held in memory by the pool — the quantity the byte budget bounds.
+	// Eagerly sealed columns (built in memory, no disk backing) are not
+	// evictable and are excluded; see SegmentBytes for the total.
+	ResidentBytes int64
+	// BudgetBytes echoes the configured byte budget (0 = unlimited).
+	BudgetBytes int64
 	// SegmentBytes is the resident size of all sealed column segments
 	// accounted against this pool; LogicalBytes is what the same data
 	// would occupy as flat 8-byte OID vectors.
@@ -51,38 +71,76 @@ type PoolStats struct {
 	// flat size.
 	CompressionRatio float64
 	// SegmentsLazy counts sealed blocks restored from a snapshot whose
-	// payload has not been decoded yet; SegmentsDecoded counts blocks
-	// faulted in so far. Opening a snapshot must leave SegmentsDecoded
-	// (and SegmentBytes) at zero — payloads decode on first touch.
+	// payload is not decoded right now (evicted blocks return here);
+	// SegmentsDecoded counts blocks currently decoded. Opening a
+	// snapshot must leave SegmentsDecoded (and SegmentBytes) at zero —
+	// payloads decode on first touch.
 	SegmentsLazy    int64
 	SegmentsDecoded int64
 }
 
-// BufferPool tracks which pages are resident, with LRU eviction.
+// BufferPool tracks simulated page residency and owns the decoded form
+// of lazy snapshot blocks, with LRU eviction on both.
 // The zero value is not usable; create with NewPool.
 type BufferPool struct {
 	mu          sync.Mutex
 	capacity    int // max resident pages; <=0 means unlimited
+	budget      int64
 	fetchCost   time.Duration
 	lru         *list.List // of PageID, front = most recent
 	pages       map[PageID]*list.Element
+	blocks      *list.List // of *lazySegment, front = most recent
 	stats       PoolStats
 	segBytes    int64
 	logBytes    int64
+	resBytes    int64
 	lazySegs    int64
 	decodedSegs int64
 	nextObj     uint32
+
+	// releaser, when set, is told about encoded byte ranges the pool no
+	// longer needs hot (evicted blocks' payloads). The snapshot layer
+	// points it at madvise on the mapped region; heap-backed stores
+	// leave it nil.
+	releaser func(b []byte)
+	// dropAll, when set, releases the entire mapped snapshot region.
+	// Called when the encoded bytes faulted back in since the last drop
+	// exceed the budget, so the mapped working set stays bounded too.
+	dropAll    func()
+	encodedHot int64
 }
 
 // NewPool returns a pool holding at most capacity pages (<=0: unlimited)
-// with the default fetch cost.
+// with the default fetch cost and no byte budget.
 func NewPool(capacity int) *BufferPool {
 	return &BufferPool{
 		capacity:  capacity,
 		fetchCost: DefaultFetchCost,
 		lru:       list.New(),
 		pages:     make(map[PageID]*list.Element),
+		blocks:    list.New(),
 	}
+}
+
+// SetBudget bounds the decoded bytes of lazy blocks the pool keeps
+// resident (<=0: unlimited). Exceeding the budget evicts the least
+// recently used unpinned blocks back to their encoded form.
+func (bp *BufferPool) SetBudget(bytes int64) {
+	bp.mu.Lock()
+	bp.budget = bytes
+	bp.stats.BudgetBytes = bytes
+	bp.mu.Unlock()
+	bp.enforceBudget()
+}
+
+// SetReleasers wires the pool to a mapped snapshot region: release is
+// called with the encoded payload of each evicted block, dropAll
+// releases the whole region. Either may be nil.
+func (bp *BufferPool) SetReleasers(release func(b []byte), dropAll func()) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.releaser = release
+	bp.dropAll = dropAll
 }
 
 // SetFetchCost overrides the per-miss virtual cost.
@@ -156,15 +214,6 @@ func (bp *BufferPool) addLazySegments(n int) {
 	bp.lazySegs += int64(n)
 }
 
-// segmentDecoded records one lazy block faulting in. The byte accounting
-// goes through AddSegmentBytes separately.
-func (bp *BufferPool) segmentDecoded() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.lazySegs--
-	bp.decodedSegs++
-}
-
 // dropLazySegments removes a released column's never-decoded blocks from
 // the pending tally.
 func (bp *BufferPool) dropLazySegments(n int) {
@@ -173,12 +222,141 @@ func (bp *BufferPool) dropLazySegments(n int) {
 	bp.lazySegs -= int64(n)
 }
 
+// blockDecoded takes ownership of a freshly decoded lazy block: the
+// bytes join the pool account and the block enters the eviction LRU.
+// The caller follows up with enforceBudget (outside the segment lock).
+func (bp *BufferPool) blockDecoded(s *lazySegment, comp, log int) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.segBytes += int64(comp)
+	bp.logBytes += int64(log)
+	bp.resBytes += int64(comp)
+	bp.lazySegs--
+	bp.decodedSegs++
+	bp.stats.Faults++
+	s.resBytes = comp
+	s.elem = bp.blocks.PushFront(s)
+	if bp.dropAll != nil {
+		bp.encodedHot += int64(len(s.blob))
+	}
+}
+
+// blockEvicted settles the account of a block whose decoded form was
+// just dropped (the segment lock is held by the caller; pins were zero).
+func (bp *BufferPool) blockEvicted(s *lazySegment, log int, cold bool) {
+	bp.mu.Lock()
+	comp := s.resBytes
+	s.resBytes = 0
+	if s.elem != nil {
+		bp.blocks.Remove(s.elem)
+		s.elem = nil
+	}
+	bp.segBytes -= int64(comp)
+	bp.logBytes -= int64(log)
+	bp.resBytes -= int64(comp)
+	bp.lazySegs++
+	bp.decodedSegs--
+	bp.stats.Evictions++
+	release, blob := bp.releaser, s.blob
+	var drop func()
+	// On a mapped snapshot the encoded pages faulted back in since the
+	// last region drop are tracked too; once they exceed the budget the
+	// whole region is released so the mapped working set cannot grow
+	// unboundedly during a cold sweep. Skip on ResetCold: benchmarks
+	// flush the pool between runs and must not pay a full-region fault
+	// storm per repetition.
+	if !cold && bp.dropAll != nil && bp.budget > 0 && bp.encodedHot > bp.budget {
+		drop = bp.dropAll
+		bp.encodedHot = 0
+	}
+	bp.mu.Unlock()
+	if release != nil {
+		release(blob)
+	}
+	if drop != nil {
+		drop()
+	}
+}
+
+// releaseEncoded hands encoded bytes that need not stay hot (validated
+// payloads at open time) to the mapped-region releaser, if any.
+func (bp *BufferPool) releaseEncoded(b []byte) {
+	bp.mu.Lock()
+	release := bp.releaser
+	bp.mu.Unlock()
+	if release != nil {
+		release(b)
+	}
+}
+
+// touchBlock refreshes a decoded block's LRU position.
+func (bp *BufferPool) touchBlock(s *lazySegment) {
+	bp.mu.Lock()
+	if s.elem != nil {
+		bp.blocks.MoveToFront(s.elem)
+	}
+	bp.mu.Unlock()
+}
+
+// forgetBlock removes a released column's decoded block from the pool
+// without counting an eviction; Release already settled the byte
+// account wholesale.
+func (bp *BufferPool) forgetBlock(s *lazySegment) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if s.elem != nil {
+		bp.blocks.Remove(s.elem)
+		s.elem = nil
+	}
+	bp.resBytes -= int64(s.resBytes)
+	s.resBytes = 0
+}
+
+// enforceBudget evicts least-recently-used unpinned decoded blocks until
+// the resident decoded bytes fit the budget (or only pinned blocks
+// remain). Victims are dropped outside the pool lock: the segment lock
+// ordering is segment → pool, never the reverse.
+func (bp *BufferPool) enforceBudget() {
+	for {
+		bp.mu.Lock()
+		if bp.budget <= 0 || bp.resBytes <= bp.budget {
+			bp.mu.Unlock()
+			return
+		}
+		var victim *lazySegment
+		for el := bp.blocks.Back(); el != nil; el = el.Prev() {
+			s := el.Value.(*lazySegment)
+			if s.pins.Load() == 0 {
+				victim = s
+				break
+			}
+		}
+		bp.mu.Unlock()
+		if victim == nil {
+			return // everything resident is pinned; over-budget transiently
+		}
+		if !victim.evict(false) {
+			// lost a race (pinned or already evicted); try again — the
+			// LRU walk will pick someone else or give up
+			bp.mu.Lock()
+			if victim.elem != nil && victim.pins.Load() != 0 {
+				// move the pinned victim off the tail so the next walk
+				// does not spin on it
+				bp.blocks.MoveToFront(victim.elem)
+			}
+			bp.mu.Unlock()
+		}
+	}
+}
+
 // Stats returns a snapshot of the counters.
 func (bp *BufferPool) Stats() PoolStats {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	s := bp.stats
 	s.Resident = len(bp.pages)
+	s.BudgetBytes = bp.budget
+	s.ResidentBytes = bp.resBytes
 	s.SegmentBytes = bp.segBytes
 	s.LogicalBytes = bp.logBytes
 	if bp.segBytes > 0 {
@@ -189,19 +367,28 @@ func (bp *BufferPool) Stats() PoolStats {
 	return s
 }
 
-// ResetCold evicts every page, as if the server had restarted with a
-// cold cache. Counters keep accumulating; pair with ResetStats to take
-// isolated measurements.
+// ResetCold evicts every page and every unpinned decoded block, as if
+// the server had restarted with a cold cache: the next scan re-decodes
+// from the snapshot bytes. Counters keep accumulating; pair with
+// ResetStats to take isolated measurements.
 func (bp *BufferPool) ResetCold() {
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	bp.lru.Init()
 	bp.pages = make(map[PageID]*list.Element)
+	victims := make([]*lazySegment, 0, bp.blocks.Len())
+	for el := bp.blocks.Front(); el != nil; el = el.Next() {
+		victims = append(victims, el.Value.(*lazySegment))
+	}
+	bp.mu.Unlock()
+	for _, s := range victims {
+		s.evict(true)
+	}
 }
 
 // ResetStats zeroes the counters without evicting pages.
 func (bp *BufferPool) ResetStats() {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	budget := bp.stats.BudgetBytes
+	bp.stats = PoolStats{BudgetBytes: budget}
 }

@@ -1,0 +1,166 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// restoreLazy seals vals, marshals them, and restores the column lazily
+// against pool, returning both copies.
+func restoreLazy(t *testing.T, pool *BufferPool, blocks int) (orig, rc *Column) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	vals := blockShapes["runs"](rng, blocks*BlockRows)
+	orig = buildSealed(t, "t.c", vals, nil)
+	rc = restoreCopy(t, orig, pool)
+	return orig, rc
+}
+
+// TestResidentBytesTracksDecodedBlocks: the pool's ResidentBytes must
+// equal the encoded bytes of exactly the decoded lazy blocks — the
+// regression here is load() keeping decoded segments forever invisible
+// to any budget. One touch accounts one block; a full decode accounts
+// all; eviction returns the bytes.
+func TestResidentBytesTracksDecodedBlocks(t *testing.T) {
+	pool := NewPool(0)
+	orig, rc := restoreLazy(t, pool, 4)
+
+	if st := pool.Stats(); st.ResidentBytes != 0 || st.Faults != 0 {
+		t.Fatalf("after restore: resident=%d faults=%d, want 0/0", st.ResidentBytes, st.Faults)
+	}
+
+	if got, want := rc.Get(0), orig.Get(0); got != want {
+		t.Fatalf("Get(0) = %v, want %v", got, want)
+	}
+	st := pool.Stats()
+	if st.Faults != 1 {
+		t.Fatalf("after one touch: faults=%d, want 1", st.Faults)
+	}
+	if st.ResidentBytes <= 0 || st.ResidentBytes != st.SegmentBytes {
+		t.Fatalf("after one touch: resident=%d segBytes=%d, want equal and positive",
+			st.ResidentBytes, st.SegmentBytes)
+	}
+
+	rc.Values()
+	st = pool.Stats()
+	if st.SegmentsDecoded != 4 || st.ResidentBytes != st.SegmentBytes {
+		t.Fatalf("after full decode: decoded=%d resident=%d segBytes=%d",
+			st.SegmentsDecoded, st.ResidentBytes, st.SegmentBytes)
+	}
+
+	// Shrinking the budget to less than one block evicts everything
+	// unpinned and the accounting returns to the post-restore state.
+	pool.SetBudget(1)
+	st = pool.Stats()
+	if st.ResidentBytes != 0 || st.SegmentBytes != 0 {
+		t.Fatalf("after evict-all: resident=%d segBytes=%d, want 0/0", st.ResidentBytes, st.SegmentBytes)
+	}
+	if st.SegmentsLazy != 4 || st.SegmentsDecoded != 0 {
+		t.Fatalf("after evict-all: lazy=%d decoded=%d, want 4/0", st.SegmentsLazy, st.SegmentsDecoded)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("eviction not counted")
+	}
+}
+
+// TestBudgetEvictsAndRefaults: decoding past the byte budget must evict
+// cold blocks back to their encoded form, and a later touch of an
+// evicted block must re-decode it correctly (another fault, not stale
+// data).
+func TestBudgetEvictsAndRefaults(t *testing.T) {
+	const blocks = 6
+	pool := NewPool(0)
+	orig, rc := restoreLazy(t, pool, blocks)
+
+	// Budget for roughly two decoded blocks.
+	one := func() int64 {
+		rc.Get(0)
+		b := pool.Stats().ResidentBytes
+		pool.SetBudget(1) // flush the probe block again
+		pool.SetBudget(0)
+		return b
+	}()
+	if one <= 0 {
+		t.Fatalf("probe block accounted %d bytes", one)
+	}
+	pool.SetBudget(2*one + one/2)
+
+	rc.Values() // decode every block under the budget
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("full scan under budget: no evictions")
+	}
+	if st.ResidentBytes > pool.Stats().BudgetBytes {
+		t.Fatalf("resident %d exceeds budget %d", st.ResidentBytes, st.BudgetBytes)
+	}
+	if st.SegmentsLazy == 0 {
+		t.Fatalf("no block returned to encoded form")
+	}
+
+	// Every value must still be readable — evicted blocks refault.
+	faultsBefore := st.Faults
+	for i := 0; i < blocks*BlockRows; i += BlockRows / 2 {
+		if got, want := rc.Get(i), orig.Get(i); got != want {
+			t.Fatalf("row %d after eviction: %v, want %v", i, got, want)
+		}
+	}
+	if pool.Stats().Faults <= faultsBefore {
+		t.Fatalf("re-reading evicted blocks caused no refaults")
+	}
+}
+
+// TestResetColdEvictsDecodedSegments: ResetCold's contract is "as if
+// the server restarted", which for an opened store means the decoded
+// lazy segments are gone too — the regression is flushing only the
+// simulated page table and leaving every decoded block hot.
+func TestResetColdEvictsDecodedSegments(t *testing.T) {
+	pool := NewPool(0)
+	orig, rc := restoreLazy(t, pool, 3)
+	rc.Values()
+	if st := pool.Stats(); st.SegmentsDecoded != 3 {
+		t.Fatalf("decoded=%d, want 3", st.SegmentsDecoded)
+	}
+
+	pool.ResetCold()
+	st := pool.Stats()
+	if st.SegmentsDecoded != 0 || st.SegmentsLazy != 3 {
+		t.Fatalf("after ResetCold: decoded=%d lazy=%d, want 0/3", st.SegmentsDecoded, st.SegmentsLazy)
+	}
+	if st.ResidentBytes != 0 || st.SegmentBytes != 0 {
+		t.Fatalf("after ResetCold: resident=%d segBytes=%d, want 0/0", st.ResidentBytes, st.SegmentBytes)
+	}
+
+	faults := st.Faults
+	if got, want := rc.Get(0), orig.Get(0); got != want {
+		t.Fatalf("Get(0) after ResetCold = %v, want %v", got, want)
+	}
+	if pool.Stats().Faults != faults+1 {
+		t.Fatalf("cold read did not refault")
+	}
+}
+
+// TestPinBlocksEviction: a pinned block survives budget pressure (its
+// views may be lent to a selection vector) and becomes evictable once
+// unpinned.
+func TestPinBlocksEviction(t *testing.T) {
+	pool := NewPool(0)
+	_, rc := restoreLazy(t, pool, 3)
+
+	rc.PinBlock(0)
+	rc.Get(0) // decode the pinned block
+	pinned := pool.Stats().ResidentBytes
+	if pinned <= 0 {
+		t.Fatalf("pinned block not accounted")
+	}
+
+	pool.SetBudget(1)
+	if st := pool.Stats(); st.ResidentBytes != pinned || st.SegmentsDecoded != 1 {
+		t.Fatalf("pinned block evicted: resident=%d decoded=%d", st.ResidentBytes, st.SegmentsDecoded)
+	}
+
+	rc.UnpinBlock(0)
+	pool.SetBudget(1)
+	if st := pool.Stats(); st.ResidentBytes != 0 || st.SegmentsDecoded != 0 {
+		t.Fatalf("unpinned block survived budget: resident=%d decoded=%d", st.ResidentBytes, st.SegmentsDecoded)
+	}
+}

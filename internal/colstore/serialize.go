@@ -1,15 +1,18 @@
 // Segment serialization: the on-disk representation of a sealed column
 // is exactly its in-memory compressed form — the RLE / frame-of-reference
 // / block-dictionary / plain encodings of segment.go, framed per block.
-// A restored column holds lazy segments: the encoded payload bytes stay
-// resident (the snapshot is read and checksummed once at open) but are
-// not decoded until a scan first touches the block, at which point the
-// decode is accounted against the buffer pool — so opening a large store
-// does no per-value work and cold queries fault in only the columns they
-// read.
+// A restored column holds lazy segments: the encoded payload stays where
+// the snapshot layer put it (a slice into the mmap'd file, or the heap
+// buffer of the pread fallback) and is not decoded until a scan first
+// touches the block. The decode is accounted against the buffer pool,
+// which owns it from then on: under byte-budget pressure the pool evicts
+// the decoded form and the block reverts to its encoded bytes, to be
+// re-decoded on the next touch — so opening a large store does no
+// per-value work and a store larger than the budget stays queryable.
 package colstore
 
 import (
+	"container/list"
 	"encoding/binary"
 	"fmt"
 	"math/bits"
@@ -108,60 +111,132 @@ func RestoreSealed(name string, nullCount int, metas []BlockMeta, blob []byte, p
 	c.lazyLeft = len(metas)
 	if pool != nil {
 		pool.addLazySegments(len(metas))
+		// Validation touched every payload byte; on a mapped snapshot
+		// those pages need not stay resident until a scan wants them.
+		pool.releaseEncoded(blob)
 	}
 	return c, nil
 }
 
-// lazySegment defers decoding of one snapshot block. The encoded payload
-// is kept after decode, so MarshalBlocks can always copy it verbatim.
-// Concurrent scans may race a block's first touch, so the decoded form is
-// published through an atomic.
+// lazySegment defers decoding of one snapshot block. The encoded
+// payload (blob) references the snapshot layer's buffer — a slice into
+// the mmap'd file for mapped opens — so MarshalBlocks can always copy
+// it verbatim and an undecoded block costs no heap at all. The decoded
+// form is published through an atomic for lock-free reads; the mutex
+// serializes the decode/evict transitions, and pins (held by scans at
+// block granularity) keep the pool from evicting a block whose views
+// are live.
 type lazySegment struct {
 	blob []byte
 	enc  Encoding
 	rows int
 	zone Zone
 	col  *Column
-	once sync.Once
-	seg  atomic.Value // Segment
+
+	mu  sync.Mutex              // decode/evict transitions
+	seg atomic.Pointer[Segment] // nil while encoded-only
+	// pins (>0 blocks eviction) is mutated under mu so evict's check is
+	// exact; the atomic lets the pool's LRU walk skim it lock-free.
+	pins atomic.Int32
+
+	// pool-lock-guarded eviction bookkeeping (see BufferPool)
+	elem     *list.Element
+	resBytes int
 }
 
-// load decodes the payload on first use and accounts the fault against
-// the column's pool. Payloads are validated at restore time, so a decode
-// failure here means the bytes changed underneath us — an invariant
-// violation, not an input error.
-func (s *lazySegment) load() Segment {
-	if v := s.seg.Load(); v != nil {
-		return v.(Segment)
+// pin prevents eviction of the decoded form until the matching unpin.
+// Pinning does not itself decode; the first kernel touch does.
+func (s *lazySegment) pin() {
+	s.mu.Lock()
+	s.pins.Add(1)
+	s.mu.Unlock()
+	if s.col.pool != nil && s.seg.Load() != nil {
+		s.col.pool.touchBlock(s)
 	}
-	s.once.Do(func() {
-		seg, err := decodeSegmentPayload(s.enc, s.rows, s.zone, s.blob)
-		if err != nil {
-			panic(fmt.Sprintf("colstore: segment of %s corrupted after open: %v", s.col.Name, err))
+}
+
+func (s *lazySegment) unpin() {
+	s.mu.Lock()
+	s.pins.Add(-1)
+	s.mu.Unlock()
+}
+
+// load returns the decoded segment, faulting it in if needed. Callers
+// that hold no pin get a snapshot that stays valid (the GC keeps it
+// alive) but may be evicted from the pool behind their back; scans pin
+// first.
+func (s *lazySegment) load() Segment {
+	if p := s.seg.Load(); p != nil {
+		return *p
+	}
+	return s.fault()
+}
+
+// fault decodes the payload and hands the decoded bytes to the pool.
+// Payloads are validated at restore time, so a decode failure here
+// means the bytes changed underneath us — an invariant violation, not
+// an input error.
+func (s *lazySegment) fault() Segment {
+	s.mu.Lock()
+	if p := s.seg.Load(); p != nil {
+		s.mu.Unlock()
+		return *p
+	}
+	seg, err := decodeSegmentPayload(s.enc, s.rows, s.zone, s.blob)
+	if err != nil {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("colstore: segment of %s corrupted after open: %v", s.col.Name, err))
+	}
+	// A fault counts only while the column's account is open: a block
+	// faulting in after Release (an in-flight snapshot reader outliving
+	// a Compact) must inflate neither the pool's resident bytes nor its
+	// lazy/decoded tallies — Release already settled both for this
+	// column.
+	accounted := s.col.accountSegment(seg.Bytes(), 8*s.rows, true)
+	s.seg.Store(&seg)
+	s.mu.Unlock()
+	if accounted && s.col.pool != nil {
+		s.col.pool.blockDecoded(s, seg.Bytes(), 8*s.rows)
+		s.col.pool.enforceBudget()
+	}
+	return seg
+}
+
+// evict drops the decoded form, reverting the block to its encoded
+// bytes. It refuses pinned or already-encoded blocks. cold marks a
+// ResetCold flush rather than budget pressure.
+func (s *lazySegment) evict(cold bool) bool {
+	s.mu.Lock()
+	if s.pins.Load() != 0 || s.seg.Load() == nil {
+		s.mu.Unlock()
+		return false
+	}
+	bytes := (*s.seg.Load()).Bytes()
+	s.seg.Store(nil)
+	// Reopen the column account for this block: it is lazy again, and
+	// the next fault must re-account. A released column settled its
+	// account wholesale — a straggler block that registered with the
+	// pool after Release just leaves quietly.
+	if accounted := s.col.unaccountSegment(bytes, 8*s.rows); s.col.pool != nil {
+		if accounted {
+			s.col.pool.blockEvicted(s, 8*s.rows, cold)
+		} else {
+			s.col.pool.forgetBlock(s)
 		}
-		// A fault counts only while the column's account is open: a block
-		// faulting in after Release (an in-flight snapshot reader
-		// outliving a Compact) must inflate neither the pool's resident
-		// bytes nor its lazy/decoded tallies — Release already settled
-		// both for this column.
-		if s.col.accountSegment(seg.Bytes(), 8*s.rows, true) && s.col.pool != nil {
-			s.col.pool.AddSegmentBytes(seg.Bytes(), 8*s.rows)
-			s.col.pool.segmentDecoded()
-		}
-		s.seg.Store(seg)
-	})
-	return s.seg.Load().(Segment)
+	}
+	s.mu.Unlock()
+	return true
 }
 
 func (s *lazySegment) Len() int           { return s.rows }
 func (s *lazySegment) Encoding() Encoding { return s.enc }
 func (s *lazySegment) Zone() Zone         { return s.zone }
 
-// Bytes reports the resident size: the undecoded payload until the block
-// faults in, the decoded segment after.
+// Bytes reports the resident size: the undecoded payload while the
+// block is encoded-only, the decoded segment while faulted in.
 func (s *lazySegment) Bytes() int {
-	if v := s.seg.Load(); v != nil {
-		return v.(Segment).Bytes()
+	if p := s.seg.Load(); p != nil {
+		return (*p).Bytes()
 	}
 	return len(s.blob)
 }

@@ -54,6 +54,11 @@ type Options struct {
 	Cluster cluster.Options
 	// PoolPages caps the simulated buffer pool (<=0: unlimited).
 	PoolPages int
+	// PoolBytes caps the real memory the buffer pool lets decoded
+	// sealed segments occupy (<=0: unlimited). Past the budget, the
+	// least-recently-used unpinned segments are evicted back to their
+	// on-disk encoded form and fault in again on the next touch.
+	PoolBytes int64
 	// Dedup removes duplicate triples on Organize (RDF graphs are sets).
 	Dedup bool
 	// Parallelism is the morsel-scan worker count for RDFscan; <=1
@@ -166,6 +171,11 @@ type Store struct {
 	table *triples.Table
 	idx   *triples.IndexSet
 	pool  *colstore.BufferPool
+	// blob is the mapped (or heap-fallback) snapshot backing the lazy
+	// segments of an opened store; nil for stores built in memory. It
+	// must stay open while any reader can still fault a segment in, so
+	// it is released only on Close.
+	blob *storage.Blob
 
 	schema    *cs.Schema
 	clusterIn *cluster.Info
@@ -273,7 +283,7 @@ func newBareStore(opts Options) *Store {
 		fs:         fs,
 		dict:       dict.New(),
 		table:      triples.NewTable(0),
-		pool:       colstore.NewPool(opts.PoolPages),
+		pool:       newPool(opts),
 		touched:    make(map[dict.OID]struct{}),
 		deltaSet:   make(map[triples.Triple]struct{}),
 		delPending: make(map[triples.Triple]struct{}),
@@ -283,10 +293,22 @@ func newBareStore(opts Options) *Store {
 	}
 }
 
+// newPool builds the store's buffer pool from the options: the page
+// simulation sized by PoolPages, the real decoded-byte budget by
+// PoolBytes.
+func newPool(opts Options) *colstore.BufferPool {
+	p := colstore.NewPool(opts.PoolPages)
+	p.SetBudget(opts.PoolBytes)
+	return p
+}
+
 // OpenStore loads a snapshot written by Save and attaches it as the
-// store's checkpoint target. Opening is cheap: sealed segment payloads
-// are checksummed but not decoded (they fault in on first scan, visible
-// in PoolStats.SegmentsLazy/SegmentsDecoded), and the six projections
+// store's checkpoint target. Opening is cheap and out-of-core: the
+// file is mapped read-only where the platform allows (whole-file read
+// fallback otherwise), sealed segment payloads are checksummed but not
+// decoded (they fault in on first scan, visible in
+// PoolStats.SegmentsLazy/SegmentsDecoded, and under Options.PoolBytes
+// pressure are evicted back to the mapping), and the six projections
 // are not rebuilt until the first query or update needs the store's
 // indexes — Open itself never pays the sort. With
 // Options.WALPath set, the log's surviving records are replayed through
@@ -294,10 +316,11 @@ func newBareStore(opts Options) *Store {
 // is exactly "load latest snapshot, re-apply the logged tail".
 func OpenStore(path string, opts Options) (*Store, error) {
 	s := newBareStore(opts)
-	snap, err := storage.ReadFileFS(s.fs, path, s.pool)
+	snap, blob, err := storage.OpenFileFS(s.fs, path, s.pool)
 	if err != nil {
 		return nil, err
 	}
+	s.blob = blob
 	s.dict = snap.Dict
 	s.table = snap.Triples
 	s.schema = snap.Schema
@@ -495,9 +518,11 @@ func (s *Store) Save(path string) error {
 	return s.checkpointLocked()
 }
 
-// Close flushes and closes the WAL and stops the background recovery
-// prober. The store itself is in-memory and remains usable, but no
-// further operations are logged.
+// Close flushes and closes the WAL, stops the background recovery
+// prober, and unmaps the snapshot an opened store was reading from.
+// A store built in memory remains usable afterwards (just unlogged);
+// an opened store must not be queried after Close — its sealed
+// segments referenced the now-released mapping.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -521,6 +546,12 @@ func (s *Store) Close() error {
 	s.ckptPending = false
 	s.stopProbeLocked()
 	s.unlatchLocked()
+	if s.blob != nil {
+		if e := s.blob.Close(); e != nil && err == nil {
+			err = e
+		}
+		s.blob = nil
+	}
 	return err
 }
 
@@ -841,7 +872,11 @@ func (s *Store) Organize() (OrganizeReport, error) {
 		return rep, fmt.Errorf("core: organize: %w", err)
 	}
 	s.clusterIn = inf
-	s.pool = colstore.NewPool(s.opts.PoolPages)
+	// The rebuilt segments live on the heap (the clustering just
+	// rewrote them), so the fresh pool carries the byte budget but no
+	// mapping releasers; the old blob stays open for the base table but
+	// its resident pages are dropped below.
+	s.pool = newPool(s.opts)
 	s.cat = relational.BuildCatalog(s.table, s.dict, s.schema, inf, s.pool)
 	s.idx = triples.BuildAll(s.table)
 	s.organized = true
@@ -852,6 +887,11 @@ func (s *Store) Organize() (OrganizeReport, error) {
 	s.deadSet = make(map[triples.Triple]struct{})
 	s.epoch++
 	s.publishSnapshotLocked()
+	if s.blob != nil {
+		// nothing references the mapped encoded segments any more;
+		// release their resident pages (they fault back if ever touched)
+		s.blob.Drop()
+	}
 
 	rep.RawCSs = s.schema.RawCSCount
 	rep.CSs = len(s.schema.CSs)

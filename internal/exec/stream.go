@@ -41,6 +41,11 @@ type ScanOp struct {
 	last   int // last block (inclusive)
 	lo     int // effective row window
 	hi     int
+	// pinned is the block whose columns the sequential path holds
+	// buffer-pool pins on (-1 = none): the views lent by emitBlock stay
+	// backed until the consumer's next pull, so eviction never races a
+	// live selection-vector view.
+	pinned int
 	sc     scanScratch
 	par    *morselScan
 	// delta-tail cursor: after the sealed blocks the scan walks the
@@ -89,6 +94,7 @@ func (s *ScanOp) Vars() []string { return s.Star.Vars() }
 func (s *ScanOp) Open(ctx *Ctx) error {
 	s.ctx = ctx
 	s.last = -1 // empty unless a valid block range is established below
+	s.pinned = -1
 	s.dOn = false
 	s.dCur = 0
 	s.lo, s.hi = s.RowLo, s.RowHi
@@ -360,10 +366,28 @@ func (s *ScanOp) emitBlock(b *Batch, blk int, sel []int32, wlo, whi int) {
 	b.SetViews(sel, views...)
 }
 
+// pinBlock / unpinBlock hold buffer-pool pins on block blk of every
+// scanned column, so the pool cannot evict a decoded block out from
+// under a kernel or a lent view.
+func (s *ScanOp) pinBlock(blk int) {
+	for _, c := range s.cols {
+		c.Data.PinBlock(blk)
+	}
+}
+
+func (s *ScanOp) unpinBlock(blk int) {
+	for _, c := range s.cols {
+		c.Data.UnpinBlock(blk)
+	}
+}
+
 // appendBlock materializes block blk's surviving rows onto dst with bulk
 // column copies — the morsel-worker path, where results cross a channel
-// and cannot lend scratch-backed views.
+// and cannot lend scratch-backed views. The pin is scoped to the call:
+// the copies land in dst before it returns.
 func (s *ScanOp) appendBlock(blk int, dst *Rel, sc *scanScratch) {
+	s.pinBlock(blk)
+	defer s.unpinBlock(blk)
 	sel, all, wlo, whi := s.selectBlock(blk, sc)
 	if !all && len(sel) == 0 {
 		return
@@ -397,6 +421,12 @@ func (s *ScanOp) appendBlock(blk int, dst *Rel, sc *scanScratch) {
 }
 
 func (s *ScanOp) Next(b *Batch) bool {
+	// the views lent by the previous emitBlock are dead once the
+	// consumer pulls again; release their pins
+	if s.pinned >= 0 {
+		s.unpinBlock(s.pinned)
+		s.pinned = -1
+	}
 	if s.ctx.Cancelled() {
 		return false
 	}
@@ -418,14 +448,17 @@ func (s *ScanOp) Next(b *Batch) bool {
 		}
 		blk := s.block
 		s.block++
+		s.pinBlock(blk)
 		sel, all, wlo, whi := s.selectBlock(blk, &s.sc)
 		if !all && len(sel) == 0 {
+			s.unpinBlock(blk)
 			continue
 		}
 		if all {
 			sel = nil
 		}
 		s.emitBlock(b, blk, sel, wlo, whi)
+		s.pinned = blk // held until the consumer's next pull or Close
 		return true
 	}
 	return s.nextDelta(b)
@@ -500,6 +533,10 @@ func (s *ScanOp) nextDelta(b *Batch) bool {
 }
 
 func (s *ScanOp) Close() {
+	if s.pinned >= 0 {
+		s.unpinBlock(s.pinned)
+		s.pinned = -1
+	}
 	if s.par != nil {
 		s.par.stop()
 		s.par = nil

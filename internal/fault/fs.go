@@ -124,6 +124,14 @@ func (w injectFS) CreateTemp(dir, pattern string) (File, error) {
 	return injectFile{f: f, class: classOf(pattern)}, nil
 }
 
+// MapHit consults the fs.map failpoint for the named file: the
+// snapshot layer asks before mmap'ing and falls back to ReadFile when
+// the point fires. Only the failpoint-wrapped FS has this method, so
+// un-wrapped stores never consult the registry for maps.
+func (w injectFS) MapHit(name string) error {
+	return Hit("fs.map:" + classOf(name))
+}
+
 func (w injectFS) ReadFile(name string) ([]byte, error) {
 	if err := Hit("fs.read:" + classOf(name)); err != nil {
 		return nil, err

@@ -44,6 +44,99 @@ var FaultPoints = []string{
 	"fs.sync:dir",        // directory entry never made durable
 }
 
+// OpenFaultPoints is the open-path sweep axis: each entry is the set of
+// failpoints armed while OpenStore runs against a mapped snapshot. One
+// armed map fault must degrade to the whole-file-read fallback and open
+// anyway; map and read broken together must fail with the injected
+// error — never a SIGBUS or panic from a half-built mapping.
+var OpenFaultPoints = [][]string{
+	{"fs.map:snapshot"},
+	{"fs.map:snapshot", "fs.read:snapshot"},
+}
+
+// RunChaosOpen saves a snapshot, arms points, and re-opens it. With the
+// fallback still available the open must succeed and answer every
+// deterministic query identically to a clean open; with no path left it
+// must fail cleanly with the injected error. Panics (the symptom of
+// touching a dead mapping) are caught and reported.
+func RunChaosOpen(points []string, seed int64) (err error) {
+	fault.Reset()
+	defer fault.Reset()
+	dir, err := os.MkdirTemp("", "srdf-chaos-open-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "open.srdf")
+
+	sc := GenScript(seed, 40, 40)
+	opts := core.DefaultOptions()
+	opts.CS.MinSupport = 3
+	opts.FS = fault.WrapFS(fault.OS())
+
+	st := core.NewStore(opts)
+	loadAll(st, sc.Initial)
+	if _, err := st.Organize(); err != nil {
+		return err
+	}
+	if err := st.Save(snapPath); err != nil {
+		return err
+	}
+	st.Close()
+
+	// Reference answers from a clean open.
+	qo := coreQO()
+	ref, err := core.OpenStore(snapPath, opts)
+	if err != nil {
+		return fmt.Errorf("clean open: %w", err)
+	}
+	want := map[string][]string{}
+	for _, q := range sc.Queries {
+		res, err := ref.Query(q.Text, qo)
+		if err != nil {
+			return fmt.Errorf("clean open query: %w", err)
+		}
+		want[q.Text] = sorted(renderResult(res))
+	}
+	ref.Close()
+
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("open under %v panicked: %v", points, r)
+		}
+	}()
+	for _, p := range points {
+		fault.Enable(p, fault.Spec{Err: fault.ErrInjected})
+	}
+	faulted, openErr := core.OpenStore(snapPath, opts)
+	fallbackLeft := len(points) < 2
+	if !fallbackLeft {
+		if openErr == nil {
+			faulted.Close()
+			return fmt.Errorf("open under %v succeeded with every read path broken", points)
+		}
+		if !errors.Is(openErr, fault.ErrInjected) {
+			return fmt.Errorf("open under %v failed with a foreign error: %w", points, openErr)
+		}
+		return nil
+	}
+	if openErr != nil {
+		return fmt.Errorf("open under %v did not fall back: %w", points, openErr)
+	}
+	defer faulted.Close()
+	for _, q := range sc.Queries {
+		res, err := faulted.Query(q.Text, qo)
+		if err != nil {
+			return fmt.Errorf("fallback-opened store: %w\nquery: %s", err, q.Text)
+		}
+		if got := sorted(renderResult(res)); !eqSeq(got, want[q.Text]) {
+			return fmt.Errorf("fallback-opened store diverged\nquery: %s\ngot:  %v\nwant: %v",
+				q.Text, got, want[q.Text])
+		}
+	}
+	return nil
+}
+
 // chaosEnv is one chaos run's world: the faulted store behind a real
 // server handler, plus a never-faulted reference built from the same
 // script.

@@ -3,6 +3,7 @@ package harness
 import (
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 )
@@ -39,6 +40,19 @@ func TestChaosSweep(t *testing.T) {
 		})
 	}
 	checkGoroutines(t, base)
+}
+
+// TestChaosOpenSweep breaks the snapshot-open read paths: a vetoed mmap
+// must degrade to the whole-file read, and both paths broken must fail
+// with the injected error — never a panic.
+func TestChaosOpenSweep(t *testing.T) {
+	for _, points := range OpenFaultPoints {
+		t.Run(strings.Join(points, "+"), func(t *testing.T) {
+			if err := RunChaosOpen(points, 7); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
 }
 
 // TestChaosRandom is the randomized smoke: concurrent writers, HTTP

@@ -2,6 +2,7 @@ package nt
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"strings"
@@ -286,14 +287,71 @@ _:b1 ex:knows ex:inproc1 .
 
 func TestParseTurtleErrors(t *testing.T) {
 	bad := []string{
-		`ex:a ex:b ex:c .`,                                  // undefined prefix
-		`@prefix ex: <http://e/> . ex:a ex:b`,               // missing object & dot
-		`@prefix ex: <http://e/> . ex:a ex:b [ex:c ex:d] .`, // nested bnode list
+		`ex:a ex:b ex:c .`,                                         // undefined prefix
+		`@prefix ex: <http://e/> . ex:a ex:b`,                      // missing object & dot
+		`@prefix ex: <http://e/> . ex:a ex:b [ex:c [ex:d ex:e]] .`, // two-level bnode list
+		`@prefix ex: <http://e/> . ex:a ex:b [ex:c ex:d .`,         // unterminated bnode list
 	}
 	for _, src := range bad {
 		if _, err := ParseTurtle(strings.NewReader(src)); err == nil {
 			t.Errorf("no error for %q", src)
 		}
+	}
+}
+
+func TestParseTurtleBnodePropertyLists(t *testing.T) {
+	src := `
+@prefix ex: <http://e.org/> .
+ex:s ex:p [ ex:q ex:o ; ex:r "v" ] .
+[ ex:name "n" ] ex:knows ex:s .
+[ ex:lone 1 ] .
+`
+	ts, err := ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseTurtle: %v", err)
+	}
+	if len(ts) != 6 {
+		t.Fatalf("got %d triples, want 6: %v", len(ts), ts)
+	}
+	// Object-position list: inner triples first, then the referencing one.
+	bn := ts[0].S
+	if bn.Kind != dict.KindBlank || ts[1].S != bn {
+		t.Errorf("inner triples share no blank subject: %v / %v", ts[0], ts[1])
+	}
+	if ts[0].O.Value != "http://e.org/o" || ts[1].O.Value != "v" {
+		t.Errorf("inner objects mis-parsed: %v %v", ts[0].O, ts[1].O)
+	}
+	if ts[2].O != bn || ts[2].S.Value != "http://e.org/s" {
+		t.Errorf("outer triple does not reference the minted bnode: %v", ts[2])
+	}
+	// Subject-position list.
+	if ts[3].S.Kind != dict.KindBlank || ts[3].S == bn {
+		t.Errorf("subject list bnode: %v", ts[3])
+	}
+	if ts[4].S != ts[3].S || ts[4].O.Value != "http://e.org/s" {
+		t.Errorf("subject list statement: %v", ts[4])
+	}
+	// `[ p o ] .` standing alone.
+	if ts[5].S.Kind != dict.KindBlank || ts[5].O.Value != "1" {
+		t.Errorf("standalone property list: %v", ts[5])
+	}
+}
+
+func TestParseTurtleErrorPosition(t *testing.T) {
+	src := "@prefix ex: <http://e/> .\nex:a ex:b zz:c ."
+	_, err := ParseTurtle(strings.NewReader(src))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is no *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+	if pe.Col == 0 {
+		t.Errorf("column not reported: %v", pe)
+	}
+	if !strings.Contains(err.Error(), "line 2:") {
+		t.Errorf("message lacks position: %v", err)
 	}
 }
 

@@ -22,13 +22,19 @@ func (t Triple) String() string {
 	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
 }
 
-// ParseError describes a malformed statement.
+// ParseError describes a malformed statement. Col is the 1-based
+// column when the parser knows it (the Turtle parser does; the
+// line-oriented N-Triples reader reports whole lines) and 0 otherwise.
 type ParseError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("nt: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("nt: line %d: %s", e.Line, e.Msg)
 }
 

@@ -12,9 +12,11 @@ import (
 // ParseTurtle reads a pragmatic subset of Turtle: @prefix / PREFIX
 // declarations, prefixed names, `a` for rdf:type, object lists with `,`,
 // predicate-object lists with `;`, numeric / boolean / string literals
-// (with ^^ datatypes and @lang), blank nodes, and comments. It does not
-// support collections `( )` or nested blank-node property lists `[ ]`
-// beyond the anonymous `[]`.
+// (with ^^ datatypes and @lang), blank nodes, one-level blank-node
+// property lists `[ p o ; ... ]` (in subject or object position, minting
+// a fresh blank node), and comments. It does not support collections
+// `( )` or property lists nested inside property lists. Parse errors
+// carry line and column.
 //
 // It exists so that examples and tests can state small graphs readably;
 // bulk loading uses the line-oriented N-Triples Reader.
@@ -34,11 +36,18 @@ type turtleParser struct {
 	prefixes map[string]string
 	base     string
 	bnodeSeq int
-	out      []Triple
+	// bnodeDepth guards the one-level limit on non-empty blank-node
+	// property lists.
+	bnodeDepth int
+	out        []Triple
 }
 
 func (p *turtleParser) errf(format string, args ...interface{}) error {
-	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+	// 1-based column, derived from the position rather than tracked:
+	// every byte before pos has been consumed, so the last newline
+	// before it starts the current line.
+	col := p.pos - strings.LastIndexByte(p.src[:p.pos], '\n')
+	return &ParseError{Line: p.line, Col: col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *turtleParser) eof() bool { return p.pos >= len(p.src) }
@@ -90,14 +99,19 @@ func (p *turtleParser) statement() error {
 	if p.matchKeyword("@base") || p.matchKeyword("BASE") {
 		return p.baseDecl()
 	}
-	subj, err := p.subject()
+	subj, propList, err := p.subject()
 	if err != nil {
 		return err
 	}
-	if err := p.predicateObjectList(subj); err != nil {
-		return err
-	}
 	p.skipWS()
+	// `[ p o ] .` is a complete statement: the property list already
+	// produced its triples and no outer predicate is required.
+	if !(propList && !p.eof() && p.peek() == '.') {
+		if err := p.predicateObjectList(subj); err != nil {
+			return err
+		}
+		p.skipWS()
+	}
 	if p.eof() || p.peek() != '.' {
 		return p.errf("expected '.' after statement")
 	}
@@ -157,36 +171,63 @@ func (p *turtleParser) baseDecl() error {
 	return nil
 }
 
-func (p *turtleParser) subject() (dict.Term, error) {
+// subject parses the statement subject. The second result reports a
+// non-empty blank-node property list `[ p o ]`, whose triples are
+// already emitted — such a subject may end the statement on its own.
+func (p *turtleParser) subject() (dict.Term, bool, error) {
 	p.skipWS()
 	if p.eof() {
-		return dict.Term{}, p.errf("expected subject")
+		return dict.Term{}, false, p.errf("expected subject")
 	}
 	switch p.peek() {
 	case '<':
 		iri, err := p.iriRef()
 		if err != nil {
-			return dict.Term{}, err
+			return dict.Term{}, false, err
 		}
-		return dict.IRI(p.resolve(iri)), nil
+		return dict.IRI(p.resolve(iri)), false, nil
 	case '_':
-		return p.blankNode()
+		term, err := p.blankNode()
+		return term, false, err
 	case '[':
-		p.advance()
-		p.skipWS()
-		if !p.eof() && p.peek() == ']' {
-			p.advance()
-			p.bnodeSeq++
-			return dict.Blank(fmt.Sprintf("anon%d", p.bnodeSeq)), nil
-		}
-		return dict.Term{}, p.errf("non-empty blank node property lists are unsupported")
+		term, anon, err := p.bnodePropertyList()
+		return term, err == nil && !anon, err
 	default:
 		iri, err := p.prefixedName()
 		if err != nil {
-			return dict.Term{}, err
+			return dict.Term{}, false, err
 		}
-		return dict.IRI(iri), nil
+		return dict.IRI(iri), false, nil
 	}
+}
+
+// bnodePropertyList parses `[]` or a one-level `[ p o ; ... ]` at the
+// current '[', minting a fresh blank node; for the non-empty form the
+// inner triples are appended to the output. anon reports the bare `[]`.
+func (p *turtleParser) bnodePropertyList() (term dict.Term, anon bool, err error) {
+	p.advance() // '['
+	p.skipWS()
+	p.bnodeSeq++
+	bn := dict.Blank(fmt.Sprintf("anon%d", p.bnodeSeq))
+	if !p.eof() && p.peek() == ']' {
+		p.advance()
+		return bn, true, nil
+	}
+	if p.bnodeDepth >= 1 {
+		return dict.Term{}, false, p.errf("blank node property lists nest at most one level")
+	}
+	p.bnodeDepth++
+	err = p.predicateObjectList(bn)
+	p.bnodeDepth--
+	if err != nil {
+		return dict.Term{}, false, err
+	}
+	p.skipWS()
+	if p.eof() || p.peek() != ']' {
+		return dict.Term{}, false, p.errf("expected ']' closing blank node property list")
+	}
+	p.advance()
+	return bn, false, nil
 }
 
 func (p *turtleParser) predicateObjectList(subj dict.Term) error {
@@ -212,11 +253,15 @@ func (p *turtleParser) predicateObjectList(subj dict.Term) error {
 		}
 		p.skipWS()
 		if !p.eof() && p.peek() == ';' {
-			p.advance()
-			p.skipWS()
-			// a ';' may be trailing before '.'
-			if !p.eof() && (p.peek() == '.' || p.peek() == ';') {
-				continue
+			// ';' separates predicate-object pairs; runs of them are
+			// tolerated and a trailing one before '.' or ']' ends the
+			// list instead of demanding another predicate.
+			for !p.eof() && p.peek() == ';' {
+				p.advance()
+				p.skipWS()
+			}
+			if p.eof() || p.peek() == '.' || p.peek() == ']' {
+				return nil
 			}
 			continue
 		}
@@ -269,14 +314,8 @@ func (p *turtleParser) object() (dict.Term, error) {
 	case c == '"' || c == '\'':
 		return p.turtleLiteral()
 	case c == '[':
-		p.advance()
-		p.skipWS()
-		if !p.eof() && p.peek() == ']' {
-			p.advance()
-			p.bnodeSeq++
-			return dict.Blank(fmt.Sprintf("anon%d", p.bnodeSeq)), nil
-		}
-		return dict.Term{}, p.errf("non-empty blank node property lists are unsupported")
+		term, _, err := p.bnodePropertyList()
+		return term, err
 	case c == '+' || c == '-' || c >= '0' && c <= '9':
 		return p.numericLiteral()
 	case strings.HasPrefix(p.src[p.pos:], "true") && p.boundaryAt(p.pos+4):

@@ -1,0 +1,175 @@
+package rdfh
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+
+	"srdf/internal/core"
+	"srdf/internal/nt"
+	"srdf/internal/plan"
+)
+
+// The out-of-core pair: TestOutOfCoreBuild writes an RDF-H store to
+// SRDF_OOC_STORE in one process, TestOutOfCoreSweep opens it in another
+// with a pool budget a tenth of the file size and asserts the query
+// sweep completes with bounded RSS growth and real evictions. Two
+// processes on purpose — generating the data in the sweep process would
+// poison its memory baseline. CI's bounded-memory job drives both (see
+// .github/workflows/ci.yml); locally:
+//
+//	export SRDF_OOC_STORE=/tmp/ooc.srdf
+//	SRDF_OOC_BUILD=1 go test -run TestOutOfCoreBuild -count=1 ./internal/rdfh
+//	go test -run TestOutOfCoreSweep -count=1 ./internal/rdfh
+
+// oocSF is the build scale factor. The default (SRDF_OOC_SF overrides)
+// yields a snapshot around 75 MB — ~5M triples, built in well under a
+// minute — so the tenth-size pool budget is large against allocator
+// noise but the sweep still hurts without eviction.
+func oocSF(t *testing.T) float64 {
+	sf := 0.05
+	if s := os.Getenv("SRDF_OOC_SF"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("SRDF_OOC_SF: %v", err)
+		}
+		sf = v
+	}
+	return sf
+}
+
+func TestOutOfCoreBuild(t *testing.T) {
+	path := os.Getenv("SRDF_OOC_STORE")
+	if path == "" || os.Getenv("SRDF_OOC_BUILD") == "" {
+		t.Skip("set SRDF_OOC_STORE and SRDF_OOC_BUILD=1 to build the out-of-core store")
+	}
+	d := Generate(oocSF(t), 42)
+	opts := core.DefaultOptions()
+	opts.CS.MinSupport = 5
+	st := core.NewStore(opts)
+	d.Emit(func(tr nt.Triple) { st.Add(tr) })
+	if _, err := st.Organize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Sidecar with the reference row counts, so the sweep process can
+	// validate results without regenerating the data.
+	counts := fmt.Sprintf("Q1 %d\nQ3 %d\nQ5 %d\nQ6 1\n",
+		len(RefQ1(d)), len(RefQ3(d)), len(RefQ5(d)))
+	if err := os.WriteFile(path+".counts", []byte(counts), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	t.Logf("built %s: %d triples, %d bytes", path, st.NumTriples(), fi.Size())
+}
+
+// rssBytes reads the process resident set from /proc (Linux-only; the
+// sweep skips elsewhere).
+func rssBytes(t *testing.T) int64 {
+	t.Helper()
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		t.Skipf("no /proc/self/status: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if f, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			kb, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimSpace(f), " kB"), 10, 64)
+			if err != nil {
+				t.Fatalf("parse VmRSS %q: %v", line, err)
+			}
+			return kb << 10
+		}
+	}
+	t.Fatal("VmRSS not found")
+	return 0
+}
+
+func TestOutOfCoreSweep(t *testing.T) {
+	path := os.Getenv("SRDF_OOC_STORE")
+	if path == "" || os.Getenv("SRDF_OOC_BUILD") != "" {
+		t.Skip("set SRDF_OOC_STORE (and run TestOutOfCoreBuild first) for the out-of-core sweep")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("store missing (run TestOutOfCoreBuild first): %v", err)
+	}
+	budget := fi.Size() / 10
+	if budget <= 0 {
+		t.Fatalf("store too small (%d bytes) for a tenth-size budget", fi.Size())
+	}
+
+	wantRows := map[string]int{}
+	if data, err := os.ReadFile(path + ".counts"); err == nil {
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			var id string
+			var n int
+			if _, err := fmt.Sscanf(line, "%s %d", &id, &n); err == nil {
+				wantRows[id] = n
+			}
+		}
+	}
+
+	opts := core.DefaultOptions()
+	opts.PoolBytes = budget
+	st, err := core.OpenStore(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	qo := core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}
+
+	run := func(id, qtext string) int {
+		res, err := st.Query(qtext, qo)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if want, ok := wantRows[id]; ok && res.Len() != want {
+			t.Fatalf("%s returned %d rows, want %d", id, res.Len(), want)
+		}
+		return res.Len()
+	}
+
+	// Warmup round: the first queries pay the one-time costs (catalog
+	// refresh, projections) that belong to the RSS baseline, not to the
+	// decoded-segment working set under test.
+	for id, qtext := range Queries() {
+		run(id, qtext)
+	}
+	debug.FreeOSMemory()
+	baseline := rssBytes(t)
+
+	var maxDelta int64
+	for round := 0; round < 3; round++ {
+		if round == 1 {
+			// a cold round forces the refault path on top of the
+			// budget-driven evictions
+			st.Pool().ResetCold()
+		}
+		for id, qtext := range Queries() {
+			run(id, qtext)
+			debug.FreeOSMemory()
+			if d := rssBytes(t) - baseline; d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+
+	ps := st.Pool().Stats()
+	t.Logf("store=%d budget=%d baseline=%d maxDelta=%d faults=%d evictions=%d resident=%d",
+		fi.Size(), budget, baseline, maxDelta, ps.Faults, ps.Evictions, ps.ResidentBytes)
+	if ps.Evictions == 0 {
+		t.Errorf("pool never evicted: budget %d too generous for store %d", budget, fi.Size())
+	}
+	if ps.ResidentBytes > budget {
+		t.Errorf("resident decoded bytes %d exceed budget %d", ps.ResidentBytes, budget)
+	}
+	if maxDelta > 2*budget {
+		t.Errorf("RSS grew %d past the warm baseline, budget %d allows 2x", maxDelta, budget)
+	}
+}

@@ -476,6 +476,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeGauge(&b, "srdf_pool_compression_ratio", "Logical/segment byte ratio of sealed columns.", ps.CompressionRatio)
 	writeGauge(&b, "srdf_pool_segments_lazy", "Sealed blocks not yet decoded from the snapshot.", float64(ps.SegmentsLazy))
 	writeGauge(&b, "srdf_pool_segments_decoded", "Sealed blocks decoded on demand.", float64(ps.SegmentsDecoded))
+	writeCounter(&b, "srdf_pool_faults_total", "Sealed segments decoded from the snapshot, including re-decodes after eviction.", ps.Faults)
+	writeGauge(&b, "srdf_pool_resident_bytes", "Decoded sealed segment bytes held by the pool.", float64(ps.ResidentBytes))
+	writeGauge(&b, "srdf_pool_budget_bytes", "Configured pool byte budget (0: unlimited).", float64(ps.BudgetBytes))
 
 	writeGauge(&b, "srdf_triples", "Stored triples.", float64(s.store.NumTriples()))
 

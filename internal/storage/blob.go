@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"sync"
+	"unsafe"
+
+	"srdf/internal/colstore"
+	"srdf/internal/fault"
+)
+
+// pageSize is the madvise alignment unit. 4096 is correct on every
+// platform we map on; a larger real page size only makes the inward
+// alignment more conservative, never wrong.
+const pageSize = 4096
+
+// Blob is the backing memory of an opened snapshot: a read-only mmap of
+// the .srdf file when the platform allows it, or a heap buffer from the
+// whole-file-read fallback. The snapshot's lazy segments slice into it,
+// so it must stay open for the life of the store; Close (idempotent)
+// unmaps it, after which those segments must not be touched.
+type Blob struct {
+	mu     sync.Mutex
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// Bytes returns the snapshot bytes. Callers must not mutate them.
+func (b *Blob) Bytes() []byte { return b.data }
+
+// Mapped reports whether the bytes are an mmap view rather than heap.
+func (b *Blob) Mapped() bool { return b.mapped }
+
+// Close releases the mapping (a no-op for heap-backed blobs). After
+// Close, segments restored from this blob must no longer be read.
+func (b *Blob) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || !b.mapped {
+		b.closed = true
+		return nil
+	}
+	b.closed = true
+	data := b.data
+	b.data = nil
+	return munmapBytes(data)
+}
+
+// ReleaseRange drops the resident pages fully covered by p, a slice
+// into the blob (aligned inward, so boundary pages shared with
+// neighbours survive). Heap-backed blobs ignore it — MADV_DONTNEED on
+// anonymous memory would zero live data.
+func (b *Blob) ReleaseRange(p []byte) {
+	if !b.mapped || len(p) == 0 {
+		return
+	}
+	base := uintptr(unsafe.Pointer(unsafe.SliceData(b.data)))
+	off := uintptr(unsafe.Pointer(unsafe.SliceData(p))) - base
+	lo := (off + pageSize - 1) &^ uintptr(pageSize-1)
+	hi := (off + uintptr(len(p))) &^ uintptr(pageSize-1)
+	if hi <= lo || hi > uintptr(len(b.data)) {
+		return
+	}
+	dropPages(b.data[lo:hi])
+}
+
+// Drop releases every resident page of the mapping; subsequent reads
+// fault pages back in on demand. No-op for heap-backed blobs.
+func (b *Blob) Drop() {
+	if !b.mapped {
+		return
+	}
+	dropPages(b.data)
+}
+
+// mapHitter is the optional failpoint hook the fault-wrapped FS
+// implements: it lets the chaos harness veto the mmap path
+// (fs.map:snapshot) so the pread fallback gets exercised, without
+// widening the FS interface for every implementation.
+type mapHitter interface{ MapHit(name string) error }
+
+// openBlob maps path read-only, falling back to a whole-file read
+// through fsys when mapping is unavailable (platform, failpoint, empty
+// file, exotic filesystem). Read errors keep their identity (a missing
+// file still satisfies os.IsNotExist through the fallback).
+func openBlob(fsys fault.FS, path string) (*Blob, error) {
+	tryMap := mmapSupported
+	if mh, ok := fsys.(mapHitter); ok && tryMap {
+		if err := mh.MapHit(path); err != nil {
+			tryMap = false
+		}
+	}
+	if tryMap {
+		if data, err := mmapFile(path); err == nil {
+			return &Blob{data: data, mapped: true}, nil
+		}
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{data: data}, nil
+}
+
+// OpenFileFS opens the snapshot at path out-of-core: the file is mapped
+// read-only (pread fallback behind the fault.FS seam) and the restored
+// lazy segments reference the mapping directly — no heap copy of the
+// encoded payloads. The pool, when non-nil, is wired to the mapping so
+// evictions release the pages of encoded bytes they re-cover, and the
+// open itself releases everything it touched (checksums and validation
+// walk the whole file, but none of it needs to stay resident).
+//
+// The returned Blob must outlive every reader of the snapshot; the
+// store closes it on Store.Close.
+func OpenFileFS(fsys fault.FS, path string, pool *colstore.BufferPool) (*Snapshot, *Blob, error) {
+	blob, err := openBlob(fsys, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var release func([]byte)
+	if blob.mapped {
+		release = blob.ReleaseRange
+		if pool != nil {
+			pool.SetReleasers(blob.ReleaseRange, blob.Drop)
+		}
+	}
+	snap, err := readSnap(blob.data, pool, release)
+	if err != nil {
+		blob.Close()
+		return nil, nil, err
+	}
+	blob.Drop()
+	return snap, blob, nil
+}

@@ -1,0 +1,50 @@
+//go:build linux || darwin
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform build can map snapshots.
+const mmapSupported = true
+
+// mmapFile maps the named file read-only. The mapping pins the inode:
+// a later rename-over (checkpoint) does not disturb readers of the old
+// bytes.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		// empty or absurd: let the caller fall back to a plain read,
+		// which produces the right typed error
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// dropPages tells the kernel the pages backing data need not stay
+// resident; the next access faults them back from the page cache or
+// disk. For a read-only file mapping this is purely an RSS release,
+// never data loss. data must be page-aligned at its start (callers
+// align inward).
+func dropPages(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	// best-effort: an madvise failure only costs memory, not correctness
+	_ = syscall.Madvise(data, syscall.MADV_DONTNEED)
+}

@@ -1,0 +1,15 @@
+//go:build !(linux || darwin)
+
+package storage
+
+import "errors"
+
+const mmapSupported = false
+
+var errNoMmap = errors.New("storage: mmap not supported on this platform")
+
+func mmapFile(path string) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBytes(data []byte) error { return nil }
+
+func dropPages(data []byte) {}

@@ -127,6 +127,32 @@ func WriteFile(path string, s *Snapshot) error {
 // caller must not reuse or mutate the buffer. pool receives the restored
 // columns' accounting; it may be nil.
 func Read(data []byte, pool *colstore.BufferPool) (*Snapshot, error) {
+	return readSnap(data, pool, nil)
+}
+
+// checksumReleasing computes the payload checksum; with a release hook
+// (mapped snapshots) it works in chunks and releases each one's pages
+// after hashing, so checksumming a file much larger than memory never
+// makes the whole file resident at once.
+func checksumReleasing(payload []byte, release func([]byte)) uint32 {
+	const chunk = 1 << 20
+	if release == nil || len(payload) <= chunk {
+		return crc32.Checksum(payload, crcTable)
+	}
+	var sum uint32
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		sum = crc32.Update(sum, crcTable, payload[off:end])
+		release(payload[off:end])
+	}
+	return sum
+}
+
+// readSnap is Read with an optional page-release hook for mapped input.
+func readSnap(data []byte, pool *colstore.BufferPool, release func([]byte)) (*Snapshot, error) {
 	if len(data) < 8 || string(data[:8]) != Magic {
 		return nil, ErrNotSnapshot
 	}
@@ -158,7 +184,7 @@ func Read(data []byte, pool *colstore.BufferPool) (*Snapshot, error) {
 		}
 		payload := data[off : off+int(length) : off+int(length)]
 		off += int(length)
-		if crc32.Checksum(payload, crcTable) != sum {
+		if checksumReleasing(payload, release) != sum {
 			return nil, corrupt(secName(id), "checksum mismatch")
 		}
 		if _, dup := secs[id]; dup {

@@ -74,6 +74,49 @@ func BenchmarkSnapshot_Open(b *testing.B) {
 	})
 }
 
+// BenchmarkScan_OutOfCore scans an opened snapshot under a pool budget
+// half the scan's decoded working set: block decodes compete with LRU
+// eviction, so the fault → decode → evict cycle sits on the hot path
+// instead of the everything-stays-resident fast case the other scan
+// benches measure.
+func BenchmarkScan_OutOfCore(b *testing.B) {
+	path := persistedBenchPath(b, 20000)
+	opts := core.DefaultOptions()
+	opts.CompactThreshold = -1
+	st, err := core.OpenStore(path, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	q := `SELECT ?s ?a WHERE { ?s <http://del/a> ?a . FILTER (?a >= 0) }`
+	// One unlimited pass measures the scan's decoded footprint; the
+	// budget is set to half of it so steady state must evict.
+	if _, err := st.Query(q, core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true}); err != nil {
+		b.Fatal(err)
+	}
+	working := st.Pool().Stats().ResidentBytes
+	if working == 0 {
+		b.Fatal("warm scan decoded nothing")
+	}
+	st.Pool().SetBudget(working / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Query(q, core.QueryOptions{Mode: plan.ModeRDFScan, ZoneMaps: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() == 0 {
+			b.Fatal("out-of-core scan returned nothing")
+		}
+	}
+	b.StopTimer()
+	ps := st.Pool().Stats()
+	if ps.Evictions == 0 {
+		b.Fatalf("no evictions under a tenth-size budget (%d bytes)", opts.PoolBytes)
+	}
+	b.ReportMetric(float64(ps.Faults)/float64(b.N), "faults/op")
+}
+
 func BenchmarkWAL_Append(b *testing.B) {
 	w, _, err := storage.OpenWAL(filepath.Join(b.TempDir(), "bench.wal"))
 	if err != nil {

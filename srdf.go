@@ -65,6 +65,14 @@ type Options struct {
 	SortKeys map[string]string
 	// PoolPages caps the simulated buffer pool (<=0: unlimited).
 	PoolPages int
+	// PoolBytes caps the real memory decoded sealed segments may
+	// occupy (<=0: unlimited). When an opened store's scans decode past
+	// the budget, the least-recently-used unpinned segments are evicted
+	// back to their on-disk encoded form (the mmap'd snapshot) and
+	// fault in again on the next touch — so a store much larger than
+	// memory stays queryable with bounded RSS. Watch
+	// PoolStats.Evictions and PoolStats.ResidentBytes.
+	PoolBytes int64
 	// Parallelism sets the morsel-driven worker count for RDFscan
 	// table scans and for partial aggregation in the query head; <=1
 	// runs sequentially. Scans merge in morsel order and are
@@ -176,6 +184,7 @@ func coreOptions(o Options) core.Options {
 	copts.CS.TypeSplit = o.TypeSplit
 	copts.Cluster.SortKeys = o.SortKeys
 	copts.PoolPages = o.PoolPages
+	copts.PoolBytes = o.PoolBytes
 	copts.Parallelism = o.Parallelism
 	copts.CompactThreshold = o.CompactThreshold
 	copts.WALPath = o.WALPath
@@ -390,15 +399,19 @@ func (s *Store) Stats() Stats { return s.inner.Stats() }
 // NumTriples returns the number of stored triples.
 func (s *Store) NumTriples() int { return s.inner.NumTriples() }
 
-// PoolStats exposes the simulated buffer pool counters (page hits,
-// misses, simulated I/O time).
+// PoolStats exposes the buffer pool counters: the simulated page side
+// (hits, misses, simulated I/O time) and the real memory-manager side
+// (decode faults, evictions, resident decoded bytes against the
+// Options.PoolBytes budget).
 type PoolStats = colstore.PoolStats
 
 // PoolStats returns the buffer pool counters.
 func (s *Store) PoolStats() PoolStats { return s.inner.Pool().Stats() }
 
-// ResetCold flushes the simulated buffer pool, as if the server had
-// restarted — the "Cold" condition of the paper's Table I.
+// ResetCold flushes the buffer pool, as if the server had restarted —
+// the "Cold" condition of the paper's Table I. Both the simulated page
+// table and the real decoded segments of an opened store are dropped;
+// the latter fault back in from the snapshot on the next scan.
 func (s *Store) ResetCold() { s.inner.Pool().ResetCold() }
 
 // ResetPoolStats zeroes the pool counters without evicting pages.
