@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,8 @@ func main() {
 		err = cmdSchema(args)
 	case "query":
 		err = cmdQuery(args)
+	case "explain":
+		err = cmdExplain(args)
 	case "stats":
 		err = cmdStats(args)
 	case "dump":
@@ -59,10 +62,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: srdf <build|schema|query|stats|dump|serve> [flags] data.nt|data.srdf
+	fmt.Fprintln(os.Stderr, `usage: srdf <build|schema|query|explain|stats|dump|serve> [flags] data.nt|data.srdf
   build    organize a triple file into a binary snapshot (-o out.srdf)
   schema   discover and print the emergent SQL schema
   query    run a SPARQL query (-q '...' or -f query.rq)
+  explain  print a query's plan; -analyze executes it and annotates
+           each operator with actual rows and time
   stats    print store statistics after organization
   dump     print a discovered table as CSV
   serve    serve the SPARQL Protocol over HTTP (see srdf serve -h)
@@ -240,6 +245,56 @@ func cmdQuery(args []string) error {
 	fmt.Print(res.String())
 	ps := st.PoolStats()
 	fmt.Fprintf(os.Stderr, "%d rows; %d page misses, simulated I/O %v\n", res.Len(), ps.Misses, ps.SimIO)
+	return nil
+}
+
+// cmdExplain prints a query's plan. With -analyze the query actually
+// executes and every operator line carries act_rows= and time= beside
+// the estimates, followed by the worst est/act mis-estimation.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	mode := fs.String("mode", "rdfscan", "plan family: default or rdfscan")
+	zones := fs.Bool("zonemaps", true, "use zone maps")
+	analyze := fs.Bool("analyze", false, "execute the query and annotate the plan with actual rows and per-operator time")
+	qtext := fs.String("q", "", "SPARQL query text")
+	qfile := fs.String("f", "", "file containing the SPARQL query")
+	minSupport := fs.Int("minsupport", 0, "minimum CS support")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain: need one data file")
+	}
+	if *qtext == "" && *qfile == "" {
+		return fmt.Errorf("explain: need -q or -f")
+	}
+	if *qfile != "" {
+		b, err := os.ReadFile(*qfile)
+		if err != nil {
+			return err
+		}
+		*qtext = string(b)
+	}
+	st, organized, err := loadStore(fs.Arg(0), *minSupport)
+	if err != nil {
+		return err
+	}
+	if err := organize(st, organized); err != nil {
+		return err
+	}
+	var m srdf.Mode = plan.ModeRDFScan
+	if *mode == "default" {
+		m = plan.ModeDefault
+	}
+	qo := srdf.QueryOptions{Mode: m, ZoneMaps: *zones}
+	var exp string
+	if *analyze {
+		exp, err = st.ExplainAnalyze(context.Background(), *qtext, qo)
+	} else {
+		exp, err = st.Explain(*qtext, qo)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp)
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -19,6 +21,7 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":7878", "listen address")
+	debugAddr := fs.String("debug-addr", "", "separate listener for pprof/expvar/query-log introspection (empty: disabled)")
 	mode := fs.String("mode", "rdfscan", "plan family: default or rdfscan")
 	zones := fs.Bool("zonemaps", true, "use zone maps")
 	maxConcurrent := fs.Int("max-concurrent", 0, "max queries executing at once (0: GOMAXPROCS)")
@@ -30,6 +33,8 @@ func cmdServe(args []string) error {
 	maxQueryMem := fs.String("max-query-mem", "", "per-query memory budget for materializing operators, e.g. 64M or 1G (empty: unlimited)")
 	poolBytes := fs.String("pool-bytes", "", "buffer pool budget for decoded sealed segments, e.g. 256M (empty: unlimited); past it cold segments evict back to the snapshot")
 	maxResultRows := fs.Int64("max-result-rows", 0, "max rows per response; past it the stream is aborted (0: unlimited)")
+	slowQuery := fs.Duration("slow-query", 0, "log completed queries slower than this with their text (0: disabled)")
+	logFormat := fs.String("log-format", "text", "access-log format: text or json")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage: srdf serve [flags] data.nt|data.srdf
 
@@ -37,8 +42,14 @@ Serves the SPARQL 1.1 Protocol over HTTP:
   GET  /sparql?query=...           query via URL parameter
   POST /sparql                     query=... form body, or the bare query
                                    with Content-Type: application/sparql-query
+  GET  /sparql?...&explain=analyze run the query, return the plan annotated
+                                   with actual rows and per-operator time
   GET  /metrics                    Prometheus text-format metrics
-  GET  /healthz                    liveness probe
+  GET  /healthz                    liveness probe (status, epoch, uptime)
+  GET  /debug/queries              structured query log + workload profile
+
+With -debug-addr a second private listener additionally serves
+/debug/pprof/* and /debug/vars.
 
 Results content-negotiate between application/sparql-results+json
 (default), text/csv, and text/tab-separated-values. Malformed queries
@@ -61,6 +72,15 @@ Flags:`)
 	if err != nil {
 		return fmt.Errorf("serve: -pool-bytes: %w", err)
 	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		return fmt.Errorf("serve: -log-format must be text or json, got %q", *logFormat)
+	}
 
 	st, organized, err := loadStoreOpts(fs.Arg(0), *minSupport, func(o *srdf.Options) {
 		o.Parallelism = *parallelism
@@ -77,32 +97,46 @@ Flags:`)
 	if *mode == "default" {
 		m = plan.ModeDefault
 	}
-	srv := server.New(st, server.Config{
+	cfg := server.Config{
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    *queue,
 		QueryTimeout:  *timeout,
 		MaxQueryMem:   memLimit,
 		MaxResultRows: *maxResultRows,
+		SlowQuery:     *slowQuery,
+		Log:           logger,
 		Query:         srdf.QueryOptions{Mode: m, ZoneMaps: *zones},
-	})
+	}
+	srv := server.New(st, cfg)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
+	if *debugAddr != "" {
+		go func() {
+			dbg := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+			if derr := dbg.ListenAndServe(); derr != nil && derr != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", derr)
+			}
+		}()
+		logger.Info("debug listener", "addr", *debugAddr)
+	}
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	fmt.Fprintf(os.Stderr, "srdf serve: listening on %s (%d triples)\n", *addr, st.NumTriples())
+	logger.Info("listening",
+		"addr", *addr, "triples", st.NumTriples(), "epoch", st.Epoch(),
+		"config", cfg.String(), "log_format", *logFormat)
 
 	select {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "srdf serve: %v, draining open streams (limit %s)\n", sig, *drain)
+		logger.Info("draining open streams", "signal", sig.String(), "limit", drain.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("serve: shutdown: %w", err)
 		}
-		fmt.Fprintln(os.Stderr, "srdf serve: drained")
+		logger.Info("drained")
 		return nil
 	}
 }

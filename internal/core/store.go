@@ -255,6 +255,14 @@ type Store struct {
 	// plans is the prepared-plan cache (nil when disabled), guarded by
 	// mu like the rest of the planning state.
 	plans *planCache
+
+	// qlog is the structured query log: a ring of completed
+	// QueryRecords plus cumulative workload counters, self-locked (one
+	// short hold per completed query).
+	qlog *queryLog
+
+	// born marks store creation, for uptime reporting.
+	born time.Time
 }
 
 // NewStore creates an empty store. With Options.WALPath set, an existing
@@ -290,6 +298,8 @@ func newBareStore(opts Options) *Store {
 		deadSet:    make(map[triples.Triple]struct{}),
 		workload:   make(map[string]int),
 		plans:      newPlanCache(cacheCap),
+		qlog:       newQueryLog(DefaultQueryLogSize),
+		born:       time.Now(),
 	}
 }
 
@@ -1155,13 +1165,13 @@ func (e *BadQueryError) Unwrap() error { return e.Err }
 // parsing and building only on a miss. Parse and build failures come
 // back wrapped in BadQueryError; WAL failures do not (they are the
 // store's fault, not the query's).
-func (s *Store) planSourceLocked(src string, qopts QueryOptions, record bool) (*plan.Plan, *snapshot, error) {
+func (s *Store) planSourceLocked(src string, qopts QueryOptions, record bool) (_ *plan.Plan, _ *snapshot, cached bool, _ error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.refreshLocked()
 	if s.snap == nil {
 		// see planLocked: latched before any epoch was published
-		return nil, nil, s.roErrLocked()
+		return nil, nil, false, s.roErrLocked()
 	}
 	snap := s.snap
 	key := planCacheKey(src, qopts)
@@ -1169,11 +1179,11 @@ func (s *Store) planSourceLocked(src string, qopts QueryOptions, record bool) (*
 		if record {
 			s.recordWorkloadLocked(p.Query)
 		}
-		return p, snap, nil
+		return p, snap, true, nil
 	}
 	q, err := sparql.Parse(src)
 	if err != nil {
-		return nil, nil, &BadQueryError{Err: err}
+		return nil, nil, false, &BadQueryError{Err: err}
 	}
 	if record {
 		s.recordWorkloadLocked(q)
@@ -1186,10 +1196,10 @@ func (s *Store) planSourceLocked(src string, qopts QueryOptions, record bool) (*
 		ForceOrder: qopts.ForceOrder,
 	})
 	if err != nil {
-		return nil, nil, &BadQueryError{Err: err}
+		return nil, nil, false, &BadQueryError{Err: err}
 	}
 	s.plans.put(snap.epoch, key, p)
-	return p, snap, nil
+	return p, snap, false, nil
 }
 
 // PlanCacheStats reports the prepared-plan cache counters (zero values
@@ -1206,11 +1216,20 @@ func (s *Store) PlanCacheStats() PlanCacheStats {
 func (s *Store) Query(src string, qopts QueryOptions) (*exec.Result, error) {
 	s.gate.RLock()
 	defer s.gate.RUnlock()
-	p, snap, err := s.planSourceLocked(src, qopts, true)
+	p, snap, cached, err := s.planSourceLocked(src, qopts, true)
 	if err != nil {
 		return nil, err
 	}
-	return p.Execute(queryCtx(snap, nil, qopts))
+	rec := newQueryRecord(src, p, cached)
+	start := time.Now()
+	res, err := p.Execute(queryCtx(snap, nil, qopts))
+	rec.DurationNS = time.Since(start).Nanoseconds()
+	if res != nil {
+		rec.Rows = int64(len(res.Rows))
+	}
+	rec.Outcome = outcomeOf(err)
+	s.qlog.record(rec)
+	return res, err
 }
 
 // queryCtx forks the snapshot's shared Ctx for one query: its own
@@ -1221,6 +1240,9 @@ func queryCtx(snap *snapshot, ctx context.Context, qopts QueryOptions) *exec.Ctx
 	ectx := snap.ctx.WithQueryContext(ctx)
 	if qopts.MemLimit > 0 {
 		ectx.Mem = exec.NewMemAccountant(qopts.MemLimit)
+	}
+	if ctx != nil {
+		ectx.ReqID = RequestIDFrom(ctx)
 	}
 	return ectx
 }
@@ -1269,6 +1291,11 @@ type Rows struct {
 	s    *Store
 	it   *exec.RowIter
 	done bool
+	// rec is the query-log record prototype; Close fills the runtime
+	// half (duration, rows, outcome) and records it.
+	rec   QueryRecord
+	start time.Time
+	n     int64
 }
 
 // Vars lists the output column names.
@@ -1281,6 +1308,7 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	if r.it.Next() {
+		r.n++
 		return true
 	}
 	r.Close()
@@ -1315,6 +1343,10 @@ func (r *Rows) Close() {
 	}
 	r.done = true
 	r.it.Close()
+	r.rec.DurationNS = time.Since(r.start).Nanoseconds()
+	r.rec.Rows = r.n
+	r.rec.Outcome = outcomeOf(r.it.Err())
+	r.s.qlog.record(r.rec)
 	r.s.gate.RUnlock()
 }
 
@@ -1332,7 +1364,7 @@ func (s *Store) QueryStream(src string, qopts QueryOptions) (*Rows, error) {
 // prepared-plan cache; parse/plan failures are BadQueryError.
 func (s *Store) QueryStreamCtx(ctx context.Context, src string, qopts QueryOptions) (*Rows, error) {
 	s.gate.RLock()
-	p, snap, err := s.planSourceLocked(src, qopts, true)
+	p, snap, cached, err := s.planSourceLocked(src, qopts, true)
 	if err != nil {
 		s.gate.RUnlock()
 		return nil, err
@@ -1342,7 +1374,7 @@ func (s *Store) QueryStreamCtx(ctx context.Context, src string, qopts QueryOptio
 		s.gate.RUnlock()
 		return nil, err
 	}
-	return &Rows{s: s, it: it}, nil
+	return &Rows{s: s, it: it, rec: newQueryRecord(src, p, cached), start: time.Now()}, nil
 }
 
 // Explain returns the plan tree for a query without executing it.
@@ -1357,6 +1389,46 @@ func (s *Store) Explain(src string, qopts QueryOptions) (string, error) {
 	}
 	return p.Explain(), nil
 }
+
+// ExplainAnalyze executes the query to exhaustion with a per-operator
+// stats tree attached and renders the plan with actual row counts,
+// per-node time, and the worst est/act mis-estimation beside the
+// estimates — the runtime truth the cost model is validated against.
+// The execution is a real query: it goes through the plan cache, counts
+// in the query log, and honors ctx cancellation and the memory budget.
+func (s *Store) ExplainAnalyze(ctx context.Context, src string, qopts QueryOptions) (string, error) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	p, snap, cached, err := s.planSourceLocked(src, qopts, true)
+	if err != nil {
+		return "", err
+	}
+	ectx := queryCtx(snap, ctx, qopts)
+	stats := exec.NewQueryStats(p.NumStatNodes())
+	ectx.Stats = stats
+	rec := newQueryRecord(src, p, cached)
+	start := time.Now()
+	it, err := p.Stream(ectx)
+	if err != nil {
+		return "", err
+	}
+	var rows int64
+	for it.Next() {
+		rows++
+	}
+	dur := time.Since(start)
+	rec.DurationNS = dur.Nanoseconds()
+	rec.Rows = rows
+	rec.Outcome = outcomeOf(it.Err())
+	s.qlog.record(rec)
+	if err := it.Err(); err != nil {
+		return "", err
+	}
+	return p.ExplainAnalyze(stats, rows, dur), nil
+}
+
+// Uptime reports the time since the store was created or opened.
+func (s *Store) Uptime() time.Duration { return time.Since(s.born) }
 
 // SQLSchema renders the emergent relational schema as DDL — the SQL view
 // of the regular part of the data.

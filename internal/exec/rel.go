@@ -130,6 +130,15 @@ type Ctx struct {
 	// operators charge their retained bytes here and fail the query with
 	// ErrMemBudget when it is exhausted.
 	Mem *MemAccountant
+	// Stats is the query's per-operator runtime stats tree (nil: the
+	// StatsOp wrappers count into throwaway local slots). Allocated per
+	// query — never on the shared snapshot Ctx — so concurrent
+	// executions of one cached plan keep separate counters.
+	Stats *QueryStats
+	// ReqID is the server request id of the query ("" outside the
+	// server), carried here so executor-side failures correlate with
+	// the access log.
+	ReqID string
 	// fail is the query's failure slot: the first executor-side error —
 	// a recovered worker panic, an exhausted memory budget — is parked
 	// here and treated like a cancellation by every batch-boundary poll,
@@ -154,6 +163,7 @@ func (c *Ctx) WithQueryContext(qctx context.Context) *Ctx {
 		cp.done = qctx.Done()
 	}
 	cp.fail = new(atomic.Pointer[failSlot])
+	cp.Stats = nil // per-query; the caller attaches a fresh tree
 	return &cp
 }
 

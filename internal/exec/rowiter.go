@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"srdf/internal/dict"
 	"srdf/internal/sparql"
@@ -25,6 +26,9 @@ type RowIter struct {
 	remain int // LIMIT budget; -1 = unlimited
 	row    []dict.Value
 	err    error
+	// started marks when the pipeline opened; Close folds the elapsed
+	// time into the package-wide pipeline-seconds total.
+	started time.Time
 }
 
 // StreamVal drives a value pipeline under OFFSET/LIMIT and returns a row
@@ -146,7 +150,11 @@ func (it *RowIter) Vars() []string { return it.vars }
 func (it *RowIter) Next() (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			err := NewPanicError("query pipeline", r)
+			where := "query pipeline"
+			if it.ctx.ReqID != "" {
+				where += " (req " + it.ctx.ReqID + ")"
+			}
+			err := NewPanicError(where, r)
 			it.ctx.Fail(err)
 			it.err = err
 			func() {
@@ -174,6 +182,7 @@ func (it *RowIter) next() bool {
 			return false
 		}
 		it.opened = true
+		it.started = time.Now()
 		it.batch = NewVBatch(it.vop.Vars())
 		it.idx = 0
 	}
@@ -239,6 +248,10 @@ func (it *RowIter) Close() {
 			it.opened = false
 		}
 		it.vop = nil
+	}
+	if !it.started.IsZero() {
+		pipelineNS.Add(time.Since(it.started).Nanoseconds())
+		it.started = time.Time{}
 	}
 }
 

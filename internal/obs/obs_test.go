@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	g := r.Gauge("test_level", "Level.")
+	r.CounterFunc("test_derived_total", "Derived.", func() float64 { return 42 })
+	r.GaugeFunc("test_ratio", "Ratio.", func() float64 { return 0.5 })
+	c.Add(3)
+	c.Inc()
+	g.Set(7.5)
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n# TYPE test_ops_total counter\ntest_ops_total 4\n",
+		"# TYPE test_level gauge\ntest_level 7.5\n",
+		"test_derived_total 42\n",
+		"test_ratio 0.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in registration order.
+	if strings.Index(out, "test_ops_total") > strings.Index(out, "test_level") {
+		t.Error("families not in registration order")
+	}
+}
+
+func TestLabeledCounter(t *testing.T) {
+	r := NewRegistry()
+	lc := r.LabeledCounter("test_results_total", "Results.", "status")
+	lc.With("ok").Add(2)
+	lc.With("err").Inc()
+	lc.With("ok").Inc() // same series again
+
+	out := render(r)
+	if !strings.Contains(out, `test_results_total{status="ok"} 3`) {
+		t.Errorf("missing ok series:\n%s", out)
+	}
+	if !strings.Contains(out, `test_results_total{status="err"} 1`) {
+		t.Errorf("missing err series:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE test_results_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Durations.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := render(r)
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_sum 56.05",
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family name did not panic")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c")
+	lc := r.LabeledCounter("conc_labeled_total", "lc", "k")
+	h := r.Histogram("conc_seconds", "h", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				lc.With(strconv.Itoa(w % 2)).Inc()
+				h.Observe(float64(i))
+				if i%100 == 0 {
+					render(r)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	out := render(r)
+	if !strings.Contains(out, "conc_seconds_count 8000") {
+		t.Fatalf("histogram count wrong:\n%s", out)
+	}
+}

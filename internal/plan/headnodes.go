@@ -14,12 +14,14 @@ import (
 // nodes build the streaming value pipeline (ValOp) the row iterator
 // pulls from.
 type HeadNode interface {
-	// ValOp builds the streaming value operator subtree for this node.
+	// ValOp builds the streaming value operator subtree for this node,
+	// wrapped in its runtime-stats accounting.
 	ValOp() exec.ValOperator
 	// Vars lists the output column names.
 	Vars() []string
-	// Explain writes one line per operator, indented.
-	Explain(b *strings.Builder, indent int)
+	// Explain writes one line per operator, indented. A non-nil an
+	// appends the runtime annotations of a finished execution.
+	Explain(b *strings.Builder, indent int, an *Analyze)
 }
 
 // ProjectNode evaluates the select expressions over the BGP pipeline,
@@ -29,6 +31,7 @@ type ProjectNode struct {
 	Input Node
 	Items []sparql.SelectItem
 	Bound int
+	sid   int
 }
 
 func (n *ProjectNode) ValOp() exec.ValOperator {
@@ -36,7 +39,7 @@ func (n *ProjectNode) ValOp() exec.ValOperator {
 	if n.Bound > 0 {
 		p.SetRowBound(n.Bound)
 	}
-	return p
+	return exec.NewStatsValOp(n.sid, p)
 }
 
 func (n *ProjectNode) Vars() []string {
@@ -47,10 +50,12 @@ func (n *ProjectNode) Vars() []string {
 	return out
 }
 
-func (n *ProjectNode) Explain(b *strings.Builder, indent int) {
+func (n *ProjectNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	fmt.Fprintf(b, "Project %s\n", itemsDesc(n.Items))
-	n.Input.Explain(b, indent+1)
+	fmt.Fprintf(b, "Project %s", itemsDesc(n.Items))
+	an.annotate(b, n.sid, 0, false, "")
+	b.WriteByte('\n')
+	n.Input.Explain(b, indent+1, an)
 }
 
 // AggregateNode is the vectorized hash GROUP BY/aggregate: group states
@@ -60,10 +65,11 @@ type AggregateNode struct {
 	Input   Node
 	Items   []sparql.SelectItem
 	GroupBy []string
+	sid     int
 }
 
 func (n *AggregateNode) ValOp() exec.ValOperator {
-	return exec.NewAggregateOp(n.Input.Op(), n.Items, n.GroupBy)
+	return exec.NewStatsValOp(n.sid, exec.NewAggregateOp(n.Input.Op(), n.Items, n.GroupBy))
 }
 
 func (n *AggregateNode) Vars() []string {
@@ -74,31 +80,36 @@ func (n *AggregateNode) Vars() []string {
 	return out
 }
 
-func (n *AggregateNode) Explain(b *strings.Builder, indent int) {
+func (n *AggregateNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
 	groups := make([]string, len(n.GroupBy))
 	for i, g := range n.GroupBy {
 		groups[i] = "?" + g
 	}
-	fmt.Fprintf(b, "HashAggregate by [%s] -> %s\n", strings.Join(groups, " "), itemsDesc(n.Items))
-	n.Input.Explain(b, indent+1)
+	fmt.Fprintf(b, "HashAggregate by [%s] -> %s", strings.Join(groups, " "), itemsDesc(n.Items))
+	an.annotate(b, n.sid, 0, false, "")
+	b.WriteByte('\n')
+	n.Input.Explain(b, indent+1, an)
 }
 
 // DistinctNode filters duplicate result rows with a streaming hash set.
 type DistinctNode struct {
 	Input HeadNode
+	sid   int
 }
 
 func (n *DistinctNode) ValOp() exec.ValOperator {
-	return exec.NewDistinctOp(n.Input.ValOp())
+	return exec.NewStatsValOp(n.sid, exec.NewDistinctOp(n.Input.ValOp()))
 }
 
 func (n *DistinctNode) Vars() []string { return n.Input.Vars() }
 
-func (n *DistinctNode) Explain(b *strings.Builder, indent int) {
+func (n *DistinctNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	b.WriteString("Distinct\n")
-	n.Input.Explain(b, indent+1)
+	b.WriteString("Distinct")
+	an.annotate(b, n.sid, 0, false, "")
+	b.WriteByte('\n')
+	n.Input.Explain(b, indent+1, an)
 }
 
 // SortNode orders result rows; with Keep >= 0 (ORDER BY + LIMIT) it runs
@@ -108,15 +119,16 @@ type SortNode struct {
 	Keys  []sparql.OrderKey
 	// Keep is the top-K bound (LIMIT+OFFSET), -1 for a full sort.
 	Keep int
+	sid  int
 }
 
 func (n *SortNode) ValOp() exec.ValOperator {
-	return exec.NewSortOp(n.Input.ValOp(), n.Keys, n.Keep)
+	return exec.NewStatsValOp(n.sid, exec.NewSortOp(n.Input.ValOp(), n.Keys, n.Keep))
 }
 
 func (n *SortNode) Vars() []string { return n.Input.Vars() }
 
-func (n *SortNode) Explain(b *strings.Builder, indent int) {
+func (n *SortNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
 	keys := make([]string, len(n.Keys))
 	for i, k := range n.Keys {
@@ -126,11 +138,13 @@ func (n *SortNode) Explain(b *strings.Builder, indent int) {
 		}
 	}
 	if n.Keep >= 0 {
-		fmt.Fprintf(b, "TopKSort k=%d by [%s]\n", n.Keep, strings.Join(keys, " "))
+		fmt.Fprintf(b, "TopKSort k=%d by [%s]", n.Keep, strings.Join(keys, " "))
 	} else {
-		fmt.Fprintf(b, "Sort by [%s]\n", strings.Join(keys, " "))
+		fmt.Fprintf(b, "Sort by [%s]", strings.Join(keys, " "))
 	}
-	n.Input.Explain(b, indent+1)
+	an.annotate(b, n.sid, 0, false, "")
+	b.WriteByte('\n')
+	n.Input.Explain(b, indent+1, an)
 }
 
 func itemsDesc(items []sparql.SelectItem) string {

@@ -22,10 +22,12 @@ import (
 // trees (Op); Exec is the thin materializing adapter over the same
 // pipeline, kept so operator-at-a-time callers and tests keep working.
 type Node interface {
-	// Op builds the streaming operator subtree for this node.
+	// Op builds the streaming operator subtree for this node, wrapped
+	// in its runtime-stats accounting.
 	Op() exec.Operator
-	// Explain writes one line per operator, indented.
-	Explain(b *strings.Builder, indent int)
+	// Explain writes one line per operator, indented. A non-nil an
+	// appends the runtime annotations of a finished execution.
+	Explain(b *strings.Builder, indent int, an *Analyze)
 	// Vars lists the output variables.
 	Vars() []string
 	// EstRows is the planner's cardinality estimate.
@@ -55,16 +57,21 @@ func pad(b *strings.Builder, indent int) {
 type EmptyNode struct {
 	vars   []string
 	Reason string
+	sid    int
 }
 
-func (n *EmptyNode) Op() exec.Operator { return exec.NewRelSource(exec.NewRel(n.vars...)) }
-func (n *EmptyNode) Vars() []string    { return n.vars }
-func (n *EmptyNode) EstRows() float64  { return 0 }
-func (n *EmptyNode) Cost() float64     { return 0 }
-func (n *EmptyNode) Joins() int        { return 0 }
-func (n *EmptyNode) Explain(b *strings.Builder, indent int) {
+func (n *EmptyNode) Op() exec.Operator {
+	return exec.NewStatsOp(n.sid, false, exec.NewRelSource(exec.NewRel(n.vars...)))
+}
+func (n *EmptyNode) Vars() []string   { return n.vars }
+func (n *EmptyNode) EstRows() float64 { return 0 }
+func (n *EmptyNode) Cost() float64    { return 0 }
+func (n *EmptyNode) Joins() int       { return 0 }
+func (n *EmptyNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	fmt.Fprintf(b, "Empty (%s)\n", n.Reason)
+	fmt.Fprintf(b, "Empty (%s)", n.Reason)
+	an.annotate(b, n.sid, 0, false, "")
+	b.WriteByte('\n')
 }
 
 // DefaultStarNode evaluates a star with index scans + self-joins.
@@ -73,10 +80,11 @@ type DefaultStarNode struct {
 	Idx  *triples.IndexSet
 	est  float64
 	cost float64
+	sid  int
 }
 
 func (n *DefaultStarNode) Op() exec.Operator {
-	return exec.NewDefaultStarOp(n.Star, n.Idx)
+	return exec.NewStatsOp(n.sid, true, exec.NewDefaultStarOp(n.Star, n.Idx))
 }
 func (n *DefaultStarNode) Vars() []string   { return n.Star.Vars() }
 func (n *DefaultStarNode) EstRows() float64 { return n.est }
@@ -87,10 +95,12 @@ func (n *DefaultStarNode) Joins() int {
 	}
 	return 0
 }
-func (n *DefaultStarNode) Explain(b *strings.Builder, indent int) {
+func (n *DefaultStarNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	fmt.Fprintf(b, "StarSelfJoin ?%s [%d props, %d self-joins] est_rows=%.0f cost=%.0f\n",
+	fmt.Fprintf(b, "StarSelfJoin ?%s [%d props, %d self-joins] est_rows=%.0f cost=%.0f",
 		n.Star.SubjVar, len(n.Star.Props), n.Joins(), n.est, n.cost)
+	an.annotate(b, n.sid, n.est, true, "StarSelfJoin ?"+n.Star.SubjVar)
+	b.WriteByte('\n')
 	for i := range n.Star.Props {
 		pad(b, indent+1)
 		fmt.Fprintf(b, "IdxScan %s\n", propDesc(&n.Star.Props[i]))
@@ -123,6 +133,7 @@ type RDFScanNode struct {
 	// filters themselves materialize when the owning hash join drains
 	// its build side.
 	blooms []*exec.BloomHandle
+	sid    int
 }
 
 func (n *RDFScanNode) Op() exec.Operator {
@@ -140,7 +151,10 @@ func (n *RDFScanNode) Op() exec.Operator {
 	ops = append(ops, exec.NewLazyOp(star.Vars(), func(ctx *exec.Ctx) *exec.Rel {
 		return exec.ResidualStar(ctx, star, tables)
 	}))
-	return exec.NewUnionOp(n.Star.Vars(), ops...)
+	// The stats wrapper sits above the union, so morsel workers'
+	// output — merged in order by the scan's consumer — lands in this
+	// node's counters.
+	return exec.NewStatsOp(n.sid, true, exec.NewUnionOp(n.Star.Vars(), ops...))
 }
 
 // scanBlooms maps the attached bloom handles onto scan columns: the
@@ -168,7 +182,7 @@ func (n *RDFScanNode) Vars() []string   { return n.Star.Vars() }
 func (n *RDFScanNode) EstRows() float64 { return n.est }
 func (n *RDFScanNode) Cost() float64    { return n.cost }
 func (n *RDFScanNode) Joins() int       { return 0 }
-func (n *RDFScanNode) Explain(b *strings.Builder, indent int) {
+func (n *RDFScanNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
 	names := make([]string, len(n.Tables))
 	for i, t := range n.Tables {
@@ -193,8 +207,10 @@ func (n *RDFScanNode) Explain(b *strings.Builder, indent int) {
 	for _, h := range n.blooms {
 		live += fmt.Sprintf(" bloom=?%s", h.Var)
 	}
-	fmt.Fprintf(b, "RDFscan ?%s over %s [%d props, 0 self-joins]%s%s est_rows=%.0f cost=%.0f\n",
+	fmt.Fprintf(b, "RDFscan ?%s over %s [%d props, 0 self-joins]%s%s est_rows=%.0f cost=%.0f",
 		n.Star.SubjVar, strings.Join(names, ","), len(n.Star.Props), zones, live, n.est, n.cost)
+	an.annotate(b, n.sid, n.est, true, "RDFscan ?"+n.Star.SubjVar)
+	b.WriteByte('\n')
 	for i := range n.Star.Props {
 		pad(b, indent+1)
 		fmt.Fprintf(b, "col %s%s\n", propDesc(&n.Star.Props[i]), n.colPhysDesc(&n.Star.Props[i]))
@@ -236,10 +252,12 @@ type RDFJoinNode struct {
 	Idx    *triples.IndexSet
 	est    float64
 	cost   float64
+	sid    int
 }
 
 func (n *RDFJoinNode) Op() exec.Operator {
-	return exec.NewRDFJoinOp(n.Input.Op(), n.KeyVar, n.Table, n.Star, n.Idx)
+	return exec.NewStatsOp(n.sid, false,
+		exec.NewRDFJoinOp(n.Input.Op(), n.KeyVar, n.Table, n.Star, n.Idx))
 }
 func (n *RDFJoinNode) Vars() []string {
 	out := append([]string{}, n.Input.Vars()...)
@@ -253,11 +271,13 @@ func (n *RDFJoinNode) Vars() []string {
 func (n *RDFJoinNode) EstRows() float64 { return n.est }
 func (n *RDFJoinNode) Cost() float64    { return n.cost }
 func (n *RDFJoinNode) Joins() int       { return n.Input.Joins() + 1 }
-func (n *RDFJoinNode) Explain(b *strings.Builder, indent int) {
+func (n *RDFJoinNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	fmt.Fprintf(b, "RDFjoin ?%s -> %s [%d props fetched positionally] est_rows=%.0f cost=%.0f\n",
+	fmt.Fprintf(b, "RDFjoin ?%s -> %s [%d props fetched positionally] est_rows=%.0f cost=%.0f",
 		n.KeyVar, n.Table.Name, len(n.Star.Props), n.est, n.cost)
-	n.Input.Explain(b, indent+1)
+	an.annotate(b, n.sid, n.est, true, "RDFjoin ?"+n.KeyVar)
+	b.WriteByte('\n')
+	n.Input.Explain(b, indent+1, an)
 }
 
 // HashJoinNode is a natural hash join on shared variables.
@@ -268,6 +288,7 @@ type HashJoinNode struct {
 	// blooms are the runtime join filters this join fills from its build
 	// side; their consumers are probe-side scans.
 	blooms []*exec.BloomHandle
+	sid    int
 }
 
 func (n *HashJoinNode) Op() exec.Operator {
@@ -275,7 +296,7 @@ func (n *HashJoinNode) Op() exec.Operator {
 	// stream the other through the probe.
 	op := exec.NewHashJoinOp(n.L.Op(), n.R.Op(), n.L.EstRows() <= n.R.EstRows())
 	op.Blooms = n.blooms
-	return op
+	return exec.NewStatsOp(n.sid, false, op)
 }
 func (n *HashJoinNode) Vars() []string {
 	out := append([]string{}, n.L.Vars()...)
@@ -293,16 +314,18 @@ func (n *HashJoinNode) Vars() []string {
 func (n *HashJoinNode) EstRows() float64 { return n.est }
 func (n *HashJoinNode) Cost() float64    { return n.cost }
 func (n *HashJoinNode) Joins() int       { return n.L.Joins() + n.R.Joins() + 1 }
-func (n *HashJoinNode) Explain(b *strings.Builder, indent int) {
+func (n *HashJoinNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	shared := sharedVarNames(n.L.Vars(), n.R.Vars())
 	pad(b, indent)
 	bloom := ""
 	for _, h := range n.blooms {
 		bloom += fmt.Sprintf(" bloom=?%s", h.Var)
 	}
-	fmt.Fprintf(b, "HashJoin on %v%s est_rows=%.0f cost=%.0f\n", shared, bloom, n.est, n.cost)
-	n.L.Explain(b, indent+1)
-	n.R.Explain(b, indent+1)
+	fmt.Fprintf(b, "HashJoin on %v%s est_rows=%.0f cost=%.0f", shared, bloom, n.est, n.cost)
+	an.annotate(b, n.sid, n.est, true, fmt.Sprintf("HashJoin on %v", shared))
+	b.WriteByte('\n')
+	n.L.Explain(b, indent+1, an)
+	n.R.Explain(b, indent+1, an)
 }
 
 // MergeJoinNode streams one covering CS table subject-ascending against
@@ -316,10 +339,12 @@ type MergeJoinNode struct {
 	UseZones bool
 	est      float64
 	cost     float64
+	sid      int
 }
 
 func (n *MergeJoinNode) Op() exec.Operator {
-	return exec.NewMergeJoinOp(n.Left.Op(), n.KeyVar, n.Table, n.Star, n.UseZones)
+	return exec.NewStatsOp(n.sid, false,
+		exec.NewMergeJoinOp(n.Left.Op(), n.KeyVar, n.Table, n.Star, n.UseZones))
 }
 func (n *MergeJoinNode) Vars() []string {
 	out := append([]string{}, n.Left.Vars()...)
@@ -333,11 +358,13 @@ func (n *MergeJoinNode) Vars() []string {
 func (n *MergeJoinNode) EstRows() float64 { return n.est }
 func (n *MergeJoinNode) Cost() float64    { return n.cost }
 func (n *MergeJoinNode) Joins() int       { return n.Left.Joins() + 1 }
-func (n *MergeJoinNode) Explain(b *strings.Builder, indent int) {
+func (n *MergeJoinNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	fmt.Fprintf(b, "MergeJoin ?%s -> %s [%d props, subject-ordered scan] est_rows=%.0f cost=%.0f\n",
+	fmt.Fprintf(b, "MergeJoin ?%s -> %s [%d props, subject-ordered scan] est_rows=%.0f cost=%.0f",
 		n.KeyVar, n.Table.Name, len(n.Star.Props), n.est, n.cost)
-	n.Left.Explain(b, indent+1)
+	an.annotate(b, n.sid, n.est, true, "MergeJoin ?"+n.KeyVar)
+	b.WriteByte('\n')
+	n.Left.Explain(b, indent+1, an)
 }
 
 func sharedVarNames(l, r []string) []string {
@@ -358,19 +385,22 @@ func sharedVarNames(l, r []string) []string {
 type FilterNode struct {
 	Input Node
 	Expr  sparql.Expr
+	sid   int
 }
 
 func (n *FilterNode) Op() exec.Operator {
-	return exec.NewFilterOp(n.Input.Op(), n.Expr)
+	return exec.NewStatsOp(n.sid, false, exec.NewFilterOp(n.Input.Op(), n.Expr))
 }
 func (n *FilterNode) Vars() []string   { return n.Input.Vars() }
 func (n *FilterNode) EstRows() float64 { return n.Input.EstRows() / 3 }
 func (n *FilterNode) Cost() float64    { return n.Input.Cost() }
 func (n *FilterNode) Joins() int       { return n.Input.Joins() }
-func (n *FilterNode) Explain(b *strings.Builder, indent int) {
+func (n *FilterNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	fmt.Fprintf(b, "Filter %s\n", sparql.ExprString(n.Expr))
-	n.Input.Explain(b, indent+1)
+	fmt.Fprintf(b, "Filter %s", sparql.ExprString(n.Expr))
+	an.annotate(b, n.sid, 0, false, "")
+	b.WriteByte('\n')
+	n.Input.Explain(b, indent+1, an)
 }
 
 // EqSelectNode keeps rows where two columns are equal (used when one
@@ -378,10 +408,11 @@ func (n *FilterNode) Explain(b *strings.Builder, indent int) {
 type EqSelectNode struct {
 	Input Node
 	A, B  string
+	sid   int
 }
 
 func (n *EqSelectNode) Op() exec.Operator {
-	return exec.NewMapOp(n.Input.Op(), n.Vars(), n.apply)
+	return exec.NewStatsOp(n.sid, false, exec.NewMapOp(n.Input.Op(), n.Vars(), n.apply))
 }
 
 // apply keeps the rows of one chunk where A = B and projects B away.
@@ -423,10 +454,12 @@ func (n *EqSelectNode) Vars() []string   { return removeVar(n.Input.Vars(), n.B)
 func (n *EqSelectNode) EstRows() float64 { return n.Input.EstRows() / 10 }
 func (n *EqSelectNode) Cost() float64    { return n.Input.Cost() }
 func (n *EqSelectNode) Joins() int       { return n.Input.Joins() }
-func (n *EqSelectNode) Explain(b *strings.Builder, indent int) {
+func (n *EqSelectNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	fmt.Fprintf(b, "EqSelect ?%s = ?%s\n", n.A, n.B)
-	n.Input.Explain(b, indent+1)
+	fmt.Fprintf(b, "EqSelect ?%s = ?%s", n.A, n.B)
+	an.annotate(b, n.sid, 0, false, "")
+	b.WriteByte('\n')
+	n.Input.Explain(b, indent+1, an)
 }
 
 // GenericScanNode answers one arbitrary triple pattern (variable
@@ -439,6 +472,7 @@ type GenericScanNode struct {
 	Idx  *triples.IndexSet
 	est  float64
 	cost float64
+	sid  int
 }
 
 func (n *GenericScanNode) Vars() []string {
@@ -461,7 +495,7 @@ func contains(xs []string, v string) bool {
 }
 
 func (n *GenericScanNode) Op() exec.Operator {
-	return &genericScanOp{n: n, vars: n.Vars()}
+	return exec.NewStatsOp(n.sid, true, &genericScanOp{n: n, vars: n.Vars()})
 }
 
 // genericScanOp streams a GenericScanNode's projection range in
@@ -564,7 +598,9 @@ func (g *genericScanOp) Close()             {}
 func (n *GenericScanNode) EstRows() float64 { return n.est }
 func (n *GenericScanNode) Cost() float64    { return n.cost }
 func (n *GenericScanNode) Joins() int       { return 0 }
-func (n *GenericScanNode) Explain(b *strings.Builder, indent int) {
+func (n *GenericScanNode) Explain(b *strings.Builder, indent int, an *Analyze) {
 	pad(b, indent)
-	fmt.Fprintf(b, "TripleScan %s est_rows=%.0f cost=%.0f\n", n.P.String(), n.est, n.cost)
+	fmt.Fprintf(b, "TripleScan %s est_rows=%.0f cost=%.0f", n.P.String(), n.est, n.cost)
+	an.annotate(b, n.sid, n.est, true, "TripleScan "+n.P.String())
+	b.WriteByte('\n')
 }

@@ -78,6 +78,12 @@ type Plan struct {
 	Head  HeadNode
 	Query *sparql.Query
 	Opts  Options
+	// Prof is the plan-time workload fingerprint the store's query log
+	// records.
+	Prof Profile
+	// nStats counts the plan's stats-instrumented nodes (ids are
+	// 1..nStats); see NumStatNodes.
+	nStats int
 }
 
 // Explain renders the operator tree, head chain included.
@@ -88,7 +94,7 @@ func (p *Plan) Explain() string {
 		b.WriteString(" +zonemaps")
 	}
 	fmt.Fprintf(&b, "] joins=%d\n", p.Root.Joins())
-	p.Head.Explain(&b, 0)
+	p.Head.Explain(&b, 0, nil)
 	return b.String()
 }
 
@@ -138,7 +144,11 @@ func Build(q *sparql.Query, sv *StoreView, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Root: root, Head: head, Query: q, Opts: opts}, nil
+	p := &Plan{Root: root, Head: head, Query: q, Opts: opts}
+	// Number the final tree's nodes for runtime stats and fingerprint
+	// the workload it touches.
+	p.finish(sv.Dict)
+	return p, nil
 }
 
 type builder struct {

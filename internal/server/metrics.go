@@ -1,33 +1,13 @@
 package server
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"srdf/internal/core"
+	"srdf/internal/exec"
+	"srdf/internal/obs"
 )
-
-// metrics is the server's hand-rolled Prometheus-style instrumentation:
-// counters and histograms cheap enough to touch on every request, plus
-// a text-format renderer for /metrics. Store-derived series (pool
-// stats, plan cache) are sampled at scrape time by the server, not
-// accumulated here.
-type metrics struct {
-	queriesOK       atomic.Uint64
-	queriesBad      atomic.Uint64 // malformed/unplannable (400)
-	queriesTimeout  atomic.Uint64 // deadline exceeded (408 or truncated)
-	queriesCanceled atomic.Uint64 // client disconnected mid-query
-	queriesRejected atomic.Uint64 // admission overflow (503)
-	queriesErr      atomic.Uint64 // internal failures (500)
-	queriesMem      atomic.Uint64 // memory budget exceeded (413)
-	queriesCapped   atomic.Uint64 // row cap hit, stream aborted
-	rowsSent        atomic.Uint64
-	handlerPanics   atomic.Uint64 // panics recovered at the HTTP layer
-
-	latency histogram
-}
 
 // latencyBuckets are the query-duration histogram bounds in seconds,
 // roughly exponential from 100µs to 10s.
@@ -36,69 +16,111 @@ var latencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// histogram is a fixed-bucket latency histogram with Prometheus
-// cumulative-bucket semantics.
-type histogram struct {
-	mu     sync.Mutex
-	counts [17]uint64 // len(latencyBuckets)+1; last = +Inf
-	sum    float64
-	total  uint64
+// serverMetrics holds the request-side counters the handlers touch on
+// every query, pre-resolved from the registry so the hot path never
+// takes the label-lookup lock.
+type serverMetrics struct {
+	queriesOK       *obs.Counter
+	queriesBad      *obs.Counter // malformed/unplannable (400)
+	queriesTimeout  *obs.Counter // deadline exceeded (408 or truncated)
+	queriesCanceled *obs.Counter // client disconnected mid-query
+	queriesRejected *obs.Counter // admission overflow (503)
+	queriesErr      *obs.Counter // internal failures (500)
+	queriesMem      *obs.Counter // memory budget exceeded (413)
+	queriesCapped   *obs.Counter // row cap hit, stream aborted
+	rowsSent        *obs.Counter
+	// handlerPanics counts panics recovered at the HTTP layer; it is
+	// not its own family — srdf_panics_total folds it in with the
+	// executor's pipeline panics.
+	handlerPanics atomic.Uint64
+
+	latency *obs.Histogram
 }
 
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, s)
-	h.mu.Lock()
-	h.counts[i]++
-	h.sum += s
-	h.total++
-	h.mu.Unlock()
-}
-
-func (h *histogram) write(w io.Writer, name string) {
-	h.mu.Lock()
-	counts := h.counts
-	sum, total := h.sum, h.total
-	h.mu.Unlock()
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	cum := uint64(0)
-	for i, le := range latencyBuckets {
-		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(le), cum)
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	q := reg.LabeledCounter("srdf_queries_total", "Queries by outcome.", "status")
+	return &serverMetrics{
+		queriesOK:       q.With("ok"),
+		queriesBad:      q.With("bad_query"),
+		queriesTimeout:  q.With("timeout"),
+		queriesCanceled: q.With("canceled"),
+		queriesRejected: q.With("rejected"),
+		queriesErr:      q.With("error"),
+		queriesMem:      q.With("mem_budget"),
+		queriesCapped:   q.With("row_capped"),
+		rowsSent:        reg.Counter("srdf_result_rows_total", "Result rows serialized to clients."),
+		latency: reg.Histogram("srdf_query_duration_seconds",
+			"Query wall time, admission to last byte.", latencyBuckets),
 	}
-	cum += counts[len(latencyBuckets)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, total)
 }
 
-func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+// registerDerivedMetrics wires every series whose value is owned
+// elsewhere — admission, plan cache, buffer pool, store, executor,
+// query log — as scrape-time closures, so /metrics is one registry
+// walk instead of two files of fmt.Fprintf.
+func (s *Server) registerDerivedMetrics() {
+	reg, st := s.reg, s.store
+	reg.GaugeFunc("srdf_inflight_queries", "Queries holding an execution slot.",
+		func() float64 { return float64(s.adm.inFlight()) })
+	reg.GaugeFunc("srdf_admission_queued", "Requests waiting for an execution slot.",
+		func() float64 { return float64(s.adm.queued()) })
+	reg.GaugeFunc("srdf_max_concurrent", "Execution slot capacity.",
+		func() float64 { return float64(s.cfg.MaxConcurrent) })
+	reg.GaugeFunc("srdf_uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(s.start).Seconds() })
 
-func writeCounter(w io.Writer, name, help string, v uint64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-}
+	reg.CounterFunc("srdf_plan_cache_hits_total", "Prepared-plan cache hits.",
+		func() float64 { return float64(st.PlanCacheStats().Hits) })
+	reg.CounterFunc("srdf_plan_cache_misses_total", "Prepared-plan cache misses.",
+		func() float64 { return float64(st.PlanCacheStats().Misses) })
+	reg.CounterFunc("srdf_plan_cache_evictions_total", "Prepared-plan cache LRU evictions.",
+		func() float64 { return float64(st.PlanCacheStats().Evictions) })
+	reg.GaugeFunc("srdf_plan_cache_entries", "Prepared plans cached for the current epoch.",
+		func() float64 { return float64(st.PlanCacheStats().Size) })
+	reg.GaugeFunc("srdf_store_epoch", "Published snapshot epoch.",
+		func() float64 { return float64(st.Epoch()) })
 
-func writeGauge(w io.Writer, name, help string, v float64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-}
+	reg.CounterFunc("srdf_pool_hits_total", "Buffer pool page hits.",
+		func() float64 { return float64(st.PoolStats().Hits) })
+	reg.CounterFunc("srdf_pool_misses_total", "Buffer pool page misses.",
+		func() float64 { return float64(st.PoolStats().Misses) })
+	reg.CounterFunc("srdf_pool_evictions_total", "Buffer pool evictions.",
+		func() float64 { return float64(st.PoolStats().Evictions) })
+	reg.GaugeFunc("srdf_pool_resident_pages", "Resident buffer pool pages.",
+		func() float64 { return float64(st.PoolStats().Resident) })
+	reg.GaugeFunc("srdf_pool_segment_bytes", "Resident sealed segment bytes.",
+		func() float64 { return float64(st.PoolStats().SegmentBytes) })
+	reg.GaugeFunc("srdf_pool_compression_ratio", "Logical/segment byte ratio of sealed columns.",
+		func() float64 { return st.PoolStats().CompressionRatio })
+	reg.GaugeFunc("srdf_pool_segments_lazy", "Sealed blocks not yet decoded from the snapshot.",
+		func() float64 { return float64(st.PoolStats().SegmentsLazy) })
+	reg.GaugeFunc("srdf_pool_segments_decoded", "Sealed blocks decoded on demand.",
+		func() float64 { return float64(st.PoolStats().SegmentsDecoded) })
+	reg.CounterFunc("srdf_pool_faults_total", "Sealed segments decoded from the snapshot, including re-decodes after eviction.",
+		func() float64 { return float64(st.PoolStats().Faults) })
+	reg.GaugeFunc("srdf_pool_resident_bytes", "Decoded sealed segment bytes held by the pool.",
+		func() float64 { return float64(st.PoolStats().ResidentBytes) })
+	reg.GaugeFunc("srdf_pool_budget_bytes", "Configured pool byte budget (0: unlimited).",
+		func() float64 { return float64(st.PoolStats().BudgetBytes) })
 
-func writeLabeledCounter(w io.Writer, name, label, value string, v uint64) {
-	fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, value, v)
-}
+	reg.GaugeFunc("srdf_triples", "Stored triples.",
+		func() float64 { return float64(st.NumTriples()) })
+	reg.GaugeFunc("srdf_store_readonly", "1 while the store is latched read-only after a durability failure.",
+		func() float64 {
+			if st.Health().State != core.StateHealthy {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("srdf_panics_total", "Panics recovered in query pipelines and HTTP handlers (process survived).",
+		func() float64 { return float64(exec.PanicsTotal() + s.met.handlerPanics.Load()) })
 
-// write renders the request-side series (the server adds the
-// store-derived ones).
-func (m *metrics) write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP srdf_queries_total Queries by outcome.\n# TYPE srdf_queries_total counter\n")
-	writeLabeledCounter(w, "srdf_queries_total", "status", "ok", m.queriesOK.Load())
-	writeLabeledCounter(w, "srdf_queries_total", "status", "bad_query", m.queriesBad.Load())
-	writeLabeledCounter(w, "srdf_queries_total", "status", "timeout", m.queriesTimeout.Load())
-	writeLabeledCounter(w, "srdf_queries_total", "status", "canceled", m.queriesCanceled.Load())
-	writeLabeledCounter(w, "srdf_queries_total", "status", "rejected", m.queriesRejected.Load())
-	writeLabeledCounter(w, "srdf_queries_total", "status", "error", m.queriesErr.Load())
-	writeLabeledCounter(w, "srdf_queries_total", "status", "mem_budget", m.queriesMem.Load())
-	writeLabeledCounter(w, "srdf_queries_total", "status", "row_capped", m.queriesCapped.Load())
-	writeCounter(w, "srdf_result_rows_total", "Result rows serialized to clients.", m.rowsSent.Load())
-	fmt.Fprintf(w, "# HELP srdf_query_duration_seconds Query wall time, admission to last byte.\n")
-	m.latency.write(w, "srdf_query_duration_seconds")
+	reg.CounterFunc("srdf_exec_scan_rows_total", "Rows produced by table and triple scans across all queries.",
+		func() float64 { return float64(exec.ScanRowsTotal()) })
+	reg.CounterFunc("srdf_exec_operator_seconds_total", "Cumulative query pipeline wall time, open to close.",
+		exec.PipelineSecondsTotal)
+	reg.CounterFunc("srdf_query_log_queries_total", "Completed queries recorded in the structured query log.",
+		func() float64 { q, _ := st.QueryLogCounts(); return float64(q) })
+	reg.CounterFunc("srdf_query_log_rows_total", "Result rows recorded in the structured query log.",
+		func() float64 { _, r := st.QueryLogCounts(); return float64(r) })
 }

@@ -70,6 +70,11 @@ func TestHealthzReportsDegradedAndRecovers(t *testing.T) {
 	if !strings.Contains(w.Body.String(), "status: degraded") {
 		t.Fatalf("degraded healthz body: %q", w.Body.String())
 	}
+	for _, want := range []string{"since: ", "epoch: ", "uptime_seconds: "} {
+		if !strings.Contains(w.Body.String(), want) {
+			t.Errorf("degraded healthz missing %q: %q", want, w.Body.String())
+		}
+	}
 
 	// /metrics flips srdf_store_readonly to 1.
 	if m := get(t, h, "/metrics", ""); !strings.Contains(m.Body.String(), "srdf_store_readonly 1") {
@@ -137,7 +142,7 @@ func TestRowCapAbortsStream(t *testing.T) {
 	if n := strings.Count(w.Body.String(), `"type":"uri"`); n != 5 {
 		t.Fatalf("rows before abort = %d, want 5", n)
 	}
-	if got := srv.met.queriesCapped.Load(); got != 1 {
+	if got := srv.met.queriesCapped.Value(); got != 1 {
 		t.Fatalf("queriesCapped = %d", got)
 	}
 }

@@ -163,9 +163,18 @@ func TestNegotiate(t *testing.T) {
 }
 
 func TestHistogramBucketsMatch(t *testing.T) {
-	var h histogram
-	if len(h.counts) != len(latencyBuckets)+1 {
-		t.Fatalf("histogram.counts has %d slots; latencyBuckets needs %d",
-			len(h.counts), len(latencyBuckets)+1)
+	srv := testServer(t, 2, Config{})
+	srv.met.latency.Observe(0.003)
+	w := get(t, srv.Handler(), "/metrics", "")
+	body := w.Body.String()
+	for _, want := range []string{
+		`srdf_query_duration_seconds_bucket{le="0.0001"} 0`,
+		`srdf_query_duration_seconds_bucket{le="0.005"} 1`,
+		`srdf_query_duration_seconds_bucket{le="+Inf"} 1`,
+		"srdf_query_duration_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q\n%s", want, body)
+		}
 	}
 }

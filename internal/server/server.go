@@ -4,19 +4,26 @@
 // threaded through the executor, semaphore admission control, a
 // prepared-plan cache underneath (in core), content-negotiated
 // JSON/CSV/TSV result streaming, graceful shutdown that drains open
-// result streams, and Prometheus-style metrics.
+// result streams, and observability: a unified telemetry registry
+// behind /metrics, EXPLAIN ANALYZE via the explain=analyze parameter,
+// the structured query log behind /debug/queries, structured access
+// and slow-query logging with per-request ids, and a pprof/expvar
+// debug handler meant for a separate private listener.
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
-	"strings"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +31,7 @@ import (
 	"srdf/internal/core"
 	"srdf/internal/dict"
 	"srdf/internal/exec"
+	"srdf/internal/obs"
 )
 
 // Config tunes the endpoint.
@@ -50,6 +58,13 @@ type Config struct {
 	// like a timeout, the truncated transfer is the honest signal that
 	// the result is incomplete.
 	MaxResultRows int64
+	// SlowQuery is the completed-query duration at which the access log
+	// escalates to a warning that includes the query text; <=0 disables
+	// slow-query logging.
+	SlowQuery time.Duration
+	// Log receives the structured access and slow-query log; nil
+	// discards it (tests, silent embedding).
+	Log *slog.Logger
 	// Query selects the plan configuration every request runs under.
 	Query srdf.QueryOptions
 }
@@ -59,14 +74,17 @@ type Config struct {
 // Shutdown — which stops accepting, then waits for open result streams
 // to drain.
 type Server struct {
-	store *srdf.Store
-	cfg   Config
-	adm   *admission
-	met   *metrics
-	mux   *http.ServeMux
-	hs    *http.Server
-	ln    atomic.Pointer[net.Listener]
-	start time.Time
+	store  *srdf.Store
+	cfg    Config
+	adm    *admission
+	reg    *obs.Registry
+	met    *serverMetrics
+	log    *slog.Logger
+	mux    *http.ServeMux
+	hs     *http.Server
+	ln     atomic.Pointer[net.Listener]
+	start  time.Time
+	reqSeq atomic.Uint64
 	// draining flips when Shutdown begins: /healthz turns 503 so load
 	// balancers stop routing here while open streams finish.
 	draining atomic.Bool
@@ -94,17 +112,25 @@ func New(store *srdf.Store, cfg Config) *Server {
 	if cfg.MaxQueryMem > 0 {
 		cfg.Query.MemLimit = cfg.MaxQueryMem
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		store: store,
 		cfg:   cfg,
 		adm:   newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
-		met:   &metrics{},
+		reg:   reg,
+		met:   newServerMetrics(reg),
+		log:   cfg.Log,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.registerDerivedMetrics()
 	s.mux.HandleFunc("/sparql", s.recovered(s.handleSPARQL))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	// built here, not in ListenAndServe, so Shutdown is race-free even
 	// when serving starts on another goroutine
 	s.hs = &http.Server{Handler: s.mux}
@@ -113,6 +139,23 @@ func New(store *srdf.Store, cfg Config) *Server {
 
 // Handler returns the routing handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// DebugHandler returns the runtime-introspection mux — pprof, expvar,
+// the structured query log, and a second /metrics — intended for a
+// separate non-public listener (srdf serve -debug-addr), never the
+// query port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
 
 // ListenAndServe binds addr and serves until Shutdown (returning nil)
 // or a listener error. With port 0, Addr reports the bound address once
@@ -150,25 +193,38 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.hs.Shutdown(ctx)
 }
 
+// nextReqID mints a per-request id: a process prefix (low bits of the
+// start time, so ids from distinct restarts differ) and a sequence.
+func (s *Server) nextReqID() string {
+	return fmt.Sprintf("%08x-%06d", uint32(s.start.UnixNano()), s.reqSeq.Add(1))
+}
+
 // handleHealthz reports liveness and degradation. A read-only store
 // still serves queries, so it stays 200 (in rotation) with a body that
-// says what is wrong; only a draining shutdown answers 503.
+// says what is wrong; only a draining shutdown answers 503. Every state
+// carries the published snapshot epoch and the server uptime.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	tail := fmt.Sprintf("epoch: %d\nuptime_seconds: %d\n",
+		s.store.Epoch(), int64(time.Since(s.start).Seconds()))
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		io.WriteString(w, "status: draining\n")
+		io.WriteString(w, "status: draining\n"+tail)
 		return
 	}
 	h := s.store.Health()
 	if h.State != core.StateHealthy {
 		fmt.Fprintf(w, "status: degraded\nmode: %s\ncause: %s\n", h.State, h.Err)
+		if !h.Since.IsZero() {
+			fmt.Fprintf(w, "since: %s\n", h.Since.UTC().Format(time.RFC3339))
+		}
 		if h.RetryIn > 0 {
 			fmt.Fprintf(w, "retry-in: %s\n", h.RetryIn.Round(time.Millisecond))
 		}
+		io.WriteString(w, tail)
 		return
 	}
-	io.WriteString(w, "status: ok\n")
+	io.WriteString(w, "status: ok\n"+tail)
 }
 
 // recovered wraps a handler with panic recovery: anything escaping the
@@ -191,7 +247,8 @@ func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
 			}
 			err := exec.NewPanicError("http handler", rec)
 			s.met.handlerPanics.Add(1)
-			s.met.queriesErr.Add(1)
+			s.met.queriesErr.Inc()
+			s.log.Error("handler panic", "err", err.Error())
 			if !tw.wrote {
 				http.Error(tw, "internal error: "+err.Error(), http.StatusInternalServerError)
 				return
@@ -272,21 +329,57 @@ func (s *Server) queryText(w http.ResponseWriter, r *http.Request) (string, bool
 	}
 }
 
+// explainParam reads the optional explain= request parameter (URL query
+// or, for form posts, the parsed form).
+func explainParam(r *http.Request) string {
+	if v := r.URL.Query().Get("explain"); v != "" {
+		return v
+	}
+	if r.Form != nil {
+		return r.Form.Get("explain")
+	}
+	return ""
+}
+
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	query, ok := s.queryText(w, r)
 	if !ok {
 		return
 	}
-	format, ok := Negotiate(r.Header.Get("Accept"))
-	if !ok {
-		http.Error(w, "acceptable formats: "+MimeJSON+", "+MimeCSV+", "+MimeTSV,
-			http.StatusNotAcceptable)
+	explain := explainParam(r)
+	if explain != "" && explain != "analyze" {
+		http.Error(w, "unsupported explain mode (use explain=analyze)", http.StatusBadRequest)
 		return
 	}
-	ser, _ := SerializerFor(format)
+	var ser Serializer
+	if explain == "" {
+		format, ok := Negotiate(r.Header.Get("Accept"))
+		if !ok {
+			http.Error(w, "acceptable formats: "+MimeJSON+", "+MimeCSV+", "+MimeTSV,
+				http.StatusNotAcceptable)
+			return
+		}
+		ser, _ = SerializerFor(format)
+	}
 
+	reqID := s.nextReqID()
+	w.Header().Set("X-SRDF-Request", reqID)
 	started := time.Now()
-	ctx := r.Context()
+	outcome := "error"
+	var rowsOut int64
+	defer func() {
+		d := time.Since(started)
+		s.log.Info("query",
+			"id", reqID, "remote", r.RemoteAddr, "outcome", outcome,
+			"rows", rowsOut, "dur", d.Round(time.Microsecond).String(),
+			"analyze", explain != "")
+		if s.cfg.SlowQuery > 0 && d >= s.cfg.SlowQuery {
+			s.log.Warn("slow query",
+				"id", reqID, "dur", d.Round(time.Microsecond).String(), "query", query)
+		}
+	}()
+
+	ctx := core.WithRequestID(r.Context(), reqID)
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
@@ -297,33 +390,44 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	if err := s.adm.acquire(ctx); err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
-			s.met.queriesRejected.Add(1)
+			outcome = "rejected"
+			s.met.queriesRejected.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
 		case errors.Is(err, context.DeadlineExceeded):
-			s.met.queriesTimeout.Add(1)
+			outcome = "timeout"
+			s.met.queriesTimeout.Inc()
 			http.Error(w, "query timed out waiting for an execution slot", http.StatusRequestTimeout)
 		default: // client went away while queued
-			s.met.queriesCanceled.Add(1)
+			outcome = "canceled"
+			s.met.queriesCanceled.Inc()
 		}
 		return
 	}
 	defer s.adm.release()
+
+	if explain == "analyze" {
+		outcome = s.serveExplainAnalyze(ctx, w, query, started)
+		return
+	}
 
 	rows, err := s.store.QueryStreamCtx(ctx, query, s.cfg.Query)
 	if err != nil {
 		var bad *core.BadQueryError
 		switch {
 		case errors.As(err, &bad):
-			s.met.queriesBad.Add(1)
+			outcome = "bad_query"
+			s.met.queriesBad.Inc()
 			http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
 		case errors.Is(err, context.DeadlineExceeded):
-			s.met.queriesTimeout.Add(1)
+			outcome = "timeout"
+			s.met.queriesTimeout.Inc()
 			http.Error(w, "query timed out", http.StatusRequestTimeout)
 		case errors.Is(err, context.Canceled):
-			s.met.queriesCanceled.Add(1)
+			outcome = "canceled"
+			s.met.queriesCanceled.Inc()
 		default:
-			s.met.queriesErr.Add(1)
+			s.met.queriesErr.Inc()
 			http.Error(w, "query failed: "+err.Error(), http.StatusInternalServerError)
 		}
 		return
@@ -338,18 +442,21 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	if err := rows.Err(); err != nil && !src.has {
 		switch {
 		case errors.Is(err, exec.ErrMemBudget):
-			s.met.queriesMem.Add(1)
+			outcome = "mem_budget"
+			s.met.queriesMem.Inc()
 			http.Error(w, "query memory budget exceeded: "+err.Error(),
 				http.StatusRequestEntityTooLarge)
 		case errors.Is(err, context.DeadlineExceeded):
-			s.met.queriesTimeout.Add(1)
+			outcome = "timeout"
+			s.met.queriesTimeout.Inc()
 			http.Error(w, "query timed out", http.StatusRequestTimeout)
 		case errors.Is(err, context.Canceled):
-			s.met.queriesCanceled.Add(1)
+			outcome = "canceled"
+			s.met.queriesCanceled.Inc()
 		default:
 			// includes recovered pipeline panics (exec.PanicError): the
 			// query failed, the process is fine
-			s.met.queriesErr.Add(1)
+			s.met.queriesErr.Inc()
 			http.Error(w, "query failed: "+err.Error(), http.StatusInternalServerError)
 		}
 		return
@@ -358,31 +465,75 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	capped := &rowCapSource{RowSource: src, limit: s.cfg.MaxResultRows}
 	w.Header().Set("Content-Type", ser.ContentType())
 	n, werr := ser.Write(w, capped)
+	rowsOut = int64(n)
 	s.met.rowsSent.Add(uint64(n))
-	s.met.latency.observe(time.Since(started))
+	s.met.latency.Observe(time.Since(started).Seconds())
 	if werr != nil {
 		// The response is already streaming: a 200 status is out, so
 		// count the outcome and abort the connection — a truncated
 		// transfer is the one signal left that the result is incomplete.
 		switch {
 		case errors.Is(werr, exec.ErrMemBudget):
-			s.met.queriesMem.Add(1)
+			outcome = "mem_budget"
+			s.met.queriesMem.Inc()
 		case errors.Is(werr, context.DeadlineExceeded):
-			s.met.queriesTimeout.Add(1)
+			outcome = "timeout"
+			s.met.queriesTimeout.Inc()
 		case errors.Is(werr, context.Canceled):
-			s.met.queriesCanceled.Add(1)
+			outcome = "canceled"
+			s.met.queriesCanceled.Inc()
 		default:
-			s.met.queriesErr.Add(1)
+			s.met.queriesErr.Inc()
 		}
 		panic(http.ErrAbortHandler)
 	}
 	if capped.capped {
 		// Row cap hit mid-stream: abort rather than pretend the result
 		// is complete — same honesty contract as a timeout.
-		s.met.queriesCapped.Add(1)
+		outcome = "row_capped"
+		s.met.queriesCapped.Inc()
 		panic(http.ErrAbortHandler)
 	}
-	s.met.queriesOK.Add(1)
+	outcome = "ok"
+	s.met.queriesOK.Inc()
+}
+
+// serveExplainAnalyze executes the query under EXPLAIN ANALYZE and
+// writes the annotated plan as text/plain, mapping failures to the same
+// status codes the streaming path uses. It returns the outcome label
+// for the access log.
+func (s *Server) serveExplainAnalyze(ctx context.Context, w http.ResponseWriter, query string, started time.Time) string {
+	text, err := s.store.ExplainAnalyze(ctx, query, s.cfg.Query)
+	if err != nil {
+		var bad *core.BadQueryError
+		switch {
+		case errors.As(err, &bad):
+			s.met.queriesBad.Inc()
+			http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+			return "bad_query"
+		case errors.Is(err, exec.ErrMemBudget):
+			s.met.queriesMem.Inc()
+			http.Error(w, "query memory budget exceeded: "+err.Error(),
+				http.StatusRequestEntityTooLarge)
+			return "mem_budget"
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.queriesTimeout.Inc()
+			http.Error(w, "query timed out", http.StatusRequestTimeout)
+			return "timeout"
+		case errors.Is(err, context.Canceled):
+			s.met.queriesCanceled.Inc()
+			return "canceled"
+		default:
+			s.met.queriesErr.Inc()
+			http.Error(w, "query failed: "+err.Error(), http.StatusInternalServerError)
+			return "error"
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, text)
+	s.met.latency.Observe(time.Since(started).Seconds())
+	s.met.queriesOK.Inc()
+	return "ok"
 }
 
 // rowCapSource stops a result stream after limit rows (0: unlimited),
@@ -450,51 +601,28 @@ func (p *peekSource) Row() []dict.Value {
 func (p *peekSource) Term(v dict.Value) (dict.Term, bool) { return p.rows.Term(v) }
 func (p *peekSource) Err() error                          { return p.rows.Err() }
 
+// handleMetrics renders every registered family — request counters,
+// admission, plan cache, pool, store, executor, query log — in one
+// registry walk.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var b strings.Builder
-	s.met.write(&b)
+	s.reg.WriteText(w)
+}
 
-	writeGauge(&b, "srdf_inflight_queries", "Queries holding an execution slot.", float64(s.adm.inFlight()))
-	writeGauge(&b, "srdf_admission_queued", "Requests waiting for an execution slot.", float64(s.adm.queued()))
-	writeGauge(&b, "srdf_max_concurrent", "Execution slot capacity.", float64(s.cfg.MaxConcurrent))
-	writeGauge(&b, "srdf_uptime_seconds", "Seconds since server start.", time.Since(s.start).Seconds())
-
-	pc := s.store.PlanCacheStats()
-	writeCounter(&b, "srdf_plan_cache_hits_total", "Prepared-plan cache hits.", pc.Hits)
-	writeCounter(&b, "srdf_plan_cache_misses_total", "Prepared-plan cache misses.", pc.Misses)
-	writeCounter(&b, "srdf_plan_cache_evictions_total", "Prepared-plan cache LRU evictions.", pc.Evictions)
-	writeGauge(&b, "srdf_plan_cache_entries", "Prepared plans cached for the current epoch.", float64(pc.Size))
-	writeGauge(&b, "srdf_store_epoch", "Published snapshot epoch.", float64(pc.Epoch))
-
-	ps := s.store.PoolStats()
-	writeCounter(&b, "srdf_pool_hits_total", "Buffer pool page hits.", ps.Hits)
-	writeCounter(&b, "srdf_pool_misses_total", "Buffer pool page misses.", ps.Misses)
-	writeCounter(&b, "srdf_pool_evictions_total", "Buffer pool evictions.", ps.Evictions)
-	writeGauge(&b, "srdf_pool_resident_pages", "Resident buffer pool pages.", float64(ps.Resident))
-	writeGauge(&b, "srdf_pool_segment_bytes", "Resident sealed segment bytes.", float64(ps.SegmentBytes))
-	writeGauge(&b, "srdf_pool_compression_ratio", "Logical/segment byte ratio of sealed columns.", ps.CompressionRatio)
-	writeGauge(&b, "srdf_pool_segments_lazy", "Sealed blocks not yet decoded from the snapshot.", float64(ps.SegmentsLazy))
-	writeGauge(&b, "srdf_pool_segments_decoded", "Sealed blocks decoded on demand.", float64(ps.SegmentsDecoded))
-	writeCounter(&b, "srdf_pool_faults_total", "Sealed segments decoded from the snapshot, including re-decodes after eviction.", ps.Faults)
-	writeGauge(&b, "srdf_pool_resident_bytes", "Decoded sealed segment bytes held by the pool.", float64(ps.ResidentBytes))
-	writeGauge(&b, "srdf_pool_budget_bytes", "Configured pool byte budget (0: unlimited).", float64(ps.BudgetBytes))
-
-	writeGauge(&b, "srdf_triples", "Stored triples.", float64(s.store.NumTriples()))
-
-	ro := 0.0
-	if s.store.Health().State != core.StateHealthy {
-		ro = 1
-	}
-	writeGauge(&b, "srdf_store_readonly", "1 while the store is latched read-only after a durability failure.", ro)
-	writeCounter(&b, "srdf_panics_total", "Panics recovered in query pipelines and HTTP handlers (process survived).",
-		exec.PanicsTotal()+s.met.handlerPanics.Load())
-
-	io.WriteString(w, b.String())
+// handleDebugQueries serves the structured query log (newest first)
+// plus the aggregated workload profile as JSON.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Queries []srdf.QueryRecord   `json:"queries"`
+		Profile srdf.WorkloadProfile `json:"profile"`
+	}{s.store.QueryLog(), s.store.WorkloadProfile()})
 }
 
 // String renders the effective configuration (CLI startup log).
 func (c Config) String() string {
-	return fmt.Sprintf("max-concurrent=%d queue=%d timeout=%s max-query-mem=%d max-result-rows=%d",
-		c.MaxConcurrent, c.QueueDepth, c.QueryTimeout, c.MaxQueryMem, c.MaxResultRows)
+	return fmt.Sprintf("max-concurrent=%d queue=%d timeout=%s max-query-mem=%d max-result-rows=%d slow-query=%s",
+		c.MaxConcurrent, c.QueueDepth, c.QueryTimeout, c.MaxQueryMem, c.MaxResultRows, c.SlowQuery)
 }

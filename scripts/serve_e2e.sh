@@ -95,6 +95,43 @@ done
 stop_server
 echo "   ok"
 
+echo "== telemetry: exec metrics, query log, explain=analyze, pprof"
+start_server 7875 -debug-addr 127.0.0.1:7876 -slow-query 1ns -log-format json
+TBASE=http://127.0.0.1:7875
+DBASE=http://127.0.0.1:7876
+# load so the executor counters and the query log move
+for _ in $(seq 1 5); do
+  curl -fsS -G --data-urlencode "query=$Q" -o /dev/null "$TBASE/sparql"
+done
+curl -fsS "$TBASE/metrics" > "$WORK/metrics-t.txt"
+for m in srdf_exec_scan_rows_total srdf_exec_operator_seconds_total srdf_query_log_queries_total srdf_query_log_rows_total; do
+  grep -q "^$m" "$WORK/metrics-t.txt" || fail "telemetry metrics: missing $m"
+done
+grep -q '^srdf_exec_scan_rows_total 0$' "$WORK/metrics-t.txt" && fail "srdf_exec_scan_rows_total did not move under load"
+grep -q '^srdf_query_log_queries_total 5$' "$WORK/metrics-t.txt" || fail "query log did not count 5 queries: $(grep srdf_query_log_queries_total "$WORK/metrics-t.txt")"
+# explain=analyze over HTTP returns the annotated plan as text
+code=$(curl -s -o "$WORK/analyze.txt" -w '%{http_code} %{content_type}' -G --data-urlencode "query=$Q" "$TBASE/sparql?explain=analyze")
+[ "$code" = "200 text/plain; charset=utf-8" ] || fail "explain=analyze: got '$code'"
+grep -q '(analyzed)' "$WORK/analyze.txt" || fail "analyze output missing (analyzed) header"
+grep -q 'act_rows=2000' "$WORK/analyze.txt" || fail "analyze output missing act_rows: $(cat "$WORK/analyze.txt")"
+grep -q 'actual: rows=2000' "$WORK/analyze.txt" || fail "analyze output missing actual footer"
+# /debug/queries on the public mux serves the structured log
+curl -fsS "$TBASE/debug/queries" > "$WORK/queries.json"
+grep -q '"outcome": "ok"' "$WORK/queries.json" || fail "/debug/queries has no ok records"
+grep -q '"predicates"' "$WORK/queries.json" || fail "/debug/queries records missing predicates"
+grep -q '"profile"' "$WORK/queries.json" || fail "/debug/queries missing workload profile"
+# debug listener: pprof + expvar live there, not on the public port
+code=$(curl -s -o /dev/null -w '%{http_code}' "$DBASE/debug/pprof/profile?seconds=1")
+[ "$code" = 200 ] || fail "pprof profile on debug listener: got $code"
+curl -fsS "$DBASE/debug/vars" | grep -q memstats || fail "expvar missing on debug listener"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$TBASE/debug/pprof/cmdline")
+[ "$code" = 404 ] || fail "pprof leaked onto the public listener: got $code"
+# structured access log carries request ids and slow-query warnings
+grep -q '"msg":"query"' "$WORK/server-7875.log" || fail "no structured access log lines"
+grep -q '"msg":"slow query"' "$WORK/server-7875.log" || fail "no slow-query warning despite 1ns threshold"
+stop_server
+echo "   ok"
+
 echo "== 408 on per-query timeout"
 start_server 7872 -timeout 1ns
 code=$(curl -s -o /dev/null -w '%{http_code}' -G --data-urlencode "query=$Q" "http://127.0.0.1:7872/sparql")

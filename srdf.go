@@ -26,6 +26,7 @@ import (
 	"context"
 	"io"
 	"strings"
+	"time"
 
 	"srdf/internal/colstore"
 	"srdf/internal/core"
@@ -357,6 +358,41 @@ func (s *Store) PlanCacheStats() PlanCacheStats { return s.inner.PlanCacheStats(
 func (s *Store) Explain(q string, o QueryOptions) (string, error) {
 	return s.inner.Explain(q, o.core())
 }
+
+// ExplainAnalyze executes q and returns the plan tree annotated with
+// the actual row counts and per-operator times of that execution
+// (act_rows beside est_rows), plus a top-line summary of the worst
+// estimation error. The query runs to completion under ctx — EXPLAIN
+// ANALYZE costs what the query costs.
+func (s *Store) ExplainAnalyze(ctx context.Context, q string, o QueryOptions) (string, error) {
+	return s.inner.ExplainAnalyze(ctx, q, o.core())
+}
+
+// QueryRecord is one completed query in the structured query log.
+type QueryRecord = core.QueryRecord
+
+// WorkloadProfile aggregates the query log into per-predicate touch
+// counts and per-column filter counts — the sensor a self-organization
+// policy would read.
+type WorkloadProfile = core.WorkloadProfile
+
+// QueryLog returns the most recent completed queries, newest first.
+func (s *Store) QueryLog() []QueryRecord { return s.inner.QueryLog() }
+
+// WorkloadProfile returns the cumulative workload aggregation of the
+// query log.
+func (s *Store) WorkloadProfile() WorkloadProfile { return s.inner.WorkloadProfile() }
+
+// QueryLogCounts returns the cumulative (queries, result rows) totals
+// the query log has recorded, for metrics exposition.
+func (s *Store) QueryLogCounts() (queries, rows uint64) { return s.inner.QueryLogCounts() }
+
+// Epoch returns the published snapshot epoch; it advances on every
+// visible change (trickle refresh, Organize, Compact).
+func (s *Store) Epoch() uint64 { return s.inner.Epoch() }
+
+// Uptime reports the time since the store was created or opened.
+func (s *Store) Uptime() time.Duration { return s.inner.Uptime() }
 
 // Organized reports whether the store has a materialized schema, from
 // Organize or from an opened snapshot.
